@@ -1,0 +1,111 @@
+// Ablation of Bellamy's design choices (DESIGN.md §5), beyond the paper's
+// own variants:
+//
+//   A1  joint reconstruction objective ON vs OFF during pre-training
+//       (paper: "jointly minimize ... as well as the reconstruction error")
+//   A2  raw-seconds target (paper) vs standardized target (library default)
+//   A3  staged unfreeze (z first, f later) vs all-at-once fine-tuning
+//
+// Each ablation pre-trains on all-but-one context of SGD and fine-tunes on
+// 3 runs of the held-out context; reported are the held-out MRE and the
+// fine-tuning epochs, averaged over several held-out contexts.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/predictor.hpp"
+#include "core/trainer.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "util/rng.hpp"
+
+using namespace bellamy;
+
+namespace {
+
+struct AblationResult {
+  double mre = 0.0;
+  double epochs = 0.0;
+};
+
+AblationResult run_setting(const data::Dataset& sgd, bool joint_recon, bool standardize,
+                           bool staged_unfreeze, const bench::BenchOptions& opts) {
+  const auto groups = sgd.contexts();
+  const std::size_t held_out = opts.paper_scale ? 5 : 3;
+
+  eval::ErrorAccumulator acc;
+  double epoch_sum = 0.0;
+  std::size_t fits = 0;
+  util::Rng rng(opts.seed ^ 0xab1aULL);
+
+  for (std::size_t gi = 0; gi < held_out && gi < groups.size(); ++gi) {
+    const auto& target = groups[gi * groups.size() / held_out];
+    data::Dataset corpus = sgd.exclude_context(target.key);
+    if (!opts.paper_scale) corpus = corpus.sample(480, rng);
+
+    core::BellamyConfig model_cfg;
+    model_cfg.standardize_target = standardize;
+    core::BellamyModel model(model_cfg, opts.seed + gi);
+
+    core::PreTrainConfig pre;
+    pre.epochs = opts.paper_scale ? 2500 : 300;
+    pre.learning_rate = standardize ? 1e-2 : 5e-2;
+    pre.reconstruction_weight = joint_recon ? 1.0 : 0.0;
+    pre.seed = opts.seed + gi;
+    core::pretrain(model, corpus.runs(), pre);
+
+    core::FineTuneConfig fine;
+    fine.max_epochs = opts.paper_scale ? 2500 : 500;
+    fine.patience = opts.paper_scale ? 1000 : 250;
+    if (!standardize) {
+      fine.base_lr = 3e-3;
+      fine.max_lr = 3e-2;
+    }
+    fine.unlock_f_immediately = !staged_unfreeze;
+
+    std::vector<data::JobRun> few(target.runs.begin(), target.runs.begin() + 3);
+    const auto result = core::finetune(model, few, fine);
+    epoch_sum += static_cast<double>(result.epochs_run);
+    ++fits;
+
+    for (std::size_t i = 3; i < target.runs.size(); ++i) {
+      acc.add(model.predict_one(target.runs[i]), target.runs[i].runtime_s);
+    }
+  }
+  return {acc.stats().mre, fits ? epoch_sum / static_cast<double>(fits) : 0.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  eval::print_banner("Ablation: joint objective, target scaling, staged unfreeze (SGD)");
+
+  const data::Dataset sgd = bench::make_c3o_dataset(opts).filter_algorithm("sgd");
+
+  struct Setting {
+    const char* name;
+    bool joint_recon;
+    bool standardize;
+    bool staged;
+  };
+  const Setting settings[] = {
+      {"paper (joint+raw+staged)", true, false, true},
+      {"A1: no reconstruction loss", false, false, true},
+      {"A2: standardized target", true, true, true},
+      {"A3: unfreeze all at once", true, false, false},
+  };
+
+  std::printf("\nsetting\t\t\t\theld_out_mre\tmean_finetune_epochs\n");
+  AblationResult baseline{};
+  for (const auto& s : settings) {
+    const auto r = run_setting(sgd, s.joint_recon, s.standardize, s.staged, opts);
+    if (std::string(s.name).rfind("paper", 0) == 0) baseline = r;
+    std::printf("%-32s\t%.3f\t\t%.0f\n", s.name, r.mre, r.epochs);
+  }
+
+  std::printf("\n[info] baseline (paper configuration) held-out MRE: %.3f\n", baseline.mre);
+  std::printf("[info] ablations quantify each design choice's contribution; see\n");
+  std::printf("       EXPERIMENTS.md for interpretation.\n");
+  return 0;
+}

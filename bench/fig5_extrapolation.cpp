@@ -1,0 +1,77 @@
+// Figure 5 (right) — mean relative error (MRE) of extrapolation vs number of
+// training data points (0..6) per algorithm.
+//
+// Expected shape (paper §IV-C.1): the baselines need several points before
+// they extrapolate at all (NNLS with one point is degenerate, Bell needs 3),
+// while a pre-trained Bellamy model produces usable extrapolations already
+// at 0 points, improving as points are added.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+using namespace bellamy;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  eval::print_banner("Figure 5 (right): extrapolation MRE vs #data points");
+
+  const auto result = bench::cached_cross_context(opts);
+  const auto series = eval::aggregate_series(result.evals, "extrapolation");
+  const auto algorithms = eval::distinct_algorithms(result.evals);
+  const auto models = eval::distinct_models(result.evals);
+
+  std::printf("\nalgorithm\tmodel\tnum_points\tmre\tmae_s\tn\n");
+  for (const auto& algo : algorithms) {
+    for (const auto& model : models) {
+      for (std::size_t n = 0; n <= 6; ++n) {
+        const auto it = series.find({algo, model, n});
+        if (it == series.end()) continue;
+        std::printf("%s\t%s\t%zu\t%.3f\t%.1f\t%zu\n", algo.c_str(), model.c_str(), n,
+                    it->second.mre, it->second.mae, it->second.count);
+      }
+    }
+  }
+
+  // Claim 1: pre-trained Bellamy produces finite extrapolations at 0 points.
+  bool zero_point_works = false;
+  double zero_point_mre = 0.0;
+  std::size_t zero_count = 0;
+  for (const auto& [key, stats] : series) {
+    const auto& [algo, model, n] = key;
+    if (n == 0 && (model == "Bellamy (full)" || model == "Bellamy (filtered)")) {
+      zero_point_works = true;
+      zero_point_mre += stats.mre * static_cast<double>(stats.count);
+      zero_count += stats.count;
+    }
+  }
+  if (zero_count) zero_point_mre /= static_cast<double>(zero_count);
+
+  // Claim 2: more fine-tuning points reduce the pre-trained model's error.
+  double mre_at_1 = 0.0;
+  double mre_at_6 = 0.0;
+  std::size_t c1 = 0;
+  std::size_t c6 = 0;
+  for (const auto& [key, stats] : series) {
+    const auto& [algo, model, n] = key;
+    if (model != "Bellamy (full)") continue;
+    if (n <= 1) {
+      mre_at_1 += stats.mre * static_cast<double>(stats.count);
+      c1 += stats.count;
+    }
+    if (n >= 5) {
+      mre_at_6 += stats.mre * static_cast<double>(stats.count);
+      c6 += stats.count;
+    }
+  }
+  if (c1) mre_at_1 /= static_cast<double>(c1);
+  if (c6) mre_at_6 /= static_cast<double>(c6);
+
+  std::printf("\n[claim] pre-trained Bellamy extrapolates with 0 data points: %s (MRE %.3f)\n",
+              zero_point_works ? "CONFIRMED" : "NOT CONFIRMED", zero_point_mre);
+  std::printf("[claim] fine-tuning points reduce extrapolation error (<=1 pt %.3f -> >=5 pts "
+              "%.3f): %s\n",
+              mre_at_1, mre_at_6, mre_at_6 <= mre_at_1 ? "CONFIRMED" : "NOT CONFIRMED");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 8 + §IV-C.2 timing — Ad Hoc Cross-Environment Learning: pre-train
+// on the C3O-like public-cloud traces, reuse on the Bell-like private
+// cluster, comparing NNLS, Bell, Bellamy (local) and the four reuse
+// strategies (partial-/full-unfreeze, partial-/full-reset).
+//
+// Expected shape (paper): for the easy algorithms all models are comparable;
+// for the hardest one the local and full-reset variants are the most stable,
+// weight-reusing variants can struggle — but every pre-trained variant fits
+// noticeably faster than training locally from scratch.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+using namespace bellamy;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_options(argc, argv);
+  eval::print_banner("Figure 8: cross-environment interpolation MAE (C3O -> Bell)");
+
+  const auto result = bench::cached_cross_environment(opts);
+  const auto overall = eval::aggregate_overall(result.evals, "interpolation");
+  const auto algorithms = eval::distinct_algorithms(result.evals);
+  const auto models = eval::distinct_models(result.evals);
+
+  double max_mae = 0.0;
+  for (const auto& [key, stats] : overall) max_mae = std::max(max_mae, stats.mae);
+
+  std::printf("\nalgorithm\tmodel\tmae_s\tmre\tn\tbar\n");
+  for (const auto& algo : algorithms) {
+    for (const auto& model : models) {
+      const auto it = overall.find({algo, model});
+      if (it == overall.end()) continue;
+      std::printf("%s\t%-26s\t%7.1f\t%.3f\t%zu\t%s\n", algo.c_str(), model.c_str(),
+                  it->second.mae, it->second.mre, it->second.count,
+                  eval::ascii_bar(it->second.mae, max_mae, 25).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // §IV-C.2 training time table: local vs pre-trained reuse variants.
+  const auto means = eval::mean_fit_seconds(result.fits);
+  std::printf("# mean time to fit (paper reference: local 9.4 s, reuse variants 2.8-3.8 s)\n");
+  std::printf("model\tmean_fit_seconds\n");
+  for (const auto& model : models) {
+    const auto it = means.find(model);
+    if (it != means.end() && model.rfind("Bellamy", 0) == 0) {
+      std::printf("%-26s\t%.4f\n", model.c_str(), it->second);
+    }
+  }
+
+  double reuse_time = 0.0;
+  int reuse_n = 0;
+  for (const auto& name :
+       {"Bellamy (partial-unfreeze)", "Bellamy (full-unfreeze)", "Bellamy (partial-reset)",
+        "Bellamy (full-reset)"}) {
+    const auto it = means.find(name);
+    if (it != means.end()) {
+      reuse_time += it->second;
+      ++reuse_n;
+    }
+  }
+  const bool timing_ok = reuse_n > 0 && means.count("Bellamy (local)") &&
+                         reuse_time / reuse_n < means.at("Bellamy (local)");
+  std::printf("\n[claim] reuse variants fit faster than local on the new environment: %s\n",
+              timing_ok ? "CONFIRMED" : "NOT CONFIRMED");
+
+  // Stability claim: local and full-reset should be among the best Bellamy
+  // variants on the hardest algorithm (largest spread across variants).
+  std::string hardest;
+  double best_spread = -1.0;
+  for (const auto& algo : algorithms) {
+    double lo = 1e300;
+    double hi = -1.0;
+    for (const auto& model : models) {
+      if (model.rfind("Bellamy", 0) != 0) continue;
+      const auto it = overall.find({algo, model});
+      if (it == overall.end()) continue;
+      lo = std::min(lo, it->second.mae);
+      hi = std::max(hi, it->second.mae);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      hardest = algo;
+    }
+  }
+  if (!hardest.empty()) {
+    std::printf("[info] hardest algorithm by Bellamy-variant spread: %s (spread %.1f s)\n",
+                hardest.c_str(), best_spread);
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Substrate micro-benchmarks (google-benchmark): the hot inner kernels the
+// experiments are built from — gemm, layer forward/backward, property
+// encoding, NNLS, and a full Bellamy train step.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/ernest.hpp"
+#include "core/bellamy_model.hpp"
+#include "encoding/property_encoder.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "opt/nnls.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bellamy;
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const nn::Matrix a = nn::Matrix::randn(n, n, rng);
+  const nn::Matrix b = nn::Matrix::randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Matrix::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MatmulBellamyShapes(benchmark::State& state) {
+  // The dominant gemm of a pre-training step: (batch*(m+n) x 40) x (40 x 8).
+  util::Rng rng(2);
+  const nn::Matrix props = nn::Matrix::randn(64 * 7, 40, rng);
+  const nn::Matrix weights = nn::Matrix::randn(8, 40, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Matrix::matmul_nt(props, weights));
+  }
+}
+BENCHMARK(BM_MatmulBellamyShapes);
+
+void BM_LinearForwardBackward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Linear layer(40, 8, false, nn::Init::kHeNormal, rng);
+  const nn::Matrix x = nn::Matrix::randn(static_cast<std::size_t>(state.range(0)), 40, rng);
+  for (auto _ : state) {
+    const nn::Matrix y = layer.forward(x);
+    benchmark::DoNotOptimize(layer.backward(y));
+    layer.zero_grad();
+  }
+}
+BENCHMARK(BM_LinearForwardBackward)->Arg(8)->Arg(64)->Arg(448);
+
+void BM_SeluForward(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::Selu act;
+  const nn::Matrix x = nn::Matrix::randn(64, 40, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(act.forward(x));
+  }
+}
+BENCHMARK(BM_SeluForward);
+
+void BM_HuberLoss(benchmark::State& state) {
+  util::Rng rng(5);
+  const nn::Matrix pred = nn::Matrix::randn(64, 1, rng);
+  const nn::Matrix target = nn::Matrix::randn(64, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::huber_loss(pred, target, 1.0));
+  }
+}
+BENCHMARK(BM_HuberLoss);
+
+void BM_PropertyEncodeText(benchmark::State& state) {
+  encoding::PropertyEncoder enc;
+  const encoding::PropertyValue value{std::string("features-1000-sparse on m4.2xlarge")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(value));
+  }
+}
+BENCHMARK(BM_PropertyEncodeText);
+
+void BM_PropertyEncodeNumeric(benchmark::State& state) {
+  encoding::PropertyEncoder enc;
+  const encoding::PropertyValue value{std::uint64_t{19353}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(value));
+  }
+}
+BENCHMARK(BM_PropertyEncodeNumeric);
+
+void BM_NnlsErnestFit(benchmark::State& state) {
+  // The baseline's whole fit: 6 points, 4 features.
+  std::vector<data::JobRun> runs;
+  for (int x = 2; x <= 12; x += 2) {
+    data::JobRun r;
+    r.scale_out = x;
+    r.runtime_s = 20.0 + 500.0 / x + 3.0 * x;
+    runs.push_back(r);
+  }
+  for (auto _ : state) {
+    baselines::ErnestModel model;
+    model.fit(runs);
+    benchmark::DoNotOptimize(model.theta());
+  }
+}
+BENCHMARK(BM_NnlsErnestFit);
+
+void BM_BellamyMakeBatch(benchmark::State& state) {
+  core::BellamyModel model(core::BellamyConfig{}, 6);
+  std::vector<data::JobRun> runs;
+  for (int x = 2; x <= 12; x += 2) {
+    data::JobRun r;
+    r.algorithm = "sgd";
+    r.node_type = "m4.2xlarge";
+    r.job_parameters = "25";
+    r.dataset_size_mb = 19353;
+    r.data_characteristics = "features-100-dense";
+    r.memory_mb = 32768;
+    r.cpu_cores = 8;
+    r.scale_out = x;
+    r.runtime_s = 100.0;
+    runs.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.make_batch(runs));
+  }
+}
+BENCHMARK(BM_BellamyMakeBatch);
+
+void BM_BellamyTrainStep(benchmark::State& state) {
+  core::BellamyModel model(core::BellamyConfig{}, 7);
+  std::vector<data::JobRun> runs;
+  const auto batch_size = static_cast<int>(state.range(0));
+  for (int i = 0; i < batch_size; ++i) {
+    data::JobRun r;
+    r.algorithm = "sgd";
+    r.node_type = "m4.2xlarge";
+    r.job_parameters = "25";
+    r.dataset_size_mb = 19353;
+    r.data_characteristics = "features-100-dense";
+    r.memory_mb = 32768;
+    r.cpu_cores = 8;
+    r.scale_out = 2 + (i % 6) * 2;
+    r.runtime_s = 100.0 + i;
+    runs.push_back(r);
+  }
+  model.fit_normalization(runs);
+  const auto batch = model.make_batch(runs);
+  for (auto _ : state) {
+    for (nn::Parameter* p : model.parameters()) p->zero_grad();
+    benchmark::DoNotOptimize(model.train_step(batch, 1.0));
+  }
+}
+BENCHMARK(BM_BellamyTrainStep)->Arg(6)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

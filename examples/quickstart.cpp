@@ -1,0 +1,59 @@
+// Quickstart: the smallest end-to-end Bellamy workflow.
+//
+//   1. Load (here: synthesize) historical dataflow job executions.
+//   2. Pre-train a Bellamy model on all contexts of one algorithm.
+//   3. Fine-tune it on a handful of runs from a brand-new context.
+//   4. Predict runtimes for unseen scale-outs.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/bellamy_model.hpp"
+#include "core/trainer.hpp"
+#include "data/c3o_generator.hpp"
+
+using namespace bellamy;
+
+int main() {
+  // 1. Historical executions of "sgd" across many contexts (in a real
+  //    deployment: data::load_csv_file("my_traces.csv")).
+  data::C3OGeneratorConfig gen_cfg;
+  gen_cfg.seed = 7;
+  const data::Dataset history = data::C3OGenerator(gen_cfg).generate_algorithm("sgd", 8);
+  std::printf("history: %zu runs across %zu contexts\n", history.size(),
+              history.num_contexts());
+
+  // Treat the last context as the "new" one the user is about to run in.
+  const auto groups = history.contexts();
+  const auto& new_context = groups.back();
+  const data::Dataset pretrain_corpus = history.exclude_context(new_context.key);
+
+  // 2. Pre-train on every other context.
+  core::BellamyModel model(core::BellamyConfig{}, /*seed=*/42);
+  core::PreTrainConfig pre;
+  pre.epochs = 300;
+  core::pretrain(model, pretrain_corpus.runs(), pre);
+  std::printf("pre-trained on %zu runs from %zu contexts\n", pretrain_corpus.size(),
+              pretrain_corpus.num_contexts());
+
+  // 3. Fine-tune on the first three observed runs of the new context.
+  std::vector<data::JobRun> observed(new_context.runs.begin(), new_context.runs.begin() + 3);
+  core::FineTuneConfig fine;  // paper defaults: cyclical LR, MAE <= 5 s target
+  fine.max_epochs = 800;
+  fine.patience = 400;
+  const auto result = core::finetune(model, observed, fine);
+  std::printf("fine-tuned for %zu epochs (best MAE %.1f s, %s)\n", result.epochs_run,
+              result.best_mae_seconds,
+              result.reached_target ? "target reached" : "stopped by patience/cap");
+
+  // 4. Predict the full scale-out range of the new context.
+  std::printf("\nscale_out\tpredicted_s\tactual_s (mean of repetitions)\n");
+  for (int x : new_context.scale_outs()) {
+    data::JobRun query = new_context.runs.front();
+    query.scale_out = x;
+    const double predicted = model.predict_one(query);
+    std::printf("%d\t\t%8.1f\t%8.1f\n", x, predicted, new_context.mean_runtime_at(x));
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+// Model configuration (paper Table I and §IV-A).
+//
+// Architecture defaults:
+//   f (scale-out): 3 -> 16 -> 8, SELU, with biases
+//   g (encoder):   40 -> 8 -> 4, SELU, no biases, alpha-dropout between layers
+//   h (decoder):   4 -> 8 -> 40, SELU then tanh output, no biases, dropout
+//   z (predictor): (8 + (m+1)*4) -> 8 -> 1, SELU, with biases
+
+#include <cstddef>
+
+#include "nn/init.hpp"
+
+namespace bellamy::core {
+
+struct BellamyConfig {
+  // -- dimensions (Table I: Hidden-Dim 8, Out-Dim 1, Decoding 40, Encoding 4)
+  std::size_t scaleout_input = 3;    ///< [1/x, log x, x]
+  std::size_t scaleout_hidden = 16;  ///< hidden dim of f
+  std::size_t scaleout_out = 8;      ///< F, output dim of f
+  std::size_t property_dim = 40;     ///< N, vectorized property size
+  std::size_t encoder_hidden = 8;    ///< hidden dim of g and h
+  std::size_t code_dim = 4;          ///< M, code size
+  std::size_t predictor_hidden = 8;  ///< hidden dim of z
+
+  // -- context property counts (C3O schema, §IV-B): m essential, n optional
+  std::size_t num_essential = 4;  ///< node type, job params, dataset size, characteristics
+  std::size_t num_optional = 3;   ///< memory MB, CPU cores, job name
+
+  // -- training-time knobs
+  double dropout = 0.10;          ///< alpha-dropout rate in g/h during pre-training
+  double huber_delta = 1.0;       ///< runtime-loss threshold
+  nn::Init init = nn::Init::kHeNormal;
+
+  /// If true (library default), runtimes are standardized with training-set
+  /// mean/std before entering the loss — robust across datasets whose
+  /// runtimes span orders of magnitude.  If false, the network predicts raw
+  /// seconds exactly as the paper's implementation does; this reproduces the
+  /// paper's convergence behaviour (a from-scratch "local" model needs many
+  /// epochs to even reach the right output scale, while fine-tuning a
+  /// pre-trained model is fast).  The reproduction benches use false.
+  bool standardize_target = true;
+
+  /// Dimension of the combined vector r = e ++ essential codes ++ mean(optional).
+  std::size_t combined_dim() const {
+    return scaleout_out + (num_essential + 1) * code_dim;
+  }
+  /// Rows per sample in the stacked property matrix.
+  std::size_t props_per_sample() const { return num_essential + num_optional; }
+};
+
+}  // namespace bellamy::core

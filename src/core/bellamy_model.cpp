@@ -1,0 +1,411 @@
+#include "core/bellamy_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "util/string_utils.hpp"
+
+namespace bellamy::core {
+
+std::vector<encoding::PropertyValue> essential_properties(const data::JobRun& run) {
+  return {encoding::PropertyValue{run.node_type},
+          encoding::PropertyValue{run.job_parameters},
+          encoding::PropertyValue{run.dataset_size_mb},
+          encoding::PropertyValue{run.data_characteristics}};
+}
+
+std::vector<encoding::PropertyValue> optional_properties(const data::JobRun& run) {
+  return {encoding::PropertyValue{run.memory_mb}, encoding::PropertyValue{run.cpu_cores},
+          encoding::PropertyValue{run.algorithm}};
+}
+
+BellamyModel::BellamyModel(BellamyConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      property_encoder_(encoding::PropertyEncoder::Config{config.property_dim, {}}) {
+  if (config_.num_essential != 4 || config_.num_optional != 3) {
+    // The property extraction below follows the fixed C3O schema; other
+    // schemas would need custom extractors.
+    throw std::invalid_argument(
+        "BellamyModel: this build uses the C3O property schema (4 essential, 3 optional)");
+  }
+  build(rng_.next());
+}
+
+void BellamyModel::build(std::uint64_t dropout_seed) {
+  using nn::Activation;
+  const auto& c = config_;
+
+  // f: scale-out modeling, 3 -> hidden -> F, SELU, biased.
+  auto& f1 = f_.emplace<nn::Linear>(c.scaleout_input, c.scaleout_hidden, true, c.init, rng_,
+                                    "f.l1");
+  f_.add(nn::make_activation(Activation::kSelu));
+  auto& f2 =
+      f_.emplace<nn::Linear>(c.scaleout_hidden, c.scaleout_out, true, c.init, rng_, "f.l2");
+  f_.add(nn::make_activation(Activation::kSelu));
+  f_linears_ = {&f1, &f2};
+
+  // g: encoder, N -> hidden -> M, SELU, no bias, dropout between layers.
+  g_.emplace<nn::Linear>(c.property_dim, c.encoder_hidden, false, c.init, rng_, "g.l1");
+  g_.add(nn::make_activation(Activation::kSelu));
+  {
+    auto drop = std::make_unique<nn::AlphaDropout>(c.dropout, util::Rng(dropout_seed));
+    g_dropout_ = drop.get();
+    g_.add(std::move(drop));
+  }
+  g_.emplace<nn::Linear>(c.encoder_hidden, c.code_dim, false, c.init, rng_, "g.l2");
+  g_.add(nn::make_activation(Activation::kSelu));
+
+  // h: decoder, M -> hidden -> N, no bias, tanh output (§IV-A).
+  h_.emplace<nn::Linear>(c.code_dim, c.encoder_hidden, false, c.init, rng_, "h.l1");
+  h_.add(nn::make_activation(Activation::kSelu));
+  {
+    auto drop = std::make_unique<nn::AlphaDropout>(c.dropout, util::Rng(dropout_seed ^ 0x9e37ULL));
+    h_dropout_ = drop.get();
+    h_.add(std::move(drop));
+  }
+  h_.emplace<nn::Linear>(c.encoder_hidden, c.property_dim, false, c.init, rng_, "h.l2");
+  h_.add(nn::make_activation(Activation::kTanh));
+
+  // z: predictor, combined -> hidden -> 1, SELU, biased.
+  auto& z1 = z_.emplace<nn::Linear>(c.combined_dim(), c.predictor_hidden, true, c.init, rng_,
+                                    "z.l1");
+  z_.add(nn::make_activation(Activation::kSelu));
+  auto& z2 = z_.emplace<nn::Linear>(c.predictor_hidden, 1, true, c.init, rng_, "z.l2");
+  z_.add(nn::make_activation(Activation::kSelu));
+  z_linears_ = {&z1, &z2};
+}
+
+BellamyBatch BellamyModel::make_batch(const std::vector<data::JobRun>& runs) const {
+  if (runs.empty()) throw std::invalid_argument("BellamyModel::make_batch: empty batch");
+  const std::size_t b = runs.size();
+  const std::size_t ppr = config_.props_per_sample();
+  BellamyBatch batch;
+  batch.batch_size = b;
+  batch.scaleout_raw = nn::Matrix(b, 3);
+  batch.targets_raw = nn::Matrix(b, 1);
+  batch.properties = nn::Matrix(b * ppr, config_.property_dim);
+  for (std::size_t i = 0; i < b; ++i) {
+    const auto& run = runs[i];
+    if (run.scale_out < 1) {
+      throw std::invalid_argument("BellamyModel::make_batch: scale-out must be >= 1");
+    }
+    const double x = static_cast<double>(run.scale_out);
+    batch.scaleout_raw(i, 0) = 1.0 / x;
+    batch.scaleout_raw(i, 1) = std::log(x);
+    batch.scaleout_raw(i, 2) = x;
+    batch.targets_raw(i, 0) = run.runtime_s;
+
+    const auto ess = essential_properties(run);
+    const auto opt = optional_properties(run);
+    std::size_t row = i * ppr;
+    for (const auto& p : ess) {
+      const auto vec = property_encoder_.encode(p);
+      for (std::size_t j = 0; j < vec.size(); ++j) batch.properties(row, j) = vec[j];
+      ++row;
+    }
+    for (const auto& p : opt) {
+      const auto vec = property_encoder_.encode(p);
+      for (std::size_t j = 0; j < vec.size(); ++j) batch.properties(row, j) = vec[j];
+      ++row;
+    }
+  }
+  return batch;
+}
+
+void BellamyModel::fit_normalization(const std::vector<data::JobRun>& runs) {
+  if (runs.empty()) {
+    throw std::invalid_argument("BellamyModel::fit_normalization: no runs");
+  }
+  const BellamyBatch batch = make_batch(runs);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double lo = batch.scaleout_raw(0, j);
+    double hi = lo;
+    for (std::size_t i = 1; i < batch.batch_size; ++i) {
+      lo = std::min(lo, batch.scaleout_raw(i, j));
+      hi = std::max(hi, batch.scaleout_raw(i, j));
+    }
+    scaleout_min_(0, j) = lo;
+    scaleout_max_(0, j) = hi;
+  }
+  if (config_.standardize_target) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch.batch_size; ++i) sum += batch.targets_raw(i, 0);
+    target_mean_ = sum / static_cast<double>(batch.batch_size);
+    double var = 0.0;
+    for (std::size_t i = 0; i < batch.batch_size; ++i) {
+      const double d = batch.targets_raw(i, 0) - target_mean_;
+      var += d * d;
+    }
+    target_std_ = std::sqrt(var / static_cast<double>(batch.batch_size));
+    if (target_std_ < 1e-9) target_std_ = std::max(1.0, std::abs(target_mean_) * 0.25);
+  } else {
+    // Paper-faithful mode: the network predicts raw seconds.
+    target_mean_ = 0.0;
+    target_std_ = 1.0;
+  }
+  norm_fitted_ = true;
+}
+
+nn::Matrix BellamyModel::normalize_scaleout(const nn::Matrix& raw) const {
+  nn::Matrix out = raw;
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double lo = scaleout_min_(0, j);
+    const double range = scaleout_max_(0, j) - lo;
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      out(i, j) = range > 1e-12 ? (out(i, j) - lo) / range : out(i, j) - lo;
+    }
+  }
+  return out;
+}
+
+double BellamyModel::normalize_target(double seconds) const {
+  return (seconds - target_mean_) / target_std_;
+}
+
+double BellamyModel::denormalize_target(double network_value) const {
+  return network_value * target_std_ + target_mean_;
+}
+
+BellamyForward BellamyModel::forward(const BellamyBatch& batch, bool training) {
+  if (!norm_fitted_) {
+    throw std::logic_error("BellamyModel::forward: fit_normalization was never called "
+                           "(pre-train or load a checkpoint first)");
+  }
+  set_training(training);
+
+  BellamyForward fw;
+  const nn::Matrix xs = normalize_scaleout(batch.scaleout_raw);
+  const nn::Matrix e = f_.forward(xs);                // (B x F)
+  fw.codes = g_.forward(batch.properties);            // (B*(m+n) x M)
+  fw.reconstruction = h_.forward(fw.codes);           // (B*(m+n) x N)
+
+  const std::size_t b = batch.batch_size;
+  const std::size_t m = config_.num_essential;
+  const std::size_t n = config_.num_optional;
+  const std::size_t M = config_.code_dim;
+  const std::size_t F = config_.scaleout_out;
+  const std::size_t ppr = config_.props_per_sample();
+
+  fw.combined = nn::Matrix(b, config_.combined_dim());
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < F; ++j) fw.combined(i, j) = e(i, j);
+    for (std::size_t p = 0; p < m; ++p) {
+      const std::size_t crow = i * ppr + p;
+      for (std::size_t j = 0; j < M; ++j) {
+        fw.combined(i, F + p * M + j) = fw.codes(crow, j);
+      }
+    }
+    for (std::size_t j = 0; j < M; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) acc += fw.codes(i * ppr + m + p, j);
+      fw.combined(i, F + m * M + j) = n ? acc / static_cast<double>(n) : 0.0;
+    }
+  }
+
+  fw.prediction_norm = z_.forward(fw.combined);  // (B x 1)
+  fw.prediction_raw = fw.prediction_norm.apply(
+      [this](double v) { return denormalize_target(v); });
+  return fw;
+}
+
+BellamyLoss BellamyModel::train_step(const BellamyBatch& batch, double reconstruction_weight) {
+  BellamyForward fw = forward(batch, /*training=*/true);
+
+  const nn::Matrix targets_norm =
+      batch.targets_raw.apply([this](double v) { return normalize_target(v); });
+
+  BellamyLoss loss;
+  const auto huber = nn::huber_loss(fw.prediction_norm, targets_norm, config_.huber_delta);
+  loss.huber = huber.value;
+  {
+    const auto mae = nn::mae_loss(fw.prediction_raw, batch.targets_raw);
+    loss.mae_seconds = mae.value;
+  }
+
+  // Backward through z to the combined vector.
+  const nn::Matrix grad_combined = z_.backward(huber.grad);
+
+  const std::size_t b = batch.batch_size;
+  const std::size_t m = config_.num_essential;
+  const std::size_t n = config_.num_optional;
+  const std::size_t M = config_.code_dim;
+  const std::size_t F = config_.scaleout_out;
+  const std::size_t ppr = config_.props_per_sample();
+
+  // Split grad_combined into the scale-out part and the code parts.
+  nn::Matrix grad_e(b, F);
+  nn::Matrix grad_codes(b * ppr, M, 0.0);
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < F; ++j) grad_e(i, j) = grad_combined(i, j);
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t j = 0; j < M; ++j) {
+        grad_codes(i * ppr + p, j) = grad_combined(i, F + p * M + j);
+      }
+    }
+    for (std::size_t j = 0; j < M; ++j) {
+      const double go = n ? grad_combined(i, F + m * M + j) / static_cast<double>(n) : 0.0;
+      for (std::size_t p = 0; p < n; ++p) grad_codes(i * ppr + m + p, j) = go;
+    }
+  }
+
+  f_.backward(grad_e);
+
+  if (reconstruction_weight > 0.0) {
+    const auto recon = nn::mse_loss(fw.reconstruction, batch.properties);
+    loss.reconstruction = recon.value;
+    nn::Matrix grad_recon = recon.grad;
+    grad_recon *= reconstruction_weight;
+    grad_codes += h_.backward(grad_recon);
+  }
+
+  g_.backward(grad_codes);
+
+  loss.total = loss.huber + reconstruction_weight * loss.reconstruction;
+  return loss;
+}
+
+BellamyLoss BellamyModel::evaluate(const BellamyBatch& batch, double reconstruction_weight) {
+  BellamyForward fw = forward(batch, /*training=*/false);
+  const nn::Matrix targets_norm =
+      batch.targets_raw.apply([this](double v) { return normalize_target(v); });
+  BellamyLoss loss;
+  loss.huber = nn::huber_loss(fw.prediction_norm, targets_norm, config_.huber_delta).value;
+  loss.mae_seconds = nn::mae_loss(fw.prediction_raw, batch.targets_raw).value;
+  if (reconstruction_weight > 0.0) {
+    loss.reconstruction = nn::mse_loss(fw.reconstruction, batch.properties).value;
+  }
+  loss.total = loss.huber + reconstruction_weight * loss.reconstruction;
+  return loss;
+}
+
+std::vector<double> BellamyModel::predict(const std::vector<data::JobRun>& runs) {
+  const BellamyBatch batch = make_batch(runs);
+  const BellamyForward fw = forward(batch, /*training=*/false);
+  std::vector<double> out(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) out[i] = fw.prediction_raw(i, 0);
+  return out;
+}
+
+double BellamyModel::predict_one(const data::JobRun& run) { return predict({run})[0]; }
+
+std::vector<nn::Parameter*> BellamyModel::parameters() {
+  std::vector<nn::Parameter*> ps;
+  for (nn::Sequential* s : {&f_, &g_, &h_, &z_}) {
+    const auto sub = s->parameters();
+    ps.insert(ps.end(), sub.begin(), sub.end());
+  }
+  return ps;
+}
+
+void BellamyModel::set_trainable_components(bool f_on, bool g_on, bool h_on, bool z_on) {
+  f_.set_trainable(f_on);
+  g_.set_trainable(g_on);
+  h_.set_trainable(h_on);
+  z_.set_trainable(z_on);
+}
+
+void BellamyModel::reinit_f() {
+  for (nn::Linear* l : f_linears_) l->reinitialize(config_.init, rng_);
+}
+
+void BellamyModel::reinit_z() {
+  for (nn::Linear* l : z_linears_) l->reinitialize(config_.init, rng_);
+}
+
+void BellamyModel::set_training(bool training) {
+  f_.set_training(training);
+  g_.set_training(training);
+  h_.set_training(training);
+  z_.set_training(training);
+}
+
+void BellamyModel::set_dropout_rate(double rate) {
+  g_dropout_->set_rate(rate);
+  h_dropout_->set_rate(rate);
+}
+
+nn::Checkpoint BellamyModel::to_checkpoint() const {
+  nn::Checkpoint ckpt;
+  auto* self = const_cast<BellamyModel*>(this);
+  nn::store_parameters(ckpt, self->f_);
+  nn::store_parameters(ckpt, self->g_);
+  nn::store_parameters(ckpt, self->h_);
+  nn::store_parameters(ckpt, self->z_);
+  ckpt.matrices.emplace("norm.scaleout_min", scaleout_min_);
+  ckpt.matrices.emplace("norm.scaleout_max", scaleout_max_);
+  ckpt.matrices.emplace("norm.target", nn::Matrix{{target_mean_, target_std_}});
+
+  const auto& c = config_;
+  ckpt.meta["format"] = "bellamy-model";
+  ckpt.meta["norm_fitted"] = norm_fitted_ ? "1" : "0";
+  ckpt.meta["scaleout_hidden"] = std::to_string(c.scaleout_hidden);
+  ckpt.meta["scaleout_out"] = std::to_string(c.scaleout_out);
+  ckpt.meta["property_dim"] = std::to_string(c.property_dim);
+  ckpt.meta["encoder_hidden"] = std::to_string(c.encoder_hidden);
+  ckpt.meta["code_dim"] = std::to_string(c.code_dim);
+  ckpt.meta["predictor_hidden"] = std::to_string(c.predictor_hidden);
+  ckpt.meta["dropout"] = util::format("%.17g", c.dropout);
+  ckpt.meta["huber_delta"] = util::format("%.17g", c.huber_delta);
+  ckpt.meta["init"] = nn::init_name(c.init);
+  ckpt.meta["standardize_target"] = c.standardize_target ? "1" : "0";
+  return ckpt;
+}
+
+BellamyModel BellamyModel::from_checkpoint(const nn::Checkpoint& ckpt) {
+  if (ckpt.meta_value("format") != "bellamy-model") {
+    throw std::runtime_error("BellamyModel::from_checkpoint: not a bellamy-model checkpoint");
+  }
+  BellamyConfig cfg;
+  cfg.scaleout_hidden = std::stoul(ckpt.meta_value("scaleout_hidden"));
+  cfg.scaleout_out = std::stoul(ckpt.meta_value("scaleout_out"));
+  cfg.property_dim = std::stoul(ckpt.meta_value("property_dim"));
+  cfg.encoder_hidden = std::stoul(ckpt.meta_value("encoder_hidden"));
+  cfg.code_dim = std::stoul(ckpt.meta_value("code_dim"));
+  cfg.predictor_hidden = std::stoul(ckpt.meta_value("predictor_hidden"));
+  cfg.dropout = util::parse_double(ckpt.meta_value("dropout"));
+  cfg.huber_delta = util::parse_double(ckpt.meta_value("huber_delta"));
+  if (ckpt.meta.count("standardize_target")) {
+    cfg.standardize_target = ckpt.meta_value("standardize_target") == "1";
+  }
+  const std::string init = ckpt.meta_value("init");
+  if (init == "he_normal") cfg.init = nn::Init::kHeNormal;
+  else if (init == "lecun_normal") cfg.init = nn::Init::kLeCunNormal;
+  else if (init == "xavier_normal") cfg.init = nn::Init::kXavierNormal;
+  else throw std::runtime_error("BellamyModel::from_checkpoint: unknown init '" + init + "'");
+
+  BellamyModel model(cfg, /*seed=*/0xbe11a3ULL);
+  for (nn::Sequential* s : {&model.f_, &model.g_, &model.h_, &model.z_}) {
+    nn::restore_parameters(ckpt, *s);
+  }
+  model.scaleout_min_ = ckpt.matrix("norm.scaleout_min");
+  model.scaleout_max_ = ckpt.matrix("norm.scaleout_max");
+  const nn::Matrix& t = ckpt.matrix("norm.target");
+  model.target_mean_ = t(0, 0);
+  model.target_std_ = t(0, 1);
+  model.norm_fitted_ = ckpt.meta_value("norm_fitted") == "1";
+  return model;
+}
+
+void BellamyModel::save(const std::string& path) const { to_checkpoint().save_file(path); }
+
+BellamyModel BellamyModel::load(const std::string& path) {
+  return from_checkpoint(nn::Checkpoint::load_file(path));
+}
+
+std::vector<nn::Matrix> BellamyModel::snapshot_parameters() {
+  std::vector<nn::Matrix> snap;
+  for (nn::Parameter* p : parameters()) snap.push_back(p->value);
+  return snap;
+}
+
+void BellamyModel::restore_parameters(const std::vector<nn::Matrix>& snapshot) {
+  const auto params = parameters();
+  if (snapshot.size() != params.size()) {
+    throw std::invalid_argument("BellamyModel::restore_parameters: snapshot size mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+}  // namespace bellamy::core

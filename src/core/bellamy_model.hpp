@@ -1,0 +1,150 @@
+#pragma once
+// The Bellamy architecture (paper §III, Fig. 3):
+//
+//   scale-out x  --[1/x, log x, x]--> normalize --> f --> e  (B x F)
+//   property p^i --vectorize (N=40)--> g --> code c^i (B x M) --> h --> p̂^i
+//   r = e ++ c^(1..m) ++ mean(c^(m+1..m+n))   --> z --> predicted runtime
+//
+// The joint objective (Table I) is Huber(runtime) + MSE(reconstruction).
+// Properties of all samples are stacked into one (B * (m+n)) x N matrix so
+// the shared encoder/decoder see a single batch — one forward/backward per
+// step despite weight sharing across properties.
+//
+// The model owns its input/target normalization state (fit on training data,
+// frozen into checkpoints; §IV-A) so a persisted model is self-contained.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bellamy_config.hpp"
+#include "data/record.hpp"
+#include "encoding/property_encoder.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace bellamy::core {
+
+/// Extract the paper's essential property list from a run:
+/// node type, job parameters, dataset size, data characteristics.
+std::vector<encoding::PropertyValue> essential_properties(const data::JobRun& run);
+/// Optional property list: memory MB, CPU cores, job (algorithm) name.
+std::vector<encoding::PropertyValue> optional_properties(const data::JobRun& run);
+
+/// A vectorized mini-batch ready for the network.
+struct BellamyBatch {
+  nn::Matrix scaleout_raw;   ///< (B x 3) un-normalized [1/x, log x, x]
+  nn::Matrix properties;     ///< (B*(m+n) x N) sample-major stacked vectors
+  nn::Matrix targets_raw;    ///< (B x 1) runtimes in seconds
+  std::size_t batch_size = 0;
+};
+
+/// Result of one forward pass.
+struct BellamyForward {
+  nn::Matrix prediction_raw;  ///< (B x 1) denormalized runtime prediction
+  nn::Matrix prediction_norm; ///< (B x 1) network-space prediction
+  nn::Matrix codes;           ///< (B*(m+n) x M)
+  nn::Matrix reconstruction;  ///< (B*(m+n) x N)
+  nn::Matrix combined;        ///< (B x combined_dim) the vector r
+};
+
+/// Losses of one training step.
+struct BellamyLoss {
+  double total = 0.0;
+  double huber = 0.0;          ///< runtime loss (network space)
+  double reconstruction = 0.0; ///< auto-encoder MSE
+  double mae_seconds = 0.0;    ///< runtime MAE in seconds (stopping criterion)
+};
+
+class BellamyModel {
+ public:
+  BellamyModel(BellamyConfig config, std::uint64_t seed);
+
+  // ---- data preparation ----------------------------------------------------
+  BellamyBatch make_batch(const std::vector<data::JobRun>& runs) const;
+
+  /// Fit scale-out feature bounds and target scaling on training runs.
+  /// Called once before pre-training (or local training); fine-tuning reuses
+  /// the persisted state.
+  void fit_normalization(const std::vector<data::JobRun>& runs);
+  bool normalization_fitted() const { return norm_fitted_; }
+
+  // ---- forward / backward ---------------------------------------------------
+  /// Forward pass; `training` toggles dropout.
+  BellamyForward forward(const BellamyBatch& batch, bool training);
+
+  /// Forward + joint loss + backward (gradients accumulate into parameters).
+  /// reconstruction_weight 0 disables the auto-encoder path (fine-tuning).
+  BellamyLoss train_step(const BellamyBatch& batch, double reconstruction_weight);
+
+  /// Loss evaluation without gradients (dropout off).
+  BellamyLoss evaluate(const BellamyBatch& batch, double reconstruction_weight);
+
+  /// Predict runtimes in seconds (eval mode).
+  std::vector<double> predict(const std::vector<data::JobRun>& runs);
+  double predict_one(const data::JobRun& run);
+
+  // ---- components (freeze policy, reuse variants) ---------------------------
+  nn::Sequential& f() { return f_; }
+  nn::Sequential& g() { return g_; }
+  nn::Sequential& h() { return h_; }
+  nn::Sequential& z() { return z_; }
+
+  /// All parameters of all four components.
+  std::vector<nn::Parameter*> parameters();
+  /// Freeze everything, then mark the given components trainable.
+  void set_trainable_components(bool f_on, bool g_on, bool h_on, bool z_on);
+
+  /// Re-initialize components (reuse variants partial-/full-reset).
+  void reinit_f();
+  void reinit_z();
+
+  void set_training(bool training);
+  void set_dropout_rate(double rate);
+
+  // ---- persistence -----------------------------------------------------------
+  nn::Checkpoint to_checkpoint() const;
+  static BellamyModel from_checkpoint(const nn::Checkpoint& ckpt);
+  void save(const std::string& path) const;
+  static BellamyModel load(const std::string& path);
+
+  const BellamyConfig& config() const { return config_; }
+
+  /// Snapshot / restore all parameter values (best-state tracking).
+  std::vector<nn::Matrix> snapshot_parameters();
+  void restore_parameters(const std::vector<nn::Matrix>& snapshot);
+
+ private:
+  void build(std::uint64_t dropout_seed);
+  nn::Matrix normalize_scaleout(const nn::Matrix& raw) const;
+  double normalize_target(double seconds) const;
+  double denormalize_target(double network_value) const;
+
+  BellamyConfig config_;
+  util::Rng rng_;
+  encoding::PropertyEncoder property_encoder_;
+
+  nn::Sequential f_;  ///< scale-out modeling
+  nn::Sequential g_;  ///< encoder
+  nn::Sequential h_;  ///< decoder
+  nn::Sequential z_;  ///< runtime predictor
+  nn::AlphaDropout* g_dropout_ = nullptr;  ///< owned by g_
+  nn::AlphaDropout* h_dropout_ = nullptr;  ///< owned by h_
+
+  // Normalization state (persisted).
+  bool norm_fitted_ = false;
+  nn::Matrix scaleout_min_{1, 3, 0.0};
+  nn::Matrix scaleout_max_{1, 3, 1.0};
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+
+  // Direct layer handles for the reset reuse variants.
+  std::vector<nn::Linear*> f_linears_;
+  std::vector<nn::Linear*> z_linears_;
+};
+
+}  // namespace bellamy::core

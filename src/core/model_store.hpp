@@ -1,0 +1,37 @@
+#pragma once
+// Filesystem-backed store of pre-trained models, keyed by (algorithm, tag).
+// This is the "collaborative sharing" building block the paper motivates:
+// users in the same environment pre-train per algorithm once, persist the
+// model, and others fine-tune from it.
+
+#include <string>
+#include <vector>
+
+#include "core/bellamy_model.hpp"
+
+namespace bellamy::core {
+
+class ModelStore {
+ public:
+  /// Creates the directory if needed.
+  explicit ModelStore(std::string directory);
+
+  /// File path a given key maps to.
+  std::string path_for(const std::string& algorithm, const std::string& tag) const;
+
+  void save(const BellamyModel& model, const std::string& algorithm, const std::string& tag);
+  BellamyModel load(const std::string& algorithm, const std::string& tag) const;
+  bool contains(const std::string& algorithm, const std::string& tag) const;
+  void remove(const std::string& algorithm, const std::string& tag);
+
+  /// All stored "algorithm/tag" keys, sorted.
+  std::vector<std::string> list() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  static void validate_key_part(const std::string& part, const char* what);
+  std::string directory_;
+};
+
+}  // namespace bellamy::core

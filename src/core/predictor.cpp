@@ -1,0 +1,65 @@
+#include "core/predictor.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace bellamy::core {
+
+BellamyPredictor::BellamyPredictor(BellamyConfig model_config, FineTuneConfig finetune_config,
+                                   std::uint64_t seed, std::string name)
+    : model_config_(model_config),
+      finetune_config_(finetune_config),
+      pretrained_(false),
+      seed_(seed),
+      name_(std::move(name)) {
+  // The local variant trains f and z together from scratch — the staged
+  // unlock only makes sense when z sits on top of a pre-trained f.
+  finetune_config_.unlock_f_immediately = true;
+}
+
+BellamyPredictor::BellamyPredictor(const BellamyModel& pretrained,
+                                   FineTuneConfig finetune_config, ReuseStrategy strategy,
+                                   std::string name)
+    : model_config_(pretrained.config()),
+      finetune_config_(finetune_config),
+      strategy_(strategy),
+      pretrained_checkpoint_(pretrained.to_checkpoint()),
+      pretrained_(true),
+      name_(std::move(name)) {}
+
+void BellamyPredictor::fit(const std::vector<data::JobRun>& runs) {
+  util::Timer timer;
+  if (pretrained_) {
+    model_.emplace(BellamyModel::from_checkpoint(*pretrained_checkpoint_));
+    FineTuneConfig cfg = apply_reuse_strategy(strategy_, *model_, finetune_config_);
+    if (runs.empty()) {
+      // Direct reuse without any context data (paper: "a pre-trained Bellamy
+      // model can be directly applied in a new context without any seen data
+      // points").
+      last_fit_ = FineTuneResult{};
+      last_fit_.fit_seconds = timer.seconds();
+      return;
+    }
+    last_fit_ = finetune(*model_, runs, cfg);
+  } else {
+    if (runs.empty()) {
+      throw std::invalid_argument("BellamyPredictor(local)::fit: needs >= 1 training point");
+    }
+    model_.emplace(model_config_, seed_);
+    last_fit_ = finetune(*model_, runs, finetune_config_);
+  }
+  last_fit_.fit_seconds = timer.seconds();
+}
+
+double BellamyPredictor::predict(const data::JobRun& query) {
+  if (!model_) throw std::logic_error("BellamyPredictor::predict before fit");
+  return model_->predict_one(query);
+}
+
+BellamyModel& BellamyPredictor::model() {
+  if (!model_) throw std::logic_error("BellamyPredictor::model before fit");
+  return *model_;
+}
+
+}  // namespace bellamy::core

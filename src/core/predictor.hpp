@@ -1,0 +1,55 @@
+#pragma once
+// RuntimeModel adapter around Bellamy so the evaluation harness can compare
+// it head-to-head with the NNLS / Bell baselines.
+//
+// Every fit() starts from the same initial state — the stored pre-trained
+// checkpoint, or a deterministic fresh initialization for the local variant —
+// so repeated cross-validation splits are independent.  A pre-trained
+// predictor accepts fit() with zero runs (extrapolation at 0 data points).
+
+#include <optional>
+#include <string>
+
+#include "core/bellamy_model.hpp"
+#include "core/trainer.hpp"
+#include "core/variants.hpp"
+#include "data/runtime_model.hpp"
+#include "nn/serialize.hpp"
+
+namespace bellamy::core {
+
+class BellamyPredictor : public data::RuntimeModel {
+ public:
+  /// Local variant: fresh model per fit, seeded deterministically.
+  BellamyPredictor(BellamyConfig model_config, FineTuneConfig finetune_config,
+                   std::uint64_t seed, std::string name = "Bellamy(local)");
+
+  /// Pre-trained variant: every fit restarts from this model's checkpoint and
+  /// applies the given reuse strategy before fine-tuning.
+  BellamyPredictor(const BellamyModel& pretrained, FineTuneConfig finetune_config,
+                   ReuseStrategy strategy = ReuseStrategy::kPartialUnfreeze,
+                   std::string name = "Bellamy(pretrained)");
+
+  void fit(const std::vector<data::JobRun>& runs) override;
+  double predict(const data::JobRun& query) override;
+  std::size_t min_training_points() const override { return pretrained_ ? 0 : 1; }
+  std::string name() const override { return name_; }
+
+  /// Statistics of the most recent fit (epochs, wall time, best MAE).
+  const FineTuneResult& last_fit() const { return last_fit_; }
+  /// Access the fitted model (throws if fit was never called).
+  BellamyModel& model();
+
+ private:
+  BellamyConfig model_config_;
+  FineTuneConfig finetune_config_;
+  ReuseStrategy strategy_ = ReuseStrategy::kPartialUnfreeze;
+  std::optional<nn::Checkpoint> pretrained_checkpoint_;
+  bool pretrained_ = false;
+  std::uint64_t seed_ = 0;
+  std::string name_;
+  std::optional<BellamyModel> model_;
+  FineTuneResult last_fit_;
+};
+
+}  // namespace bellamy::core

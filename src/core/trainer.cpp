@@ -1,0 +1,136 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/lr_scheduler.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace bellamy::core {
+
+PreTrainResult pretrain(BellamyModel& model, const std::vector<data::JobRun>& runs,
+                        const PreTrainConfig& config) {
+  if (runs.empty()) throw std::invalid_argument("pretrain: no training runs");
+  if (config.batch_size == 0) throw std::invalid_argument("pretrain: batch_size must be > 0");
+
+  model.fit_normalization(runs);
+  model.set_dropout_rate(config.dropout);
+  model.set_trainable_components(true, true, true, true);
+
+  nn::Adam::Config adam;
+  adam.lr = config.learning_rate;
+  adam.weight_decay = config.weight_decay;
+  nn::Adam optimizer(model.parameters(), adam);
+
+  util::Rng rng(config.seed);
+  std::vector<std::size_t> order(runs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  PreTrainResult result;
+  result.loss_history.reserve(config.epochs);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    double epoch_mae = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size(); begin += config.batch_size) {
+      const std::size_t end = std::min(order.size(), begin + config.batch_size);
+      std::vector<data::JobRun> batch_runs;
+      batch_runs.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) batch_runs.push_back(runs[order[i]]);
+
+      optimizer.zero_grad();
+      const BellamyBatch batch = model.make_batch(batch_runs);
+      const BellamyLoss loss = model.train_step(batch, config.reconstruction_weight);
+      optimizer.step();
+
+      epoch_loss += loss.total;
+      epoch_mae += loss.mae_seconds;
+      ++batches;
+    }
+    result.loss_history.push_back(epoch_loss / static_cast<double>(batches));
+    result.final_loss = result.loss_history.back();
+    result.final_mae_seconds = epoch_mae / static_cast<double>(batches);
+    ++result.epochs_run;
+  }
+  model.set_training(false);
+  return result;
+}
+
+FineTuneResult finetune(BellamyModel& model, const std::vector<data::JobRun>& runs,
+                        const FineTuneConfig& config) {
+  if (runs.empty()) throw std::invalid_argument("finetune: no training runs");
+  util::Timer timer;
+
+  // Local variant: the model has never seen data, so fit normalization here.
+  if (!model.normalization_fitted()) model.fit_normalization(runs);
+
+  model.set_dropout_rate(0.0);  // Table I: fine-tuning dropout 0 %
+
+  // Freeze policy: only z first; f unlocks later (auto-encoder stays fixed
+  // unless explicitly requested).
+  const std::size_t unlock_after =
+      config.unlock_f_immediately
+          ? 0
+          : (config.unlock_f_after > 0
+                 ? config.unlock_f_after
+                 : std::max<std::size_t>(10, 100 / runs.size()));
+  model.set_trainable_components(unlock_after == 0, config.train_autoencoder,
+                                 config.train_autoencoder, true);
+
+  nn::Adam::Config adam;
+  adam.lr = config.base_lr;
+  adam.weight_decay = config.weight_decay;
+  nn::Adam optimizer(model.parameters(), adam);
+  nn::CyclicalLr schedule(config.base_lr, config.max_lr, config.lr_cycle);
+
+  const BellamyBatch batch = model.make_batch(runs);
+  const double recon_weight = config.train_autoencoder ? 1.0 : 0.0;
+
+  FineTuneResult result;
+  double best_mae = model.evaluate(batch, recon_weight).mae_seconds;
+  auto best_state = model.snapshot_parameters();
+  std::size_t best_epoch = 0;
+
+  if (best_mae <= config.mae_target_seconds) {
+    // Pre-trained model already satisfies the target in this context.
+    result.best_mae_seconds = best_mae;
+    result.reached_target = true;
+    result.fit_seconds = timer.seconds();
+    model.set_training(false);
+    return result;
+  }
+
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    if (epoch == unlock_after && unlock_after > 0) {
+      model.f().set_trainable(true);
+    }
+    optimizer.set_learning_rate(schedule.lr_at(epoch));
+    optimizer.zero_grad();
+    // train_step reports the loss of the *current* parameters, so the best
+    // state must be snapshotted before the optimizer mutates them.
+    const BellamyLoss loss = model.train_step(batch, recon_weight);
+    if (loss.mae_seconds < best_mae) {
+      best_mae = loss.mae_seconds;
+      best_state = model.snapshot_parameters();
+      best_epoch = epoch;
+    }
+    optimizer.step();
+    ++result.epochs_run;
+    if (best_mae <= config.mae_target_seconds) {
+      result.reached_target = true;
+      break;
+    }
+    if (epoch - best_epoch >= config.patience) break;  // no improvement
+  }
+
+  model.restore_parameters(best_state);
+  model.set_training(false);
+  result.best_mae_seconds = best_mae;
+  result.fit_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace bellamy::core

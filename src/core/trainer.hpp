@@ -1,0 +1,75 @@
+#pragma once
+// Training engines (paper §III-A, §IV-A, Table I).
+//
+// Pre-training: full joint objective (Huber + reconstruction MSE), Adam with
+// L2 weight decay, alpha-dropout active, fixed epoch budget, mini-batches of
+// 64 drawn from all available cross-context data.
+//
+// Fine-tuning: Huber only, dropout 0, cyclical LR annealing in (1e-3, 1e-2),
+// freeze policy "first update only z, allow f after a number of epochs
+// dependent on the amount of data samples", best-state tracking by smallest
+// runtime MAE, stop early when MAE <= 5 s or no improvement for 1000 epochs.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bellamy_model.hpp"
+#include "data/record.hpp"
+
+namespace bellamy::core {
+
+struct PreTrainConfig {
+  std::size_t epochs = 2500;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-2;
+  double weight_decay = 1e-3;
+  double dropout = 0.10;
+  double reconstruction_weight = 1.0;
+  std::uint64_t seed = 7;
+};
+
+struct PreTrainResult {
+  std::size_t epochs_run = 0;
+  double final_loss = 0.0;
+  double final_mae_seconds = 0.0;
+  std::vector<double> loss_history;  ///< per-epoch mean total loss
+};
+
+struct FineTuneConfig {
+  std::size_t max_epochs = 2500;
+  double base_lr = 1e-3;   ///< cyclical annealing bounds (Table I)
+  double max_lr = 1e-2;
+  std::size_t lr_cycle = 100;
+  double weight_decay = 1e-3;
+  double mae_target_seconds = 5.0;   ///< stopping criterion
+  std::size_t patience = 1000;       ///< epochs without improvement before stop
+  std::uint64_t seed = 11;
+
+  /// Freeze policy: epochs before f becomes trainable; 0 derives a
+  /// sample-count-dependent default, max(10, 100 / #samples) (paper: "after
+  /// a number of epochs dependent on the amount of data samples").
+  std::size_t unlock_f_after = 0;
+  /// full-unfreeze variant: train f from the start.
+  bool unlock_f_immediately = false;
+  /// Train the auto-encoder too (never done in the paper's fine-tuning).
+  bool train_autoencoder = false;
+};
+
+struct FineTuneResult {
+  std::size_t epochs_run = 0;       ///< epochs actually executed
+  double best_mae_seconds = 0.0;    ///< MAE of the restored best state
+  bool reached_target = false;      ///< stopped because MAE <= target
+  double fit_seconds = 0.0;         ///< wall-clock time of the whole fit
+};
+
+/// Pre-train `model` on `runs` (fits normalization first).
+PreTrainResult pretrain(BellamyModel& model, const std::vector<data::JobRun>& runs,
+                        const PreTrainConfig& config);
+
+/// Fine-tune a (pre-trained or fresh) model on the few runs of a concrete
+/// context.  If the model has no normalization state yet (local variant),
+/// it is fit on `runs`.
+FineTuneResult finetune(BellamyModel& model, const std::vector<data::JobRun>& runs,
+                        const FineTuneConfig& config);
+
+}  // namespace bellamy::core

@@ -1,0 +1,94 @@
+#include "data/bell_generator.hpp"
+
+#include <stdexcept>
+
+#include "data/ground_truth.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace bellamy::data {
+
+namespace {
+struct BellContext {
+  const char* job_parameters;
+  const char* characteristics;
+  std::uint64_t dataset_size_mb;
+};
+
+// Fixed single context per algorithm (the Bell experiments ran one workload
+// configuration per algorithm on the private cluster).
+const BellContext& bell_context(const std::string& algorithm) {
+  static const BellContext grep{"failure", "cluster-logs", 24576};
+  static const BellContext sgd{"100", "features-1000-sparse", 14540};
+  static const BellContext pagerank{"10", "web-graph", 8192};
+  if (algorithm == "grep") return grep;
+  if (algorithm == "sgd") return sgd;
+  if (algorithm == "pagerank") return pagerank;
+  throw std::invalid_argument("BellGenerator: unsupported algorithm '" + algorithm + "'");
+}
+}  // namespace
+
+BellGenerator::BellGenerator(BellGeneratorConfig config) : config_(config) {
+  if (config_.min_scaleout < 1 || config_.max_scaleout < config_.min_scaleout ||
+      config_.scaleout_step < 1 || config_.repetitions < 1) {
+    throw std::invalid_argument("BellGenerator: invalid scale-out/repetition config");
+  }
+}
+
+const std::vector<std::string>& BellGenerator::algorithms() {
+  static const std::vector<std::string> algos = {"grep", "sgd", "pagerank"};
+  return algos;
+}
+
+std::vector<int> BellGenerator::scale_outs() const {
+  std::vector<int> xs;
+  for (int x = config_.min_scaleout; x <= config_.max_scaleout; x += config_.scaleout_step) {
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+Dataset BellGenerator::generate_algorithm(const std::string& algorithm) const {
+  const BellContext& ctx = bell_context(algorithm);
+  const NodeType& node = bell_node_type();
+  util::Rng rng(config_.seed ^ util::fnv1a64(algorithm));
+
+  ContextSpec spec;
+  spec.algorithm = algorithm;
+  spec.node_type = node.name;
+  spec.job_parameters = ctx.job_parameters;
+  spec.dataset_size_mb = ctx.dataset_size_mb;
+  spec.data_characteristics = ctx.characteristics;
+  spec.environment_overhead = config_.environment_overhead;
+  spec.idiosyncrasy = rng.lognormal(0.0, 0.05);
+
+  const CurveParams curve = derive_curve(spec);
+  Dataset ds;
+  for (int x : scale_outs()) {
+    for (int rep = 0; rep < config_.repetitions; ++rep) {
+      JobRun run;
+      run.algorithm = algorithm;
+      run.environment = "bell-cluster";
+      run.node_type = node.name;
+      run.job_parameters = ctx.job_parameters;
+      run.dataset_size_mb = ctx.dataset_size_mb;
+      run.data_characteristics = ctx.characteristics;
+      run.memory_mb = node.memory_mb;
+      run.cpu_cores = node.cpu_cores;
+      run.scale_out = x;
+      run.runtime_s = sample_runtime(curve, spec, x, config_.noise_sigma, rng);
+      ds.add(std::move(run));
+    }
+  }
+  return ds;
+}
+
+Dataset BellGenerator::generate() const {
+  Dataset all;
+  for (const auto& algo : algorithms()) {
+    all.append(generate_algorithm(algo));
+  }
+  return all;
+}
+
+}  // namespace bellamy::data

@@ -1,0 +1,45 @@
+#pragma once
+// Synthetic Bell-like traces (private-cluster environment, §IV-B.b).
+//
+// Structure of the Bell datasets: three algorithms (grep, sgd, pagerank),
+// a single execution context each, 15 scale-outs from 4 to 60 machines in
+// steps of 4, seven repetitions per scale-out.  The environment differs from
+// the C3O cloud in hardware (one commodity node type), software (older
+// Hadoop/Spark -> overhead multiplier) and noise level — the "significant
+// context shift" of the cross-environment experiment (Fig. 8).
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace bellamy::data {
+
+struct BellGeneratorConfig {
+  std::uint64_t seed = 1337;
+  double noise_sigma = 0.035;         ///< private cluster: less interference
+  double environment_overhead = 1.30; ///< older software stack
+  int min_scaleout = 4;
+  int max_scaleout = 60;
+  int scaleout_step = 4;
+  int repetitions = 7;
+};
+
+class BellGenerator {
+ public:
+  explicit BellGenerator(BellGeneratorConfig config = {});
+
+  /// The three algorithms present in both datasets: grep, sgd, pagerank.
+  static const std::vector<std::string>& algorithms();
+
+  Dataset generate() const;
+  Dataset generate_algorithm(const std::string& algorithm) const;
+
+  std::vector<int> scale_outs() const;
+  const BellGeneratorConfig& config() const { return config_; }
+
+ private:
+  BellGeneratorConfig config_;
+};
+
+}  // namespace bellamy::data

@@ -1,0 +1,153 @@
+#include "data/c3o_generator.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "data/ground_truth.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+
+namespace bellamy::data {
+
+namespace {
+
+struct PropertyPools {
+  std::vector<std::string> job_parameters;
+  std::vector<std::string> characteristics;
+  std::vector<std::uint64_t> dataset_sizes_mb;
+};
+
+// Realistic-looking per-algorithm property pools.  Values were chosen so the
+// systematic effects in derive_curve() span a wide range of runtime levels
+// and shapes, matching the cross-context variance shown in the paper's Fig. 2.
+const PropertyPools& pools_for(const std::string& algorithm) {
+  static const PropertyPools grep{
+      {"error", "exception", "warn.*timeout", "user-session", "GET /api"},
+      {"text-sparse-0.01", "text-dense-0.10", "logs-mixed", "json-lines"},
+      {5120, 10240, 20480, 40960, 61440}};
+  static const PropertyPools sort{
+      {"128", "256", "512"},
+      {"uniform-keys", "zipf-1.2-keys", "presorted-0.5", "random-64b"},
+      {5120, 10240, 20480, 40960, 61440}};
+  static const PropertyPools pagerank{
+      {"5", "10", "15", "20"},
+      {"web-graph", "social-graph", "citation-graph", "road-graph"},
+      {2048, 5120, 10240, 20480}};
+  static const PropertyPools sgd{
+      {"25", "50", "75", "100"},
+      {"features-100-dense", "features-1000-sparse", "features-10-dense",
+       "features-5000-sparse"},
+      {2048, 5120, 10240, 14540, 19353}};
+  static const PropertyPools kmeans{
+      {"4:20", "8:40", "8:80", "16:40", "16:100"},
+      {"clusters-tight", "clusters-overlap", "clusters-imbalanced"},
+      {2048, 5120, 10240, 20480}};
+  if (algorithm == "grep") return grep;
+  if (algorithm == "sort") return sort;
+  if (algorithm == "pagerank") return pagerank;
+  if (algorithm == "sgd") return sgd;
+  if (algorithm == "kmeans") return kmeans;
+  throw std::invalid_argument("C3OGenerator: unknown algorithm '" + algorithm + "'");
+}
+
+}  // namespace
+
+C3OGenerator::C3OGenerator(C3OGeneratorConfig config) : config_(config) {
+  if (config_.min_scaleout < 1 || config_.max_scaleout < config_.min_scaleout ||
+      config_.scaleout_step < 1 || config_.repetitions < 1) {
+    throw std::invalid_argument("C3OGenerator: invalid scale-out/repetition config");
+  }
+}
+
+std::vector<int> C3OGenerator::scale_outs() const {
+  std::vector<int> xs;
+  for (int x = config_.min_scaleout; x <= config_.max_scaleout; x += config_.scaleout_step) {
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+Dataset C3OGenerator::generate_algorithm(const std::string& algorithm,
+                                         std::size_t num_contexts) const {
+  const PropertyPools& pools = pools_for(algorithm);
+  const auto& nodes = c3o_node_catalog();
+  // Seed derived from the generator seed and the algorithm name so each
+  // algorithm's traces are independent yet reproducible.
+  util::Rng rng(config_.seed ^ util::fnv1a64(algorithm));
+
+  Dataset ds;
+  std::set<std::string> used_keys;
+  for (std::size_t ci = 0; ci < num_contexts; ++ci) {
+    // Deterministic systematic sweep: cycle node types so every type appears,
+    // and draw the remaining properties pseudo-randomly from the pools.
+    // Redraw on collision so each context is unique (the paper's context
+    // counts are counts of *distinct* contexts).
+    const NodeType& node = nodes[ci % nodes.size()];
+    std::string params;
+    std::string characteristics;
+    std::uint64_t size_mb = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < 1000 && !found; ++attempt) {
+      params = pools.job_parameters[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(pools.job_parameters.size()) - 1))];
+      characteristics = pools.characteristics[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(pools.characteristics.size()) - 1))];
+      size_mb = pools.dataset_sizes_mb[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(pools.dataset_sizes_mb.size()) - 1))];
+      const std::string key = node.name + "|" + params + "|" + std::to_string(size_mb) +
+                              "|" + characteristics;
+      found = used_keys.insert(key).second;
+    }
+    if (!found) {
+      throw std::runtime_error("C3OGenerator: property pools too small for " +
+                               std::to_string(num_contexts) + " unique contexts of '" +
+                               algorithm + "'");
+    }
+
+    ContextSpec spec;
+    spec.algorithm = algorithm;
+    spec.node_type = node.name;
+    spec.job_parameters = params;
+    spec.dataset_size_mb = size_mb;
+    spec.data_characteristics = characteristics;
+    spec.environment_overhead = 1.0;
+    spec.idiosyncrasy =
+        rng.lognormal(-0.5 * config_.idiosyncrasy_sigma * config_.idiosyncrasy_sigma,
+                      config_.idiosyncrasy_sigma);
+
+    const CurveParams curve = derive_curve(spec);
+    for (int x : scale_outs()) {
+      for (int rep = 0; rep < config_.repetitions; ++rep) {
+        JobRun run;
+        run.algorithm = algorithm;
+        run.environment = "c3o-cloud";
+        run.node_type = node.name;
+        run.job_parameters = params;
+        run.dataset_size_mb = size_mb;
+        run.data_characteristics = characteristics;
+        run.memory_mb = node.memory_mb;
+        run.cpu_cores = node.cpu_cores;
+        run.scale_out = x;
+        run.runtime_s = sample_runtime(curve, spec, x, config_.noise_sigma, rng);
+        ds.add(std::move(run));
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset C3OGenerator::generate_algorithm(const std::string& algorithm) const {
+  return generate_algorithm(algorithm, c3o_context_count(algorithm));
+}
+
+Dataset C3OGenerator::generate() const {
+  Dataset all;
+  for (const auto& algo : c3o_algorithms()) {
+    all.append(generate_algorithm(algo));
+  }
+  return all;
+}
+
+}  // namespace bellamy::data

@@ -1,0 +1,48 @@
+#pragma once
+// Synthetic C3O-like traces (public-cloud environment, §IV-B.a).
+//
+// Reproduces the structure of the C3O datasets exactly: five algorithms with
+// 21/27/30/30/47 contexts (sort/grep/sgd/kmeans/pagerank), six scale-outs
+// from 2 to 12 machines in steps of 2, five repetitions each — 930 unique
+// runtime experiments, 4650 rows.  A context is the combination of node
+// type, job parameters, dataset size and dataset characteristics.  Runtimes
+// come from data/ground_truth.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace bellamy::data {
+
+struct C3OGeneratorConfig {
+  std::uint64_t seed = 42;
+  double noise_sigma = 0.05;        ///< log-normal repetition noise
+  double idiosyncrasy_sigma = 0.10; ///< per-context level quirk
+  int min_scaleout = 2;
+  int max_scaleout = 12;
+  int scaleout_step = 2;
+  int repetitions = 5;
+};
+
+class C3OGenerator {
+ public:
+  explicit C3OGenerator(C3OGeneratorConfig config = {});
+
+  /// All five algorithms, paper cardinalities.
+  Dataset generate() const;
+
+  /// One algorithm with the paper's context count (or a custom count).
+  Dataset generate_algorithm(const std::string& algorithm) const;
+  Dataset generate_algorithm(const std::string& algorithm, std::size_t num_contexts) const;
+
+  const C3OGeneratorConfig& config() const { return config_; }
+
+  /// The scale-outs produced (2, 4, ..., 12 by default).
+  std::vector<int> scale_outs() const;
+
+ private:
+  C3OGeneratorConfig config_;
+};
+
+}  // namespace bellamy::data

@@ -1,0 +1,79 @@
+#include "data/csv_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+
+namespace bellamy::data {
+
+const std::vector<std::string>& csv_columns() {
+  static const std::vector<std::string> cols = {
+      "algorithm",   "environment",          "node_type", "job_parameters",
+      "dataset_size_mb", "data_characteristics", "memory_mb", "cpu_cores",
+      "scale_out",   "runtime_s"};
+  return cols;
+}
+
+Dataset load_csv(std::istream& in) {
+  const util::CsvTable table = util::read_csv(in);
+  const auto col = [&](const char* name) { return table.column(name); };
+  const std::size_t c_algo = col("algorithm");
+  const std::size_t c_env = col("environment");
+  const std::size_t c_node = col("node_type");
+  const std::size_t c_params = col("job_parameters");
+  const std::size_t c_size = col("dataset_size_mb");
+  const std::size_t c_chars = col("data_characteristics");
+  const std::size_t c_mem = col("memory_mb");
+  const std::size_t c_cores = col("cpu_cores");
+  const std::size_t c_x = col("scale_out");
+  const std::size_t c_rt = col("runtime_s");
+
+  std::vector<JobRun> runs;
+  runs.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    JobRun r;
+    r.algorithm = row[c_algo];
+    r.environment = row[c_env];
+    r.node_type = row[c_node];
+    r.job_parameters = row[c_params];
+    r.dataset_size_mb = static_cast<std::uint64_t>(util::parse_int(row[c_size]));
+    r.data_characteristics = row[c_chars];
+    r.memory_mb = static_cast<std::uint64_t>(util::parse_int(row[c_mem]));
+    r.cpu_cores = static_cast<std::uint64_t>(util::parse_int(row[c_cores]));
+    r.scale_out = static_cast<int>(util::parse_int(row[c_x]));
+    r.runtime_s = util::parse_double(row[c_rt]);
+    if (r.scale_out < 1) throw std::runtime_error("load_csv: scale_out < 1");
+    if (r.runtime_s < 0.0) throw std::runtime_error("load_csv: negative runtime");
+    runs.push_back(std::move(r));
+  }
+  return Dataset(std::move(runs));
+}
+
+Dataset load_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv_file: cannot open '" + path + "'");
+  return load_csv(in);
+}
+
+void save_csv(std::ostream& out, const Dataset& dataset) {
+  util::CsvTable table;
+  table.header = csv_columns();
+  for (const auto& r : dataset.runs()) {
+    table.rows.push_back({r.algorithm, r.environment, r.node_type, r.job_parameters,
+                          std::to_string(r.dataset_size_mb), r.data_characteristics,
+                          std::to_string(r.memory_mb), std::to_string(r.cpu_cores),
+                          std::to_string(r.scale_out), util::format("%.6f", r.runtime_s)});
+  }
+  util::write_csv(out, table);
+}
+
+void save_csv_file(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv_file: cannot open '" + path + "'");
+  save_csv(out, dataset);
+}
+
+}  // namespace bellamy::data

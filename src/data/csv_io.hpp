@@ -1,0 +1,25 @@
+#pragma once
+// CSV import/export of trace datasets so the synthetic generators can be
+// swapped for the real C3O / Bell CSVs without code changes.
+//
+// Column schema (header required):
+//   algorithm,environment,node_type,job_parameters,dataset_size_mb,
+//   data_characteristics,memory_mb,cpu_cores,scale_out,runtime_s
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace bellamy::data {
+
+/// The canonical column order used by save_csv.
+const std::vector<std::string>& csv_columns();
+
+Dataset load_csv(std::istream& in);
+Dataset load_csv_file(const std::string& path);
+
+void save_csv(std::ostream& out, const Dataset& dataset);
+void save_csv_file(const std::string& path, const Dataset& dataset);
+
+}  // namespace bellamy::data

@@ -1,0 +1,177 @@
+#include "data/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+
+namespace bellamy::data {
+
+const std::vector<NodeType>& c3o_node_catalog() {
+  static const std::vector<NodeType> catalog = {
+      {"c4.xlarge", 4, 7680, 1.15},   {"c4.2xlarge", 8, 15360, 1.32},
+      {"m4.xlarge", 4, 16384, 1.00},  {"m4.2xlarge", 8, 32768, 1.14},
+      {"r4.xlarge", 4, 31232, 0.94},  {"r4.2xlarge", 8, 62464, 1.06},
+  };
+  return catalog;
+}
+
+const NodeType& bell_node_type() {
+  static const NodeType node = {"bell-commodity", 8, 16384, 0.78};
+  return node;
+}
+
+const NodeType& node_type_by_name(const std::string& name) {
+  for (const auto& n : c3o_node_catalog()) {
+    if (n.name == name) return n;
+  }
+  if (bell_node_type().name == name) return bell_node_type();
+  throw std::invalid_argument("node_type_by_name: unknown node type '" + name + "'");
+}
+
+double CurveParams::runtime(int x, std::uint64_t memory_mb, std::uint64_t dataset_mb) const {
+  if (x < 1) throw std::invalid_argument("CurveParams::runtime: scale-out must be >= 1");
+  const double xd = static_cast<double>(x);
+  double parallel = theta1 / xd;
+  if (knee_x > 0.0) parallel = std::max(parallel, theta1 / knee_x);
+  double r = theta0 + parallel + theta2 * std::log(xd) + theta3 * xd;
+  if (spill_penalty > 0.0 && memory_mb > 0) {
+    const double pressure = static_cast<double>(dataset_mb) /
+                            (xd * static_cast<double>(memory_mb));
+    if (pressure > spill_knee) r += spill_penalty * (pressure - spill_knee);
+  }
+  return r;
+}
+
+namespace {
+
+/// Parse an integer job parameter with a fallback (job_parameters holds e.g.
+/// "25" for SGD max iterations, "8:40" for k-means k:iterations).
+double param_or(const std::string& params, std::size_t field, double fallback) {
+  const auto parts = util::split(params, ':');
+  if (field >= parts.size()) return fallback;
+  try {
+    return util::parse_double(parts[field]);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+/// Small deterministic work multiplier derived from the characteristics
+/// string: characteristics like key skew or text density change the
+/// effective work by up to ~±20 %.
+double characteristics_factor(const std::string& characteristics) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : characteristics) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // Map hash to [0.82, 1.22).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 0.82 + 0.40 * u;
+}
+
+}  // namespace
+
+CurveParams derive_curve(const ContextSpec& spec) {
+  const NodeType& node = node_type_by_name(spec.node_type);
+  const double speed = node.speed;
+  const double w = static_cast<double>(spec.dataset_size_mb) / 10240.0;  // 10 GB baseline
+  const double cf = characteristics_factor(spec.data_characteristics);
+  const double env = spec.environment_overhead * spec.idiosyncrasy;
+
+  CurveParams c;
+  if (spec.algorithm == "grep") {
+    // Embarrassingly parallel scan; parameters: selectivity only nudges work.
+    const double sel = param_or(spec.job_parameters, 0, 1.0);
+    const double work = 620.0 * w * cf * (0.9 + 0.02 * sel);
+    c.theta0 = 14.0 * env;
+    c.theta1 = work / speed * env;
+    c.theta2 = 2.0 * env;
+    c.theta3 = 0.35 * env;
+    c.spill_penalty = 0.0;
+  } else if (spec.algorithm == "sort") {
+    // Scan + shuffle; mild superlinear work in the data size.
+    const double work = 800.0 * std::pow(std::max(w, 1e-3), 1.05) * cf;
+    c.theta0 = 22.0 * env;
+    c.theta1 = work / speed * env;
+    c.theta2 = 7.0 * env;
+    c.theta3 = 1.1 * env;  // shuffle fan-out cost per machine
+    c.spill_penalty = 180.0 * w * env;
+  } else if (spec.algorithm == "pagerank") {
+    // Iterative but communication-light at these scales: still 1/x-dominated.
+    const double iters = param_or(spec.job_parameters, 0, 10.0);
+    const double work = 62.0 * iters * w * cf;
+    c.theta0 = (18.0 + 1.1 * iters) * env;
+    c.theta1 = work / speed * env;
+    c.theta2 = (3.0 + 0.12 * iters) * env;
+    c.theta3 = (0.5 + 0.02 * iters) * env;
+    c.spill_penalty = 60.0 * w * env;
+  } else if (spec.algorithm == "sgd") {
+    // Iterative optimization: the per-iteration barrier makes stragglers and
+    // task-wave quantization dominate past a context-dependent knee — the
+    // parallel term saturates instead of shrinking with 1/x.  Together with
+    // the per-machine aggregation cost this yields the paper's "non-trivial"
+    // U-shaped curves that a plain Ernest fit cannot express.
+    const double iters = param_or(spec.job_parameters, 0, 50.0);
+    const double work = 26.0 * iters * w * cf;
+    const double partitions =
+        std::clamp(static_cast<double>(spec.dataset_size_mb) / 160.0, 12.0, 480.0);
+    c.theta0 = (20.0 + 0.8 * iters) * env;
+    c.theta1 = work / speed * env;
+    c.theta2 = (0.35 * iters) * env;
+    c.theta3 = (0.18 * iters) * env / speed;
+    c.knee_x = std::clamp(partitions / (2.0 * static_cast<double>(node.cpu_cores)), 2.5, 11.0);
+    c.spill_penalty = 40.0 * w * env;
+  } else if (spec.algorithm == "kmeans") {
+    // Lloyd iterations with broadcast/aggregate of centroids each round;
+    // same straggler saturation as SGD, knee position depends on k as well.
+    const double k = param_or(spec.job_parameters, 0, 8.0);
+    const double iters = param_or(spec.job_parameters, 1, 40.0);
+    const double work = 6.5 * iters * (0.6 + 0.05 * k) * w * cf;
+    const double partitions =
+        std::clamp(static_cast<double>(spec.dataset_size_mb) / 128.0, 12.0, 480.0);
+    c.theta0 = (16.0 + 0.35 * iters) * env;
+    c.theta1 = work / speed * env;
+    c.theta2 = (0.30 * iters) * env;
+    c.theta3 = (0.10 * iters + 0.012 * iters * k / 8.0) * env / speed;
+    c.knee_x =
+        std::clamp(partitions / (2.2 * static_cast<double>(node.cpu_cores)) + 0.08 * k, 2.5,
+                   10.0);
+    c.spill_penalty = 35.0 * w * env;
+  } else {
+    throw std::invalid_argument("derive_curve: unknown algorithm '" + spec.algorithm + "'");
+  }
+  return c;
+}
+
+double sample_runtime(const CurveParams& curve, const ContextSpec& spec, int scale_out,
+                      double noise_sigma, util::Rng& rng) {
+  const NodeType& node = node_type_by_name(spec.node_type);
+  const double base = curve.runtime(scale_out, node.memory_mb, spec.dataset_size_mb);
+  // Multiplicative log-normal noise with mean ~1 (cloud performance jitter).
+  const double noise = rng.lognormal(-0.5 * noise_sigma * noise_sigma, noise_sigma);
+  return base * noise;
+}
+
+bool has_nontrivial_scaleout(const std::string& algorithm) {
+  return algorithm == "sgd" || algorithm == "kmeans";
+}
+
+const std::vector<std::string>& c3o_algorithms() {
+  static const std::vector<std::string> algos = {"grep", "pagerank", "sort", "sgd", "kmeans"};
+  return algos;
+}
+
+std::size_t c3o_context_count(const std::string& algorithm) {
+  if (algorithm == "sort") return 21;
+  if (algorithm == "grep") return 27;
+  if (algorithm == "sgd") return 30;
+  if (algorithm == "kmeans") return 30;
+  if (algorithm == "pagerank") return 47;
+  throw std::invalid_argument("c3o_context_count: unknown algorithm '" + algorithm + "'");
+}
+
+}  // namespace bellamy::data

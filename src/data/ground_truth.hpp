@@ -1,0 +1,99 @@
+#pragma once
+// Ground-truth runtime model behind the synthetic trace generators.
+//
+// The public C3O / Bell datasets are not redistributable inside this
+// repository, so the generators synthesize traces with the same schema and
+// cardinalities (see DESIGN.md §3).  Runtimes follow the Ernest family
+//
+//     r(x) = theta0 + theta1 / x + theta2 * log(x) + theta3 * x
+//
+// — the same family the paper argues captures dataflow scale-out behaviour
+// (§III-B) — where theta is derived *systematically* from the context
+// properties (node speed, dataset size, iteration counts, data
+// characteristics) plus a small context-specific idiosyncrasy.  The
+// systematic part is what makes cross-context pre-training informative, the
+// idiosyncratic part is what fine-tuning has to adapt to.
+//
+// Algorithms are split into the paper's two regimes:
+//  * trivial scale-out:     grep, sort, pagerank  (theta1/x dominates)
+//  * non-trivial scale-out: sgd, kmeans           (log/linear terms strong,
+//                                                 U-shaped within range)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bellamy::util {
+class Rng;
+}
+
+namespace bellamy::data {
+
+/// Cloud/cluster node catalog entry.
+struct NodeType {
+  std::string name;
+  std::uint64_t cpu_cores;
+  std::uint64_t memory_mb;
+  double speed;  ///< relative compute speed (1.0 = m4.xlarge)
+};
+
+/// The node types emulating the C3O public-cloud environment.
+const std::vector<NodeType>& c3o_node_catalog();
+/// The single node type of the Bell private-cluster environment.
+const NodeType& bell_node_type();
+/// Catalog lookup by name across both environments; throws if unknown.
+const NodeType& node_type_by_name(const std::string& name);
+
+/// Ernest-style curve with two deliberately non-Ernest corrections:
+///  * a memory-pressure spill penalty at small scale-outs, and
+///  * a "parallel floor": beyond a context-dependent knee, adding machines
+///    no longer shrinks the parallel term (straggler / task-wave effects).
+/// The floor models what makes iterative algorithms "non-trivial" in the
+/// paper — their curves leave the plain theta family, which is exactly
+/// where context-aware models gain over per-context NNLS fits.
+struct CurveParams {
+  double theta0 = 0.0;  ///< serial / fixed overhead (s)
+  double theta1 = 0.0;  ///< perfectly parallel work (s * machines)
+  double theta2 = 0.0;  ///< coordination term, * log(x)
+  double theta3 = 0.0;  ///< per-machine overhead, * x
+  double spill_penalty = 0.0;  ///< extra seconds when the cluster memory is tight
+  double spill_knee = 0.7;     ///< dataset/(x*mem) ratio beyond which spilling starts
+  double knee_x = 0.0;         ///< parallel term saturates at max(theta1/x, theta1/knee_x);
+                               ///< 0 disables the floor
+
+  /// Noise-free runtime at scale-out x on nodes with memory_mb per node for a
+  /// dataset of dataset_mb.
+  double runtime(int x, std::uint64_t memory_mb, std::uint64_t dataset_mb) const;
+};
+
+/// Abstract context specification the curve is derived from.
+struct ContextSpec {
+  std::string algorithm;            ///< grep | sort | pagerank | sgd | kmeans
+  std::string node_type;
+  std::string job_parameters;       ///< iteration counts etc., algorithm-specific
+  std::uint64_t dataset_size_mb = 0;
+  std::string data_characteristics;
+  double environment_overhead = 1.0;  ///< software/infra multiplier (Bell cluster: > 1)
+  double idiosyncrasy = 1.0;          ///< per-context multiplicative quirk around 1
+};
+
+/// Derive noise-free curve parameters from a context.  Deterministic.
+CurveParams derive_curve(const ContextSpec& spec);
+
+/// Sample one observed runtime: curve value * lognormal(0, sigma).
+double sample_runtime(const CurveParams& curve, const ContextSpec& spec, int scale_out,
+                      double noise_sigma, util::Rng& rng);
+
+/// True iff this algorithm has a non-trivial scale-out behaviour in the
+/// generator (sgd, kmeans).
+bool has_nontrivial_scaleout(const std::string& algorithm);
+
+/// The five C3O algorithms in paper order: grep, pagerank, sort, sgd, kmeans.
+const std::vector<std::string>& c3o_algorithms();
+
+/// Per-algorithm context count in the C3O datasets (§IV-B):
+/// sort 21, grep 27, sgd 30, kmeans 30, pagerank 47.
+std::size_t c3o_context_count(const std::string& algorithm);
+
+}  // namespace bellamy::data

@@ -1,0 +1,19 @@
+#include "data/record.hpp"
+
+#include <tuple>
+
+namespace bellamy::data {
+
+std::string JobRun::context_key() const {
+  return algorithm + "|" + node_type + "|" + job_parameters + "|" +
+         std::to_string(dataset_size_mb) + "|" + data_characteristics;
+}
+
+bool operator<(const JobRun& a, const JobRun& b) {
+  return std::tie(a.algorithm, a.node_type, a.job_parameters, a.dataset_size_mb,
+                  a.data_characteristics, a.scale_out, a.runtime_s) <
+         std::tie(b.algorithm, b.node_type, b.job_parameters, b.dataset_size_mb,
+                  b.data_characteristics, b.scale_out, b.runtime_s);
+}
+
+}  // namespace bellamy::data

@@ -1,0 +1,47 @@
+#pragma once
+// Trace schema.  One JobRun is one execution of a dataflow job: the context
+// properties recorded by the C3O/Bell datasets, the horizontal scale-out, and
+// the measured runtime.
+//
+// Essential properties (paper §IV-B): dataset size, dataset characteristics,
+// job parameters, node type.  Optional properties: memory (MB), CPU cores,
+// job/algorithm name.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bellamy::data {
+
+struct JobRun {
+  std::string algorithm;             ///< e.g. "sgd", "kmeans" (also an optional property)
+  std::string environment;           ///< bookkeeping: "c3o-cloud" or "bell-cluster"
+
+  // -- essential context properties --
+  std::string node_type;             ///< e.g. "m4.2xlarge"
+  std::string job_parameters;        ///< e.g. "25" (max iterations)
+  std::uint64_t dataset_size_mb = 0; ///< target dataset size
+  std::string data_characteristics;  ///< e.g. "uniform-0.01"
+
+  // -- optional context properties --
+  std::uint64_t memory_mb = 0;       ///< per-node memory
+  std::uint64_t cpu_cores = 0;       ///< per-node vcores
+
+  // -- observation --
+  int scale_out = 0;                 ///< number of machines x
+  double runtime_s = 0.0;            ///< measured runtime in seconds
+
+  /// Context identity (paper: node type + job params + dataset size +
+  /// dataset characteristics uniquely define a C3O execution context).
+  std::string context_key() const;
+
+  bool same_context(const JobRun& other) const {
+    return context_key() == other.context_key();
+  }
+};
+
+/// Stable ordering for deterministic grouping: by algorithm, then context
+/// key, then scale-out, then runtime.
+bool operator<(const JobRun& a, const JobRun& b);
+
+}  // namespace bellamy::data

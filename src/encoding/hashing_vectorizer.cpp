@@ -1,0 +1,47 @@
+#include "encoding/hashing_vectorizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "encoding/ngram.hpp"
+
+namespace bellamy::encoding {
+
+HashingVectorizer::HashingVectorizer(Config config, Vocabulary vocab)
+    : config_(config), vocab_(std::move(vocab)) {
+  if (config_.num_features == 0) {
+    throw std::invalid_argument("HashingVectorizer: num_features must be > 0");
+  }
+  if (config_.min_ngram == 0 || config_.min_ngram > config_.max_ngram) {
+    throw std::invalid_argument("HashingVectorizer: bad ngram range");
+  }
+}
+
+std::vector<double> HashingVectorizer::transform(std::string_view text) const {
+  std::vector<double> out(config_.num_features, 0.0);
+  const std::string cleaned = vocab_.clean(text);
+  const auto grams = extract_ngram_range(cleaned, config_.min_ngram, config_.max_ngram);
+  for (const auto& term : grams) {
+    const std::uint64_t h = fnv1a64(term);
+    const std::size_t idx = static_cast<std::size_t>(h % config_.num_features);
+    if (config_.alternate_sign) {
+      // Use an independent bit of the hash for the sign so that index and
+      // sign are (near-)uncorrelated, as in sklearn's implementation.
+      const double sign = ((h >> 63) & 1ULL) ? -1.0 : 1.0;
+      out[idx] += sign;
+    } else {
+      out[idx] += 1.0;
+    }
+  }
+  if (config_.l2_normalize) {
+    double sq = 0.0;
+    for (double v : out) sq += v * v;
+    if (sq > 0.0) {
+      const double inv = 1.0 / std::sqrt(sq);
+      for (double& v : out) v *= inv;
+    }
+  }
+  return out;
+}
+
+}  // namespace bellamy::encoding

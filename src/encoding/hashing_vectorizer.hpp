@@ -1,0 +1,48 @@
+#pragma once
+// Feature hashing for textual properties (§III-C, Eq. 4 "hasher" branch).
+//
+// Mirrors sklearn's HashingVectorizer(analyzer='char', ngram_range=(1,3)) as
+// used by the reference implementation: clean the text against the
+// vocabulary, extract 1/2/3-grams, hash each term to a fixed-size bucket,
+// accumulate counts, then project onto the euclidean unit sphere.
+//
+// Two hashing modes are provided: unsigned counts (q_j = |t_s|, the paper's
+// Eq. text) and sklearn's default alternate-sign mode which cancels hash
+// collisions in expectation.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "encoding/vocabulary.hpp"
+#include "util/hash.hpp"
+
+namespace bellamy::encoding {
+
+/// The stable term->bucket hash (64-bit FNV-1a from util).
+using util::fnv1a64;
+
+class HashingVectorizer {
+ public:
+  struct Config {
+    std::size_t num_features = 39;  ///< output dimensionality L
+    std::size_t min_ngram = 1;
+    std::size_t max_ngram = 3;
+    bool alternate_sign = false;    ///< sklearn default is true; paper text implies counts
+    bool l2_normalize = true;       ///< project onto the unit sphere (Eq. text)
+  };
+
+  HashingVectorizer() : HashingVectorizer(Config{}) {}
+  explicit HashingVectorizer(Config config, Vocabulary vocab = Vocabulary());
+
+  /// Encode one textual property into an L-dimensional vector.
+  std::vector<double> transform(std::string_view text) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Vocabulary vocab_;
+};
+
+}  // namespace bellamy::encoding

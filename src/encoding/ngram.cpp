@@ -1,0 +1,32 @@
+#include "encoding/ngram.hpp"
+
+#include <stdexcept>
+
+namespace bellamy::encoding {
+
+std::vector<std::string> extract_ngrams(std::string_view text, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("extract_ngrams: n must be >= 1");
+  std::vector<std::string> grams;
+  if (text.size() < n) return grams;
+  grams.reserve(text.size() - n + 1);
+  for (std::size_t i = 0; i + n <= text.size(); ++i) {
+    grams.emplace_back(text.substr(i, n));
+  }
+  return grams;
+}
+
+std::vector<std::string> extract_ngram_range(std::string_view text, std::size_t min_n,
+                                             std::size_t max_n) {
+  if (min_n == 0 || min_n > max_n) {
+    throw std::invalid_argument("extract_ngram_range: require 1 <= min_n <= max_n");
+  }
+  std::vector<std::string> grams;
+  for (std::size_t n = min_n; n <= max_n; ++n) {
+    auto g = extract_ngrams(text, n);
+    grams.insert(grams.end(), std::make_move_iterator(g.begin()),
+                 std::make_move_iterator(g.end()));
+  }
+  return grams;
+}
+
+}  // namespace bellamy::encoding

@@ -1,0 +1,19 @@
+#pragma once
+// Character n-gram extraction.  The paper extracts unigrams, bigrams and
+// trigrams from the cleaned character sequence of each textual property
+// (§IV-A).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bellamy::encoding {
+
+/// All contiguous substrings of length n (empty result if text shorter than n).
+std::vector<std::string> extract_ngrams(std::string_view text, std::size_t n);
+
+/// Union of n-grams for every n in [min_n, max_n], in scan order.
+std::vector<std::string> extract_ngram_range(std::string_view text, std::size_t min_n,
+                                             std::size_t max_n);
+
+}  // namespace bellamy::encoding

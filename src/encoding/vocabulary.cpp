@@ -1,0 +1,40 @@
+#include "encoding/vocabulary.hpp"
+
+#include <cctype>
+
+namespace bellamy::encoding {
+
+namespace {
+constexpr std::string_view kDefaultSymbols = ".-_/: ";
+}
+
+Vocabulary::Vocabulary() : Vocabulary(kDefaultSymbols) {}
+
+Vocabulary::Vocabulary(std::string_view extra_symbols) {
+  for (char c = 'a'; c <= 'z'; ++c) allowed_[static_cast<unsigned char>(c)] = true;
+  for (char c = '0'; c <= '9'; ++c) allowed_[static_cast<unsigned char>(c)] = true;
+  for (char c : extra_symbols) allowed_[static_cast<unsigned char>(c)] = true;
+}
+
+bool Vocabulary::contains(char c) const {
+  return allowed_[static_cast<unsigned char>(
+      std::tolower(static_cast<unsigned char>(c)))];
+}
+
+std::string Vocabulary::clean(std::string_view text) const {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (allowed_[static_cast<unsigned char>(lower)]) out += lower;
+  }
+  return out;
+}
+
+std::size_t Vocabulary::size() const {
+  std::size_t n = 0;
+  for (bool b : allowed_) n += b ? 1 : 0;
+  return n;
+}
+
+}  // namespace bellamy::encoding

@@ -1,0 +1,32 @@
+#pragma once
+// Character vocabulary for textual properties (§IV-A): "a simple case
+// insensitive character-vocabulary with alphanumeric characters and a handful
+// of special symbols. Characters not present in the vocabulary are stripped
+// away."
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace bellamy::encoding {
+
+class Vocabulary {
+ public:
+  /// Default vocabulary: [a-z0-9] plus '.', '-', '_', '/', ':', ' '.
+  Vocabulary();
+  /// Custom symbol set (alphanumerics are always included).
+  explicit Vocabulary(std::string_view extra_symbols);
+
+  bool contains(char c) const;
+
+  /// Lower-case the input and drop characters outside the vocabulary.
+  std::string clean(std::string_view text) const;
+
+  /// Number of admissible characters.
+  std::size_t size() const;
+
+ private:
+  std::array<bool, 256> allowed_{};
+};
+
+}  // namespace bellamy::encoding

@@ -1,0 +1,244 @@
+#include "eval/experiment.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "baselines/bell_model.hpp"
+#include "baselines/ernest.hpp"
+#include "core/predictor.hpp"
+#include "core/variants.hpp"
+#include "eval/metrics.hpp"
+#include "eval/splits.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace bellamy::eval {
+
+namespace {
+
+/// A model under evaluation plus its bookkeeping handles.
+struct Contender {
+  std::string name;
+  data::RuntimeModelPtr model;
+  core::BellamyPredictor* bellamy = nullptr;  ///< non-null for Bellamy variants
+};
+
+void evaluate_split(const std::vector<data::JobRun>& runs, const Split& split,
+                    std::size_t num_points, const std::string& algorithm,
+                    const std::string& context_key, std::vector<Contender>& contenders,
+                    ExperimentResult& out) {
+  const auto train = train_runs(runs, split);
+  for (auto& c : contenders) {
+    if (train.size() < c.model->min_training_points()) continue;
+    util::Timer fit_timer;
+    try {
+      c.model->fit(train);
+    } catch (const std::exception&) {
+      continue;  // split unusable for this model (e.g. degenerate NNLS)
+    }
+
+    FitRecord fit;
+    fit.algorithm = algorithm;
+    fit.model = c.name;
+    fit.num_points = num_points;
+    fit.fit_seconds = c.bellamy ? c.bellamy->last_fit().fit_seconds : fit_timer.seconds();
+    fit.epochs = c.bellamy ? c.bellamy->last_fit().epochs_run : 0;
+    out.fits.push_back(fit);
+
+    auto record = [&](const char* task, std::size_t test_index) {
+      const data::JobRun& test = runs.at(test_index);
+      EvalRecord rec;
+      rec.algorithm = algorithm;
+      rec.model = c.name;
+      rec.task = task;
+      rec.context_key = context_key;
+      rec.num_points = num_points;
+      rec.actual = test.runtime_s;
+      try {
+        rec.predicted = c.model->predict(test);
+      } catch (const std::exception&) {
+        return;  // model cannot answer this query
+      }
+      rec.abs_error = absolute_error(rec.predicted, rec.actual);
+      rec.rel_error = relative_error(rec.predicted, rec.actual);
+      out.evals.push_back(std::move(rec));
+    };
+    if (split.interpolation_test && num_points >= 1) {
+      record("interpolation", *split.interpolation_test);
+    }
+    if (split.extrapolation_test) {
+      record("extrapolation", *split.extrapolation_test);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_evaluation_contexts(
+    const std::vector<data::ContextGroup>& groups, std::size_t count, util::Rng& rng) {
+  if (groups.empty()) return {};
+  count = std::min(count, groups.size());
+
+  // Bucket groups by node type, in deterministic order.
+  std::map<std::string, std::vector<std::size_t>> by_node;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    by_node[groups[i].runs.front().node_type].push_back(i);
+  }
+  std::vector<std::size_t> chosen;
+  std::vector<bool> taken(groups.size(), false);
+  // One context per node type first (coverage requirement).
+  for (auto& [node, idxs] : by_node) {
+    if (chosen.size() >= count) break;
+    const std::size_t pick = idxs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(idxs.size()) - 1))];
+    chosen.push_back(pick);
+    taken[pick] = true;
+  }
+  // Fill the remainder randomly.
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (!taken[i]) rest.push_back(i);
+  }
+  rng.shuffle(rest);
+  for (std::size_t i = 0; i < rest.size() && chosen.size() < count; ++i) {
+    chosen.push_back(rest[i]);
+  }
+  return chosen;
+}
+
+ExperimentResult run_cross_context(const data::Dataset& c3o, const CrossContextConfig& cfg) {
+  ExperimentResult out;
+  const auto algorithms = cfg.algorithms.empty() ? c3o.algorithms() : cfg.algorithms;
+
+  for (const auto& algorithm : algorithms) {
+    const data::Dataset algo_data = c3o.filter_algorithm(algorithm);
+    if (algo_data.empty()) {
+      throw std::invalid_argument("run_cross_context: no data for algorithm '" + algorithm +
+                                  "'");
+    }
+    util::Rng rng(cfg.seed ^ util::fnv1a64(algorithm));
+    const auto groups = algo_data.contexts();
+    const auto chosen = select_evaluation_contexts(groups, cfg.contexts_per_algorithm, rng);
+
+    for (const std::size_t gi : chosen) {
+      const data::ContextGroup& group = groups[gi];
+      const data::JobRun& reference = group.runs.front();
+
+      // Pre-train once per (context, scenario); every split restarts from
+      // the stored checkpoint inside BellamyPredictor.
+      std::vector<std::pair<core::PretrainScenario, std::string>> scenarios;
+      if (cfg.include_local) scenarios.push_back({core::PretrainScenario::kLocal, "Bellamy (local)"});
+      if (cfg.include_filtered) {
+        scenarios.push_back({core::PretrainScenario::kFiltered, "Bellamy (filtered)"});
+      }
+      if (cfg.include_full) scenarios.push_back({core::PretrainScenario::kFull, "Bellamy (full)"});
+
+      std::vector<Contender> contenders;
+      if (cfg.include_nnls) {
+        contenders.push_back({"NNLS", std::make_unique<baselines::ErnestModel>(), nullptr});
+      }
+      if (cfg.include_bell) {
+        contenders.push_back({"Bell", std::make_unique<baselines::BellModel>(), nullptr});
+      }
+      for (const auto& [scenario, name] : scenarios) {
+        if (scenario == core::PretrainScenario::kLocal) {
+          auto pred = std::make_unique<core::BellamyPredictor>(cfg.model_config, cfg.finetune,
+                                                               rng.next(), name);
+          auto* handle = pred.get();
+          contenders.push_back({name, std::move(pred), handle});
+        } else {
+          core::PreTrainConfig pre = cfg.pretrain;
+          pre.seed = rng.next();
+          core::BellamyModel pretrained(cfg.model_config, rng.next());
+          data::Dataset corpus = core::pretraining_corpus(scenario, algo_data, reference);
+          if (cfg.pretrain_sample_cap > 0 && corpus.size() > cfg.pretrain_sample_cap) {
+            corpus = corpus.sample(cfg.pretrain_sample_cap, rng);
+          }
+          if (!corpus.empty()) core::pretrain(pretrained, corpus.runs(), pre);
+          auto pred = std::make_unique<core::BellamyPredictor>(
+              pretrained, cfg.finetune, core::ReuseStrategy::kPartialUnfreeze, name);
+          auto* handle = pred.get();
+          contenders.push_back({name, std::move(pred), handle});
+        }
+      }
+
+      for (std::size_t n = 0; n <= cfg.max_points; ++n) {
+        const auto splits = generate_splits(group.runs, n, cfg.max_splits, rng);
+        for (const auto& split : splits) {
+          evaluate_split(group.runs, split, n, algorithm, group.key, contenders, out);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ExperimentResult run_cross_environment(const data::Dataset& c3o, const data::Dataset& bell,
+                                       const CrossEnvironmentConfig& cfg) {
+  ExperimentResult out;
+  std::vector<std::string> algorithms = cfg.algorithms;
+  if (algorithms.empty()) {
+    for (const auto& a : bell.algorithms()) {
+      if (!c3o.filter_algorithm(a).empty()) algorithms.push_back(a);
+    }
+  }
+
+  for (const auto& algorithm : algorithms) {
+    const data::Dataset cloud = c3o.filter_algorithm(algorithm);
+    const data::Dataset cluster = bell.filter_algorithm(algorithm);
+    if (cloud.empty() || cluster.empty()) {
+      throw std::invalid_argument("run_cross_environment: missing data for '" + algorithm +
+                                  "'");
+    }
+    util::Rng rng(cfg.seed ^ util::fnv1a64(algorithm));
+
+    // Pre-train on ALL cloud contexts of this algorithm (the target context
+    // lives in a different environment entirely).
+    core::PreTrainConfig pre = cfg.pretrain;
+    pre.seed = rng.next();
+    core::BellamyModel pretrained(cfg.model_config, rng.next());
+    data::Dataset corpus = cloud;
+    if (cfg.pretrain_sample_cap > 0 && corpus.size() > cfg.pretrain_sample_cap) {
+      corpus = corpus.sample(cfg.pretrain_sample_cap, rng);
+    }
+    core::pretrain(pretrained, corpus.runs(), pre);
+
+    const auto groups = cluster.contexts();  // Bell data: one context per algorithm
+    for (const auto& group : groups) {
+      std::vector<Contender> contenders;
+      if (cfg.include_nnls) {
+        contenders.push_back({"NNLS", std::make_unique<baselines::ErnestModel>(), nullptr});
+      }
+      if (cfg.include_bell) {
+        contenders.push_back({"Bell", std::make_unique<baselines::BellModel>(), nullptr});
+      }
+      {
+        auto pred = std::make_unique<core::BellamyPredictor>(cfg.model_config, cfg.finetune,
+                                                             rng.next(), "Bellamy (local)");
+        auto* handle = pred.get();
+        contenders.push_back({"Bellamy (local)", std::move(pred), handle});
+      }
+      for (const auto strategy :
+           {core::ReuseStrategy::kPartialUnfreeze, core::ReuseStrategy::kFullUnfreeze,
+            core::ReuseStrategy::kPartialReset, core::ReuseStrategy::kFullReset}) {
+        const std::string name = std::string("Bellamy (") + core::strategy_name(strategy) + ")";
+        auto pred =
+            std::make_unique<core::BellamyPredictor>(pretrained, cfg.finetune, strategy, name);
+        auto* handle = pred.get();
+        contenders.push_back({name, std::move(pred), handle});
+      }
+
+      for (std::size_t n = 1; n <= cfg.max_points; ++n) {
+        const auto splits = generate_splits(group.runs, n, cfg.max_splits, rng);
+        for (const auto& split : splits) {
+          evaluate_split(group.runs, split, n, algorithm, group.key, contenders, out);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bellamy::eval

@@ -1,0 +1,51 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bellamy::eval {
+
+double absolute_error(double predicted, double actual) { return std::abs(predicted - actual); }
+
+double relative_error(double predicted, double actual) {
+  if (actual == 0.0) throw std::invalid_argument("relative_error: actual is zero");
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+void ErrorAccumulator::add(double predicted, double actual) {
+  const double abs_e = absolute_error(predicted, actual);
+  abs_sum_ += abs_e;
+  rel_sum_ += relative_error(predicted, actual);
+  sq_sum_ += abs_e * abs_e;
+  ++n_;
+}
+
+void ErrorAccumulator::merge(const ErrorAccumulator& other) {
+  abs_sum_ += other.abs_sum_;
+  rel_sum_ += other.rel_sum_;
+  sq_sum_ += other.sq_sum_;
+  n_ += other.n_;
+}
+
+ErrorStats ErrorAccumulator::stats() const {
+  ErrorStats s;
+  s.count = n_;
+  if (n_ == 0) return s;
+  const double n = static_cast<double>(n_);
+  s.mae = abs_sum_ / n;
+  s.mre = rel_sum_ / n;
+  s.rmse = std::sqrt(sq_sum_ / n);
+  return s;
+}
+
+ErrorStats compute_errors(const std::vector<double>& predicted,
+                          const std::vector<double>& actual) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("compute_errors: size mismatch");
+  }
+  ErrorAccumulator acc;
+  for (std::size_t i = 0; i < predicted.size(); ++i) acc.add(predicted[i], actual[i]);
+  return acc.stats();
+}
+
+}  // namespace bellamy::eval

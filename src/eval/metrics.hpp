@@ -1,0 +1,41 @@
+#pragma once
+// Prediction-error metrics used in the evaluation: mean relative error (MRE,
+// Fig. 5) and mean absolute error (MAE, Figs. 6/8), plus RMSE for tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace bellamy::eval {
+
+/// |pred - actual|.
+double absolute_error(double predicted, double actual);
+/// |pred - actual| / |actual|; throws std::invalid_argument if actual == 0.
+double relative_error(double predicted, double actual);
+
+struct ErrorStats {
+  double mae = 0.0;
+  double mre = 0.0;
+  double rmse = 0.0;
+  std::size_t count = 0;
+};
+
+/// Streaming accumulator over (predicted, actual) pairs.
+class ErrorAccumulator {
+ public:
+  void add(double predicted, double actual);
+  void merge(const ErrorAccumulator& other);
+  ErrorStats stats() const;
+  std::size_t count() const { return n_; }
+
+ private:
+  double abs_sum_ = 0.0;
+  double rel_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Convenience: stats over parallel vectors (sizes must match).
+ErrorStats compute_errors(const std::vector<double>& predicted,
+                          const std::vector<double>& actual);
+
+}  // namespace bellamy::eval

@@ -1,0 +1,94 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+namespace bellamy::eval {
+
+namespace {
+std::map<SeriesKey, ErrorAccumulator> accumulate_series(const std::vector<EvalRecord>& records,
+                                                        const std::string& task) {
+  std::map<SeriesKey, ErrorAccumulator> acc;
+  for (const auto& r : records) {
+    if (r.task != task) continue;
+    acc[{r.algorithm, r.model, r.num_points}].add(r.predicted, r.actual);
+  }
+  return acc;
+}
+}  // namespace
+
+std::map<SeriesKey, ErrorStats> aggregate_series(const std::vector<EvalRecord>& records,
+                                                 const std::string& task) {
+  std::map<SeriesKey, ErrorStats> out;
+  for (const auto& [key, acc] : accumulate_series(records, task)) out[key] = acc.stats();
+  return out;
+}
+
+std::map<PairKey, ErrorStats> aggregate_overall(const std::vector<EvalRecord>& records,
+                                                const std::string& task) {
+  std::map<PairKey, ErrorAccumulator> acc;
+  for (const auto& r : records) {
+    if (r.task != task) continue;
+    acc[{r.algorithm, r.model}].add(r.predicted, r.actual);
+  }
+  std::map<PairKey, ErrorStats> out;
+  for (const auto& [key, a] : acc) out[key] = a.stats();
+  return out;
+}
+
+std::map<std::string, double> mean_fit_seconds(const std::vector<FitRecord>& fits) {
+  std::map<std::string, std::pair<double, std::size_t>> acc;
+  for (const auto& f : fits) {
+    auto& [sum, n] = acc[f.model];
+    sum += f.fit_seconds;
+    ++n;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [model, sn] : acc) out[model] = sn.first / static_cast<double>(sn.second);
+  return out;
+}
+
+std::map<PairKey, std::vector<double>> epochs_by_algorithm_model(
+    const std::vector<FitRecord>& fits) {
+  std::map<PairKey, std::vector<double>> out;
+  for (const auto& f : fits) {
+    out[{f.algorithm, f.model}].push_back(static_cast<double>(f.epochs));
+  }
+  return out;
+}
+
+std::vector<std::string> distinct_models(const std::vector<EvalRecord>& records) {
+  std::vector<std::string> out;
+  for (const auto& r : records) {
+    if (std::find(out.begin(), out.end(), r.model) == out.end()) out.push_back(r.model);
+  }
+  return out;
+}
+
+std::vector<std::string> distinct_algorithms(const std::vector<EvalRecord>& records) {
+  std::vector<std::string> out;
+  for (const auto& r : records) {
+    if (std::find(out.begin(), out.end(), r.algorithm) == out.end()) {
+      out.push_back(r.algorithm);
+    }
+  }
+  return out;
+}
+
+void print_banner(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("  %s\n", title.c_str());
+  std::printf("  bellamy-cpp reproduction | hw_threads=%u | build=" __DATE__ "\n",
+              std::thread::hardware_concurrency());
+  std::printf("==============================================================\n");
+}
+
+std::string ascii_bar(double value, double maximum, std::size_t width) {
+  if (maximum <= 0.0 || value < 0.0) return std::string(width, '-');
+  const double frac = std::min(1.0, value / maximum);
+  const auto filled = static_cast<std::size_t>(frac * static_cast<double>(width) + 0.5);
+  return std::string(filled, '#') + std::string(width - filled, '-');
+}
+
+}  // namespace bellamy::eval

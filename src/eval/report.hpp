@@ -1,0 +1,43 @@
+#pragma once
+// Aggregation and text-report helpers shared by the bench binaries.  All
+// tabular output is TSV so the printed series can be diffed / plotted
+// directly; a small ASCII bar helper mirrors the paper's bar charts.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+
+namespace bellamy::eval {
+
+/// (algorithm, model, num_points) -> error stats for one task.
+using SeriesKey = std::tuple<std::string, std::string, std::size_t>;
+std::map<SeriesKey, ErrorStats> aggregate_series(const std::vector<EvalRecord>& records,
+                                                 const std::string& task);
+
+/// (algorithm, model) -> error stats across all #points for one task.
+using PairKey = std::pair<std::string, std::string>;
+std::map<PairKey, ErrorStats> aggregate_overall(const std::vector<EvalRecord>& records,
+                                                const std::string& task);
+
+/// (model) -> mean fit seconds.
+std::map<std::string, double> mean_fit_seconds(const std::vector<FitRecord>& fits);
+
+/// (algorithm, model) -> all observed fine-tuning epoch counts.
+std::map<PairKey, std::vector<double>> epochs_by_algorithm_model(
+    const std::vector<FitRecord>& fits);
+
+/// Distinct values preserving first-seen order.
+std::vector<std::string> distinct_models(const std::vector<EvalRecord>& records);
+std::vector<std::string> distinct_algorithms(const std::vector<EvalRecord>& records);
+
+/// "#### <title> ####" banner plus build/runtime info (stands in for the
+/// paper's Table II hardware/software table).
+void print_banner(const std::string& title);
+
+/// Fixed-width ASCII bar, e.g. "#####-----" for value/maximum = 0.5.
+std::string ascii_bar(double value, double maximum, std::size_t width = 40);
+
+}  // namespace bellamy::eval

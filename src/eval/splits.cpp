@@ -1,0 +1,110 @@
+#include "eval/splits.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bellamy::eval {
+
+namespace {
+
+/// Signature for uniqueness checks.
+std::vector<std::size_t> signature(const Split& s) {
+  std::vector<std::size_t> sig = s.train;
+  std::sort(sig.begin(), sig.end());
+  sig.push_back(s.interpolation_test ? *s.interpolation_test + 1 : 0);
+  sig.push_back(s.extrapolation_test ? *s.extrapolation_test + 1 : 0);
+  return sig;
+}
+
+}  // namespace
+
+std::vector<Split> generate_splits(const std::vector<data::JobRun>& runs,
+                                   std::size_t num_train_points, std::size_t max_splits,
+                                   util::Rng& rng) {
+  if (max_splits == 0) return {};
+  if (runs.empty()) throw std::invalid_argument("generate_splits: no runs");
+
+  // Index the runs by scale-out.
+  std::map<int, std::vector<std::size_t>> by_scaleout;
+  for (std::size_t i = 0; i < runs.size(); ++i) by_scaleout[runs[i].scale_out].push_back(i);
+  std::vector<int> scaleouts;
+  scaleouts.reserve(by_scaleout.size());
+  for (const auto& [x, idxs] : by_scaleout) scaleouts.push_back(x);
+
+  if (num_train_points > scaleouts.size()) return {};  // cannot pick pairwise-different
+
+  std::vector<Split> splits;
+  std::set<std::vector<std::size_t>> seen;
+  const std::size_t max_attempts = max_splits * 60 + 200;
+
+  for (std::size_t attempt = 0; attempt < max_attempts && splits.size() < max_splits;
+       ++attempt) {
+    Split s;
+
+    int lo_x = 0;
+    int hi_x = 0;
+    if (num_train_points > 0) {
+      // Pick pairwise-different scale-outs, then one random run at each.
+      const auto chosen =
+          rng.sample_without_replacement(scaleouts.size(), num_train_points);
+      std::vector<int> train_x;
+      for (std::size_t ci : chosen) {
+        const int x = scaleouts[ci];
+        train_x.push_back(x);
+        const auto& pool = by_scaleout[x];
+        s.train.push_back(pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+      }
+      lo_x = *std::min_element(train_x.begin(), train_x.end());
+      hi_x = *std::max_element(train_x.begin(), train_x.end());
+    }
+
+    const std::set<std::size_t> train_set(s.train.begin(), s.train.end());
+
+    // Interpolation candidates: scale-out within [lo, hi], not a train sample.
+    if (num_train_points > 0) {
+      std::vector<std::size_t> in_range;
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (train_set.count(i)) continue;
+        if (runs[i].scale_out >= lo_x && runs[i].scale_out <= hi_x) in_range.push_back(i);
+      }
+      if (!in_range.empty()) {
+        s.interpolation_test = in_range[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(in_range.size()) - 1))];
+      }
+    }
+
+    // Extrapolation candidates: strictly outside [lo, hi] (any point when
+    // there is no training data at all).
+    {
+      std::vector<std::size_t> out_range;
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (train_set.count(i)) continue;
+        if (num_train_points == 0 || runs[i].scale_out < lo_x || runs[i].scale_out > hi_x) {
+          out_range.push_back(i);
+        }
+      }
+      if (!out_range.empty()) {
+        s.extrapolation_test = out_range[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(out_range.size()) - 1))];
+      }
+    }
+
+    if (!s.interpolation_test && !s.extrapolation_test) continue;  // useless split
+    if (seen.insert(signature(s)).second) splits.push_back(std::move(s));
+  }
+  return splits;
+}
+
+std::vector<data::JobRun> train_runs(const std::vector<data::JobRun>& runs, const Split& s) {
+  std::vector<data::JobRun> out;
+  out.reserve(s.train.size());
+  for (std::size_t i : s.train) out.push_back(runs.at(i));
+  return out;
+}
+
+}  // namespace bellamy::eval

@@ -1,0 +1,44 @@
+#pragma once
+// Random sub-sampling cross-validation splits (paper §IV-C):
+//
+// "For every fixed amount of training data points, random training points are
+//  selected from the dataset such that the scale-outs of the data points are
+//  pairwise different.  To evaluate the interpolation capabilities ... we
+//  randomly select a test point such that its scale-out lies in the range of
+//  the training points.  For evaluating the extrapolation capabilities, we
+//  randomly select a test point such that its scale-out lies outside of the
+//  range of the training points."
+//
+// Splits are deduplicated; generation stops at `max_splits` unique splits or
+// when the attempt budget is exhausted.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/record.hpp"
+
+namespace bellamy::util {
+class Rng;
+}
+
+namespace bellamy::eval {
+
+struct Split {
+  std::vector<std::size_t> train;                ///< indices into the context's runs
+  std::optional<std::size_t> interpolation_test; ///< in-range test point
+  std::optional<std::size_t> extrapolation_test; ///< out-of-range test point
+};
+
+/// Generate up to `max_splits` unique splits with `num_train_points` training
+/// points over the runs of one context.  Splits where no valid interpolation
+/// (resp. extrapolation) point exists carry nullopt for that test.  With
+/// num_train_points == 0 the split is extrapolation-only: a bare test point.
+std::vector<Split> generate_splits(const std::vector<data::JobRun>& runs,
+                                   std::size_t num_train_points, std::size_t max_splits,
+                                   util::Rng& rng);
+
+/// Convenience accessors.
+std::vector<data::JobRun> train_runs(const std::vector<data::JobRun>& runs, const Split& s);
+
+}  // namespace bellamy::eval

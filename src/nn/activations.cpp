@@ -1,0 +1,100 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bellamy::nn {
+
+double selu(double x) {
+  return x > 0.0 ? kSeluScale * x : kSeluScale * kSeluAlpha * (std::exp(x) - 1.0);
+}
+
+double selu_derivative(double x) {
+  return x > 0.0 ? kSeluScale : kSeluScale * kSeluAlpha * std::exp(x);
+}
+
+Matrix Selu::forward(const Matrix& input) {
+  cached_input_ = input;
+  return input.apply([](double v) { return selu(v); });
+}
+
+Matrix Selu::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      grad(r, c) *= selu_derivative(cached_input_(r, c));
+    }
+  }
+  return grad;
+}
+
+Matrix Tanh::forward(const Matrix& input) {
+  cached_output_ = input.apply([](double v) { return std::tanh(v); });
+  return cached_output_;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      const double y = cached_output_(r, c);
+      grad(r, c) *= (1.0 - y * y);
+    }
+  }
+  return grad;
+}
+
+Matrix Relu::forward(const Matrix& input) {
+  cached_input_ = input;
+  return input.apply([](double v) { return v > 0.0 ? v : 0.0; });
+}
+
+Matrix Relu::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      if (cached_input_(r, c) <= 0.0) grad(r, c) = 0.0;
+    }
+  }
+  return grad;
+}
+
+Matrix Sigmoid::forward(const Matrix& input) {
+  cached_output_ = input.apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  return cached_output_;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      const double y = cached_output_(r, c);
+      grad(r, c) *= y * (1.0 - y);
+    }
+  }
+  return grad;
+}
+
+ModulePtr make_activation(Activation act) {
+  switch (act) {
+    case Activation::kSelu: return std::make_unique<Selu>();
+    case Activation::kTanh: return std::make_unique<Tanh>();
+    case Activation::kRelu: return std::make_unique<Relu>();
+    case Activation::kSigmoid: return std::make_unique<Sigmoid>();
+    case Activation::kIdentity: return std::make_unique<Identity>();
+  }
+  throw std::invalid_argument("make_activation: unknown activation");
+}
+
+const char* activation_name(Activation act) {
+  switch (act) {
+    case Activation::kSelu: return "selu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kRelu: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kIdentity: return "identity";
+  }
+  return "?";
+}
+
+}  // namespace bellamy::nn

@@ -1,0 +1,38 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bellamy::nn {
+
+Matrix make_weights(Init scheme, std::size_t fan_out, std::size_t fan_in, util::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument("make_weights: fan_in must be > 0");
+  switch (scheme) {
+    case Init::kHeNormal:
+      return Matrix::randn(fan_out, fan_in, rng, 0.0,
+                           std::sqrt(2.0 / static_cast<double>(fan_in)));
+    case Init::kLeCunNormal:
+      return Matrix::randn(fan_out, fan_in, rng, 0.0,
+                           std::sqrt(1.0 / static_cast<double>(fan_in)));
+    case Init::kXavierNormal:
+      return Matrix::randn(fan_out, fan_in, rng, 0.0,
+                           std::sqrt(2.0 / static_cast<double>(fan_in + fan_out)));
+    case Init::kZeros:
+      return Matrix::zeros(fan_out, fan_in);
+  }
+  throw std::invalid_argument("make_weights: unknown scheme");
+}
+
+const char* init_name(Init scheme) {
+  switch (scheme) {
+    case Init::kHeNormal: return "he_normal";
+    case Init::kLeCunNormal: return "lecun_normal";
+    case Init::kXavierNormal: return "xavier_normal";
+    case Init::kZeros: return "zeros";
+  }
+  return "?";
+}
+
+}  // namespace bellamy::nn

@@ -1,0 +1,30 @@
+#pragma once
+// Weight initialization.  The paper (§IV-A) initializes all layers with He
+// initialization "in accordance with the specific properties of our
+// activation"; for SELU the self-normalizing-network literature prescribes
+// LeCun-normal.  Both are provided; the Bellamy model defaults to He to match
+// the paper text, and the choice is part of the model configuration.
+
+#include <cstddef>
+
+#include "nn/matrix.hpp"
+
+namespace bellamy::util {
+class Rng;
+}
+
+namespace bellamy::nn {
+
+enum class Init {
+  kHeNormal,     ///< N(0, sqrt(2 / fan_in)) — He et al. 2015
+  kLeCunNormal,  ///< N(0, sqrt(1 / fan_in)) — canonical for SELU
+  kXavierNormal, ///< N(0, sqrt(2 / (fan_in + fan_out)))
+  kZeros,
+};
+
+/// Fill a (fan_out x fan_in) weight matrix according to the scheme.
+Matrix make_weights(Init scheme, std::size_t fan_out, std::size_t fan_in, util::Rng& rng);
+
+const char* init_name(Init scheme);
+
+}  // namespace bellamy::nn

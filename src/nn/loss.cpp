@@ -1,0 +1,76 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bellamy::nn {
+
+namespace {
+void check_shapes(const Matrix& pred, const Matrix& target, const char* name) {
+  if (!pred.same_shape(target)) {
+    throw std::invalid_argument(std::string(name) + ": shape mismatch " + pred.shape_str() +
+                                " vs " + target.shape_str());
+  }
+  if (pred.empty()) throw std::invalid_argument(std::string(name) + ": empty input");
+}
+}  // namespace
+
+LossResult mse_loss(const Matrix& pred, const Matrix& target) {
+  check_shapes(pred, target, "mse_loss");
+  const double n = static_cast<double>(pred.size());
+  LossResult res;
+  res.grad = Matrix(pred.rows(), pred.cols());
+  double total = 0.0;
+  for (std::size_t r = 0; r < pred.rows(); ++r) {
+    for (std::size_t c = 0; c < pred.cols(); ++c) {
+      const double e = pred(r, c) - target(r, c);
+      total += e * e;
+      res.grad(r, c) = 2.0 * e / n;
+    }
+  }
+  res.value = total / n;
+  return res;
+}
+
+LossResult huber_loss(const Matrix& pred, const Matrix& target, double delta) {
+  check_shapes(pred, target, "huber_loss");
+  if (delta <= 0.0) throw std::invalid_argument("huber_loss: delta must be > 0");
+  const double n = static_cast<double>(pred.size());
+  LossResult res;
+  res.grad = Matrix(pred.rows(), pred.cols());
+  double total = 0.0;
+  for (std::size_t r = 0; r < pred.rows(); ++r) {
+    for (std::size_t c = 0; c < pred.cols(); ++c) {
+      const double e = pred(r, c) - target(r, c);
+      const double abs_e = std::abs(e);
+      if (abs_e <= delta) {
+        total += 0.5 * e * e;
+        res.grad(r, c) = e / n;
+      } else {
+        total += delta * (abs_e - 0.5 * delta);
+        res.grad(r, c) = (e > 0.0 ? delta : -delta) / n;
+      }
+    }
+  }
+  res.value = total / n;
+  return res;
+}
+
+LossResult mae_loss(const Matrix& pred, const Matrix& target) {
+  check_shapes(pred, target, "mae_loss");
+  const double n = static_cast<double>(pred.size());
+  LossResult res;
+  res.grad = Matrix(pred.rows(), pred.cols());
+  double total = 0.0;
+  for (std::size_t r = 0; r < pred.rows(); ++r) {
+    for (std::size_t c = 0; c < pred.cols(); ++c) {
+      const double e = pred(r, c) - target(r, c);
+      total += std::abs(e);
+      res.grad(r, c) = (e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0)) / n;
+    }
+  }
+  res.value = total / n;
+  return res;
+}
+
+}  // namespace bellamy::nn

@@ -1,0 +1,34 @@
+#include "nn/lr_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bellamy::nn {
+
+CyclicalLr::CyclicalLr(double base_lr, double max_lr, std::size_t cycle_length)
+    : base_lr_(base_lr), max_lr_(max_lr), cycle_length_(cycle_length) {
+  if (base_lr <= 0.0 || max_lr < base_lr) {
+    throw std::invalid_argument("CyclicalLr: require 0 < base_lr <= max_lr");
+  }
+  if (cycle_length < 2) throw std::invalid_argument("CyclicalLr: cycle_length must be >= 2");
+}
+
+double CyclicalLr::lr_at(std::size_t step) const {
+  const std::size_t cycle = step / cycle_length_;
+  const std::size_t pos = step % cycle_length_;
+  const std::size_t half = cycle_length_ / 2;
+  // Triangle: up for the first half, down for the second.
+  double frac;
+  if (pos < half) {
+    frac = half == 0 ? 0.0 : static_cast<double>(pos) / static_cast<double>(half);
+  } else {
+    const std::size_t down = cycle_length_ - half;
+    frac = 1.0 - static_cast<double>(pos - half) / static_cast<double>(down);
+  }
+  const double amplitude = (max_lr_ - base_lr_) * std::pow(0.5, static_cast<double>(cycle));
+  // Clamp: base + amplitude * frac can exceed max_lr by one ulp.
+  return std::min(max_lr_, base_lr_ + amplitude * frac);
+}
+
+}  // namespace bellamy::nn

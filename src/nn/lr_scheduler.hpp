@@ -1,0 +1,45 @@
+#pragma once
+// Learning-rate schedules.  Fine-tuning uses "cyclical annealing in
+// (1e-2, 1e-3)" (Table I): a triangular cycle that oscillates between the
+// bounds while the ceiling decays over time, so later cycles anneal towards
+// the lower bound.
+
+#include <cstddef>
+
+namespace bellamy::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use at (0-based) step `step`.
+  virtual double lr_at(std::size_t step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double lr_at(std::size_t) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// Triangular cyclical schedule with exponentially decaying amplitude
+/// (CLR "triangular2"-style).  lr oscillates in [base_lr, max_lr]; after
+/// each full cycle the amplitude halves, annealing towards base_lr.
+class CyclicalLr : public LrSchedule {
+ public:
+  CyclicalLr(double base_lr, double max_lr, std::size_t cycle_length);
+  double lr_at(std::size_t step) const override;
+
+  double base_lr() const { return base_lr_; }
+  double max_lr() const { return max_lr_; }
+  std::size_t cycle_length() const { return cycle_length_; }
+
+ private:
+  double base_lr_;
+  double max_lr_;
+  std::size_t cycle_length_;
+};
+
+}  // namespace bellamy::nn

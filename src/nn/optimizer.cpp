@@ -1,0 +1,79 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bellamy::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  if (lr <= 0.0) throw std::invalid_argument("Optimizer: lr must be > 0");
+}
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+void Optimizer::set_learning_rate(double lr) {
+  if (lr <= 0.0) throw std::invalid_argument("Optimizer::set_learning_rate: lr must be > 0");
+  lr_ = lr;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum, double weight_decay)
+    : Optimizer(std::move(params), lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+void Sgd::step() {
+  for (Parameter* p : params_) {
+    if (!p->trainable) continue;
+    Matrix g = p->grad;
+    if (weight_decay_ != 0.0) g.add_scaled(p->value, weight_decay_);
+    if (momentum_ != 0.0) {
+      auto [it, inserted] = velocity_.try_emplace(p, Matrix::zeros(g.rows(), g.cols()));
+      Matrix& v = it->second;
+      v *= momentum_;
+      v += g;
+      p->value.add_scaled(v, -lr_);
+    } else {
+      p->value.add_scaled(g, -lr_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, Config config)
+    : Optimizer(std::move(params), config.lr), config_(config) {
+  if (config.beta1 < 0.0 || config.beta1 >= 1.0 || config.beta2 < 0.0 || config.beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+  }
+}
+
+void Adam::step() {
+  for (Parameter* p : params_) {
+    if (!p->trainable) continue;
+    auto [it, inserted] = state_.try_emplace(p);
+    State& s = it->second;
+    if (inserted) {
+      s.m = Matrix::zeros(p->value.rows(), p->value.cols());
+      s.v = Matrix::zeros(p->value.rows(), p->value.cols());
+    }
+    ++s.t;
+    Matrix g = p->grad;
+    if (config_.weight_decay != 0.0) g.add_scaled(p->value, config_.weight_decay);
+
+    const double b1 = config_.beta1;
+    const double b2 = config_.beta2;
+    const double bias1 = 1.0 - std::pow(b1, static_cast<double>(s.t));
+    const double bias2 = 1.0 - std::pow(b2, static_cast<double>(s.t));
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double gi = g.data()[i];
+      double& m = s.m.data()[i];
+      double& v = s.v.data()[i];
+      m = b1 * m + (1.0 - b1) * gi;
+      v = b2 * v + (1.0 - b2) * gi * gi;
+      const double m_hat = m / bias1;
+      const double v_hat = v / bias2;
+      p->value.data()[i] -= lr_ * m_hat / (std::sqrt(v_hat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace bellamy::nn

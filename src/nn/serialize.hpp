@@ -1,0 +1,37 @@
+#pragma once
+// Checkpointing.  Pre-trained Bellamy models must be persisted and later
+// fine-tuned ("preserving the model state appropriately", §III-A), so the
+// checkpoint stores named matrices (parameters, normalization bounds) plus
+// free-form string metadata (algorithm name, config) in a line-oriented text
+// format with full double round-tripping (hex floats).
+
+#include <map>
+#include <string>
+
+#include "nn/matrix.hpp"
+#include "nn/module.hpp"
+
+namespace bellamy::nn {
+
+struct Checkpoint {
+  std::map<std::string, std::string> meta;      ///< keys/values; value may contain spaces
+  std::map<std::string, Matrix> matrices;       ///< names must not contain whitespace
+
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  static Checkpoint load(std::istream& in);
+  static Checkpoint load_file(const std::string& path);
+
+  bool has_matrix(const std::string& name) const { return matrices.count(name) > 0; }
+  const Matrix& matrix(const std::string& name) const;  ///< throws if missing
+  const std::string& meta_value(const std::string& key) const;  ///< throws if missing
+};
+
+/// Snapshot all parameters of a module into the checkpoint (by name).
+void store_parameters(Checkpoint& ckpt, Module& module);
+
+/// Restore parameter values by name; throws std::runtime_error on any
+/// missing name or shape mismatch. Gradients are zeroed.
+void restore_parameters(const Checkpoint& ckpt, Module& module);
+
+}  // namespace bellamy::nn

@@ -1,0 +1,63 @@
+#include "opt/hyperparam.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+
+namespace bellamy::opt {
+
+std::string TrialConfig::to_string() const {
+  return util::format("dropout=%.2f lr=%.0e wd=%.0e", dropout, learning_rate, weight_decay);
+}
+
+std::size_t SearchSpace::grid_size() const {
+  return dropout.size() * learning_rate.size() * weight_decay.size();
+}
+
+TrialConfig SearchSpace::at(std::size_t index) const {
+  if (index >= grid_size()) throw std::out_of_range("SearchSpace::at");
+  const std::size_t wd_n = weight_decay.size();
+  const std::size_t lr_n = learning_rate.size();
+  TrialConfig cfg;
+  cfg.weight_decay = weight_decay[index % wd_n];
+  cfg.learning_rate = learning_rate[(index / wd_n) % lr_n];
+  cfg.dropout = dropout[index / (wd_n * lr_n)];
+  return cfg;
+}
+
+SearchOutcome random_search(const SearchSpace& space, const Objective& objective,
+                            std::size_t num_trials, std::uint64_t seed,
+                            parallel::ThreadPool* pool) {
+  if (!objective) throw std::invalid_argument("random_search: null objective");
+  const std::size_t grid = space.grid_size();
+  if (grid == 0) throw std::invalid_argument("random_search: empty search space");
+  num_trials = std::min(num_trials, grid);
+  if (num_trials == 0) throw std::invalid_argument("random_search: num_trials must be > 0");
+
+  util::Rng rng(seed);
+  const auto picks = rng.sample_without_replacement(grid, num_trials);
+
+  SearchOutcome outcome;
+  outcome.trials.resize(num_trials);
+  parallel::parallel_for(
+      num_trials,
+      [&](std::size_t i) {
+        TrialResult tr;
+        tr.config = space.at(picks[i]);
+        tr.score = objective(tr.config);
+        outcome.trials[i] = std::move(tr);
+      },
+      pool);
+
+  outcome.best.score = std::numeric_limits<double>::infinity();
+  for (const auto& tr : outcome.trials) {
+    if (tr.score < outcome.best.score) outcome.best = tr;
+  }
+  return outcome;
+}
+
+}  // namespace bellamy::opt

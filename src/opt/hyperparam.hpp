@@ -1,0 +1,61 @@
+#pragma once
+// Hyper-parameter search over the Table I grid.
+//
+// The paper samples 12 configurations from
+//   dropout      in {0.05, 0.10, 0.20}
+//   learning rate in {1e-1, 1e-2, 1e-3}
+//   weight decay in {1e-2, 1e-3, 1e-4}
+// using Ray Tune + Optuna; here the trials are drawn without replacement
+// from the grid and evaluated (optionally in parallel on the thread pool),
+// keeping the configuration with the smallest validation score.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bellamy::parallel {
+class ThreadPool;
+}
+
+namespace bellamy::opt {
+
+struct TrialConfig {
+  double dropout = 0.1;
+  double learning_rate = 1e-2;
+  double weight_decay = 1e-3;
+
+  std::string to_string() const;
+};
+
+struct SearchSpace {
+  std::vector<double> dropout = {0.05, 0.10, 0.20};
+  std::vector<double> learning_rate = {1e-1, 1e-2, 1e-3};
+  std::vector<double> weight_decay = {1e-2, 1e-3, 1e-4};
+
+  std::size_t grid_size() const;
+  /// Enumerate the full grid in row-major (dropout, lr, wd) order.
+  TrialConfig at(std::size_t index) const;
+};
+
+struct TrialResult {
+  TrialConfig config;
+  double score = 0.0;  ///< lower is better (validation error)
+};
+
+struct SearchOutcome {
+  TrialResult best;
+  std::vector<TrialResult> trials;  ///< all evaluated trials, by trial order
+};
+
+/// Objective: evaluate one configuration, return validation score.
+/// Must be thread-safe when a pool is supplied.
+using Objective = std::function<double(const TrialConfig&)>;
+
+/// Sample `num_trials` distinct grid points (all of them if num_trials >=
+/// grid size) and evaluate the objective for each.
+SearchOutcome random_search(const SearchSpace& space, const Objective& objective,
+                            std::size_t num_trials, std::uint64_t seed,
+                            parallel::ThreadPool* pool = nullptr);
+
+}  // namespace bellamy::opt

@@ -1,0 +1,64 @@
+#include "opt/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bellamy::opt {
+
+LeastSquaresResult solve_least_squares(const nn::Matrix& a, std::vector<double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("solve_least_squares: size mismatch");
+  if (m < n) throw std::invalid_argument("solve_least_squares: underdetermined system");
+
+  // Householder QR on a working copy; b is transformed in place.
+  nn::Matrix r = a;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector for column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) throw std::runtime_error("solve_least_squares: rank-deficient matrix");
+    const double alpha = r(k, k) > 0.0 ? -norm : norm;
+    std::vector<double> v(m - k, 0.0);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vnorm2 = 0.0;
+    for (double vi : v) vnorm2 += vi * vi;
+    if (vnorm2 < 1e-300) continue;  // already triangular in this column
+
+    // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing block of R.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      const double scale = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= scale * v[i - k];
+    }
+    // And to b.
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * b[i];
+    const double scale = 2.0 * dot / vnorm2;
+    for (std::size_t i = k; i < m; ++i) b[i] -= scale * v[i - k];
+  }
+
+  // Back substitution on the upper-triangular n x n block.
+  LeastSquaresResult result;
+  result.x.assign(n, 0.0);
+  for (std::size_t ki = n; ki-- > 0;) {
+    double sum = b[ki];
+    for (std::size_t j = ki + 1; j < n; ++j) sum -= r(ki, j) * result.x[j];
+    const double diag = r(ki, ki);
+    if (std::abs(diag) < 1e-12) {
+      throw std::runtime_error("solve_least_squares: near-singular triangular factor");
+    }
+    result.x[ki] = sum / diag;
+  }
+
+  // Residual norm = norm of the bottom part of the transformed b.
+  double res2 = 0.0;
+  for (std::size_t i = n; i < m; ++i) res2 += b[i] * b[i];
+  result.residual_norm = std::sqrt(res2);
+  return result;
+}
+
+}  // namespace bellamy::opt

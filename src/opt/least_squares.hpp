@@ -1,0 +1,20 @@
+#pragma once
+// Dense linear least squares via Householder QR: minimize ||A x - b||_2.
+// Used by the NNLS solver's passive-set subproblems and directly by tests.
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace bellamy::opt {
+
+struct LeastSquaresResult {
+  std::vector<double> x;
+  double residual_norm = 0.0;  ///< ||A x - b||_2
+};
+
+/// A is (m x n) with m >= n and full column rank (rank deficiency raises
+/// std::runtime_error); b has m entries.
+LeastSquaresResult solve_least_squares(const nn::Matrix& a, std::vector<double> b);
+
+}  // namespace bellamy::opt

@@ -1,0 +1,146 @@
+#include "opt/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "opt/least_squares.hpp"
+
+namespace bellamy::opt {
+
+namespace {
+
+/// Unconstrained LS restricted to the passive columns; returns a full-size
+/// vector with zeros in the active (clamped) positions.
+std::vector<double> solve_passive(const nn::Matrix& a, const std::vector<double>& b,
+                                  const std::vector<bool>& passive) {
+  std::vector<std::size_t> cols;
+  for (std::size_t j = 0; j < passive.size(); ++j) {
+    if (passive[j]) cols.push_back(j);
+  }
+  std::vector<double> full(passive.size(), 0.0);
+  if (cols.empty()) return full;
+
+  nn::Matrix sub(a.rows(), cols.size());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < cols.size(); ++j) sub(i, j) = a(i, cols[j]);
+  }
+  const auto ls = solve_least_squares(sub, b);
+  for (std::size_t j = 0; j < cols.size(); ++j) full[cols[j]] = ls.x[j];
+  return full;
+}
+
+double residual_norm(const nn::Matrix& a, const std::vector<double>& x,
+                     const std::vector<double>& b) {
+  double res2 = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double pred = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) pred += a(i, j) * x[j];
+    const double e = pred - b[i];
+    res2 += e * e;
+  }
+  return std::sqrt(res2);
+}
+
+}  // namespace
+
+NnlsResult solve_nnls(const nn::Matrix& a, const std::vector<double>& b,
+                      std::size_t max_iterations) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("solve_nnls: size mismatch");
+  if (m == 0 || n == 0) throw std::invalid_argument("solve_nnls: empty problem");
+  if (max_iterations == 0) max_iterations = 3 * n + 10;
+
+  const double tol = 10.0 * std::numeric_limits<double>::epsilon() *
+                     static_cast<double>(std::max(m, n));
+
+  NnlsResult result;
+  result.x.assign(n, 0.0);
+  std::vector<bool> passive(n, false);
+
+  // Gradient of 0.5||Ax-b||^2 is Aᵀ(Ax - b); w = -gradient = Aᵀ(b - Ax).
+  auto compute_w = [&](const std::vector<double>& x) {
+    std::vector<double> resid(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      double pred = 0.0;
+      for (std::size_t j = 0; j < n; ++j) pred += a(i, j) * x[j];
+      resid[i] = b[i] - pred;
+    }
+    std::vector<double> w(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < m; ++i) w[j] += a(i, j) * resid[i];
+    }
+    return w;
+  };
+
+  for (result.iterations = 0; result.iterations < max_iterations; ++result.iterations) {
+    const auto w = compute_w(result.x);
+
+    // Pick the most promising active variable (largest positive w).
+    std::ptrdiff_t best = -1;
+    double best_w = tol;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!passive[j] && w[j] > best_w) {
+        best_w = w[j];
+        best = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (best < 0) break;  // KKT satisfied
+    passive[static_cast<std::size_t>(best)] = true;
+
+    // Inner loop: restore feasibility of the passive-set LS solution.
+    for (;;) {
+      std::vector<double> z;
+      try {
+        z = solve_passive(a, b, passive);
+      } catch (const std::exception&) {
+        // Rank-deficient or underdetermined passive set:
+        // Singular passive set: drop the variable we just added and stop
+        // considering it in this round.
+        passive[static_cast<std::size_t>(best)] = false;
+        z = result.x;
+        break;
+      }
+      bool feasible = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (passive[j] && z[j] <= tol) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        result.x = std::move(z);
+        break;
+      }
+      // Step from x toward z as far as feasibility allows, then move the
+      // blocking variables to the active set.
+      double alpha = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (passive[j] && z[j] <= tol) {
+          const double denom = result.x[j] - z[j];
+          if (denom > 0.0) alpha = std::min(alpha, result.x[j] / denom);
+        }
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (passive[j]) result.x[j] += alpha * (z[j] - result.x[j]);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (passive[j] && result.x[j] <= tol) {
+          result.x[j] = 0.0;
+          passive[j] = false;
+        }
+      }
+    }
+  }
+
+  result.converged = result.iterations < max_iterations;
+  for (double& v : result.x) {
+    if (v < 0.0) v = 0.0;  // numeric safety
+  }
+  result.residual_norm = residual_norm(a, result.x, b);
+  return result;
+}
+
+}  // namespace bellamy::opt

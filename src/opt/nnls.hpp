@@ -1,0 +1,26 @@
+#pragma once
+// Non-negative least squares: minimize ||A x - b||_2 subject to x >= 0.
+//
+// Lawson-Hanson active-set algorithm (the same algorithm behind
+// scipy.optimize.nnls, which Ernest and the paper's NNLS baseline use to fit
+// theta in r(x) = θ1 + θ2/x + θ3 log x + θ4 x with non-negative weights).
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace bellamy::opt {
+
+struct NnlsResult {
+  std::vector<double> x;       ///< solution, all entries >= 0
+  double residual_norm = 0.0;  ///< ||A x - b||_2
+  std::size_t iterations = 0;  ///< outer-loop iterations used
+  bool converged = true;       ///< false only if max_iterations was exhausted
+};
+
+/// A is (m x n); b has m entries. max_iterations 0 means 3 * n (the
+/// customary Lawson-Hanson default).
+NnlsResult solve_nnls(const nn::Matrix& a, const std::vector<double>& b,
+                      std::size_t max_iterations = 0);
+
+}  // namespace bellamy::opt

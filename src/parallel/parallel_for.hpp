@@ -1,0 +1,95 @@
+#pragma once
+// Blocked parallel loops on top of ThreadPool.
+//
+// parallel_for(n, body)        — body(i) for i in [0, n), order unspecified.
+// parallel_map(items, fn)      — element-wise transform preserving order.
+// parallel_reduce(n, init, ...)— tree-free chunked reduction.
+//
+// The first exception thrown by any body is rethrown on the calling thread
+// after all chunks complete.
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace bellamy::parallel {
+
+/// Runs body(i) for every i in [0, n) across the pool in contiguous chunks.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body, ThreadPool* pool = nullptr,
+                  std::size_t min_chunk = 1) {
+  if (n == 0) return;
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  const std::size_t workers = p.size();
+  if (workers <= 1 || n <= min_chunk) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    if (begin >= n) break;
+    const std::size_t end = std::min(n, begin + chunk_size);
+    futures.push_back(p.submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Order-preserving parallel transform.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn, ThreadPool* pool = nullptr)
+    -> std::vector<decltype(fn(items.front()))> {
+  using R = decltype(fn(items.front()));
+  std::vector<R> out(items.size());
+  parallel_for(
+      items.size(), [&](std::size_t i) { out[i] = fn(items[i]); }, pool);
+  return out;
+}
+
+/// Chunked reduction: combine(acc, value(i)). `combine` must be associative.
+template <typename Acc, typename ValueFn, typename CombineFn>
+Acc parallel_reduce(std::size_t n, Acc init, ValueFn&& value, CombineFn&& combine,
+                    ThreadPool* pool = nullptr) {
+  if (n == 0) return init;
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  const std::size_t workers = p.size();
+  if (workers <= 1) {
+    Acc acc = init;
+    for (std::size_t i = 0; i < n; ++i) acc = combine(acc, value(i));
+    return acc;
+  }
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<Acc>> futures;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    if (begin >= n) break;
+    const std::size_t end = std::min(n, begin + chunk_size);
+    futures.push_back(p.submit([&, begin, end] {
+      Acc acc = init;
+      for (std::size_t i = begin; i < end; ++i) acc = combine(acc, value(i));
+      return acc;
+    }));
+  }
+  Acc total = init;
+  for (auto& f : futures) total = combine(total, f.get());
+  return total;
+}
+
+}  // namespace bellamy::parallel

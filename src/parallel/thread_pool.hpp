@@ -1,0 +1,71 @@
+#pragma once
+// Fixed-size thread pool with a shared task queue.
+//
+// The evaluation harness fans out independent cross-validation splits and
+// hyper-parameter trials over this pool (the paper used Ray Tune for the
+// same purpose).  Exceptions thrown by tasks are captured and rethrown to
+// the caller via the returned std::future.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bellamy::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a callable; the future carries its result or exception.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using Result = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [fn = std::forward<F>(f),
+         ... captured = std::forward<Args>(args)]() mutable -> Result {
+          return std::invoke(std::move(fn), std::move(captured)...);
+        });
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
+      tasks_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Block until all currently queued and running tasks finish.
+  void wait_idle();
+
+  /// Process-wide default pool (lazily constructed, hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace bellamy::parallel

@@ -1,0 +1,138 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bellamy::util {
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + name + "'");
+}
+
+namespace {
+
+// State machine over the whole stream so quoted newlines are handled.
+std::vector<std::vector<std::string>> parse_records(std::istream& in, char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool at_field_start = true;   // a quote only opens a quoted field here
+  bool record_started = false;  // blank lines produce no record
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    at_field_start = true;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    record_started = false;
+  };
+
+  char c = 0;
+  while (in.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && at_field_start) {
+      in_quotes = true;
+      at_field_start = false;
+      record_started = true;
+    } else if (c == delim) {
+      end_field();
+      record_started = true;
+    } else if (c == '\r') {
+      // swallow; \n handles record end
+    } else if (c == '\n') {
+      if (record_started || !field.empty()) end_record();
+    } else {
+      field += c;
+      at_field_start = false;
+      record_started = true;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("read_csv: unterminated quoted field");
+  if (record_started || !field.empty()) end_record();
+  return records;
+}
+
+}  // namespace
+
+CsvTable read_csv(std::istream& in, char delim, bool has_header) {
+  CsvTable table;
+  auto records = parse_records(in, delim);
+  std::size_t start = 0;
+  if (has_header && !records.empty()) {
+    table.header = std::move(records[0]);
+    start = 1;
+  }
+  for (std::size_t i = start; i < records.size(); ++i) {
+    if (!table.header.empty() && records[i].size() != table.header.size()) {
+      throw std::runtime_error("read_csv: row " + std::to_string(i) + " has " +
+                               std::to_string(records[i].size()) + " fields, header has " +
+                               std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(records[i]));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path, char delim, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open '" + path + "'");
+  return read_csv(in, delim, has_header);
+}
+
+std::string csv_escape(const std::string& field, char delim) {
+  const bool needs_quotes = field.find(delim) != std::string::npos ||
+                            field.find('"') != std::string::npos ||
+                            field.find('\n') != std::string::npos ||
+                            field.find('\r') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv(std::ostream& out, const CsvTable& table, char delim) {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << delim;
+      out << csv_escape(row[i], delim);
+    }
+    out << '\n';
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table, char delim) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open '" + path + "'");
+  write_csv(out, table, delim);
+}
+
+}  // namespace bellamy::util

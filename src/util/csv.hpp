@@ -1,0 +1,32 @@
+#pragma once
+// Minimal RFC-4180-ish CSV reader/writer used for dataset import/export.
+// Supports quoted fields with embedded delimiters/quotes/newlines.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bellamy::util {
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by name; throws std::out_of_range if missing.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parse CSV from a stream. If `has_header` the first record becomes header.
+CsvTable read_csv(std::istream& in, char delim = ',', bool has_header = true);
+
+/// Parse CSV from a file path; throws std::runtime_error if unreadable.
+CsvTable read_csv_file(const std::string& path, char delim = ',', bool has_header = true);
+
+/// Serialize, quoting fields when needed.
+void write_csv(std::ostream& out, const CsvTable& table, char delim = ',');
+void write_csv_file(const std::string& path, const CsvTable& table, char delim = ',');
+
+/// Quote a single field if it contains the delimiter, a quote or a newline.
+std::string csv_escape(const std::string& field, char delim = ',');
+
+}  // namespace bellamy::util

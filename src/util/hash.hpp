@@ -1,0 +1,21 @@
+#pragma once
+// Stable (process-independent) string hashing.  Used for feature hashing and
+// for deriving per-entity RNG seeds; never use std::hash for anything that
+// must be reproducible across runs or platforms.
+
+#include <cstdint>
+#include <string_view>
+
+namespace bellamy::util {
+
+/// 64-bit FNV-1a.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace bellamy::util

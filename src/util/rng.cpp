@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bellamy::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % range);
+  std::uint64_t r;
+  do {
+    r = next();
+  } while (r > limit);
+  return lo + static_cast<std::int64_t>(r % range);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  cached_normal_ = mag * std::sin(two_pi * u2);
+  has_cached_normal_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu_log, double sigma_log) {
+  return std::exp(normal(mu_log, sigma_log));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher-Yates: shuffle the first k slots only.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace bellamy::util

@@ -1,0 +1,371 @@
+#include "core/bellamy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/c3o_generator.hpp"
+#include "nn/optimizer.hpp"
+
+namespace bellamy::core {
+namespace {
+
+data::JobRun make_run(int x = 4, double rt = 300.0) {
+  data::JobRun r;
+  r.algorithm = "sgd";
+  r.node_type = "m4.2xlarge";
+  r.job_parameters = "25";
+  r.dataset_size_mb = 19353;
+  r.data_characteristics = "features-100-dense";
+  r.memory_mb = 32768;
+  r.cpu_cores = 8;
+  r.scale_out = x;
+  r.runtime_s = rt;
+  return r;
+}
+
+std::vector<data::JobRun> small_context() {
+  std::vector<data::JobRun> runs;
+  for (int x = 2; x <= 12; x += 2) {
+    runs.push_back(make_run(x, 100.0 + 600.0 / x));
+  }
+  return runs;
+}
+
+TEST(BellamyModel, PropertyExtraction) {
+  const data::JobRun r = make_run();
+  const auto ess = essential_properties(r);
+  ASSERT_EQ(ess.size(), 4u);
+  EXPECT_EQ(std::get<std::string>(ess[0]), "m4.2xlarge");
+  EXPECT_EQ(std::get<std::string>(ess[1]), "25");
+  EXPECT_EQ(std::get<std::uint64_t>(ess[2]), 19353u);
+  EXPECT_EQ(std::get<std::string>(ess[3]), "features-100-dense");
+  const auto opt = optional_properties(r);
+  ASSERT_EQ(opt.size(), 3u);
+  EXPECT_EQ(std::get<std::uint64_t>(opt[0]), 32768u);
+  EXPECT_EQ(std::get<std::uint64_t>(opt[1]), 8u);
+  EXPECT_EQ(std::get<std::string>(opt[2]), "sgd");
+}
+
+TEST(BellamyModel, CombinedDimensionMatchesPaperFormula) {
+  // F + (m+1) * M = 8 + 5*4 = 28.
+  BellamyConfig cfg;
+  EXPECT_EQ(cfg.combined_dim(), 28u);
+  EXPECT_EQ(cfg.props_per_sample(), 7u);
+}
+
+TEST(BellamyModel, MakeBatchShapes) {
+  BellamyConfig cfg;
+  BellamyModel model(cfg, 1);
+  const auto batch = model.make_batch(small_context());
+  EXPECT_EQ(batch.batch_size, 6u);
+  EXPECT_EQ(batch.scaleout_raw.rows(), 6u);
+  EXPECT_EQ(batch.scaleout_raw.cols(), 3u);
+  EXPECT_EQ(batch.properties.rows(), 6u * 7u);
+  EXPECT_EQ(batch.properties.cols(), 40u);
+  EXPECT_EQ(batch.targets_raw.rows(), 6u);
+}
+
+TEST(BellamyModel, MakeBatchScaleoutFeatures) {
+  BellamyModel model(BellamyConfig{}, 1);
+  const auto batch = model.make_batch({make_run(4)});
+  EXPECT_DOUBLE_EQ(batch.scaleout_raw(0, 0), 0.25);
+  EXPECT_NEAR(batch.scaleout_raw(0, 1), std::log(4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(batch.scaleout_raw(0, 2), 4.0);
+}
+
+TEST(BellamyModel, MakeBatchRejectsEmptyAndInvalid) {
+  BellamyModel model(BellamyConfig{}, 1);
+  EXPECT_THROW(model.make_batch({}), std::invalid_argument);
+  EXPECT_THROW(model.make_batch({make_run(0)}), std::invalid_argument);
+}
+
+TEST(BellamyModel, ForwardRequiresNormalization) {
+  BellamyModel model(BellamyConfig{}, 1);
+  const auto batch = model.make_batch(small_context());
+  EXPECT_THROW(model.forward(batch, false), std::logic_error);
+}
+
+TEST(BellamyModel, ForwardShapes) {
+  BellamyModel model(BellamyConfig{}, 1);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  const auto batch = model.make_batch(runs);
+  const auto fw = model.forward(batch, false);
+  EXPECT_EQ(fw.prediction_raw.rows(), 6u);
+  EXPECT_EQ(fw.prediction_raw.cols(), 1u);
+  EXPECT_EQ(fw.codes.rows(), 42u);
+  EXPECT_EQ(fw.codes.cols(), 4u);
+  EXPECT_EQ(fw.reconstruction.rows(), 42u);
+  EXPECT_EQ(fw.reconstruction.cols(), 40u);
+  EXPECT_EQ(fw.combined.rows(), 6u);
+  EXPECT_EQ(fw.combined.cols(), 28u);
+}
+
+TEST(BellamyModel, EvalForwardDeterministic) {
+  BellamyModel model(BellamyConfig{}, 2);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  const auto batch = model.make_batch(runs);
+  const auto a = model.forward(batch, false);
+  const auto b = model.forward(batch, false);
+  EXPECT_EQ(a.prediction_raw, b.prediction_raw);
+}
+
+TEST(BellamyModel, CombinedVectorLayout) {
+  // The combined vector must be [e | essential codes | mean(optional codes)].
+  BellamyModel model(BellamyConfig{}, 3);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  const auto batch = model.make_batch({runs[0]});
+  const auto fw = model.forward(batch, false);
+  const auto& cfg = model.config();
+  const std::size_t F = cfg.scaleout_out;
+  const std::size_t M = cfg.code_dim;
+  // Essential code p occupies columns F + p*M .. F + (p+1)*M.
+  for (std::size_t p = 0; p < cfg.num_essential; ++p) {
+    for (std::size_t j = 0; j < M; ++j) {
+      EXPECT_DOUBLE_EQ(fw.combined(0, F + p * M + j), fw.codes(p, j));
+    }
+  }
+  // Mean of optional codes in the last M columns.
+  for (std::size_t j = 0; j < M; ++j) {
+    double mean = 0.0;
+    for (std::size_t p = 0; p < cfg.num_optional; ++p) {
+      mean += fw.codes(cfg.num_essential + p, j);
+    }
+    mean /= static_cast<double>(cfg.num_optional);
+    EXPECT_NEAR(fw.combined(0, F + cfg.num_essential * M + j), mean, 1e-12);
+  }
+}
+
+TEST(BellamyModel, TrainStepReducesLoss) {
+  BellamyModel model(BellamyConfig{}, 4);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  model.set_dropout_rate(0.0);
+  const auto batch = model.make_batch(runs);
+
+  nn::Adam::Config adam;
+  adam.lr = 1e-2;
+  nn::Adam opt(model.parameters(), adam);
+  const double initial = model.evaluate(batch, 1.0).total;
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    model.train_step(batch, 1.0);
+    opt.step();
+  }
+  const double after = model.evaluate(batch, 1.0).total;
+  EXPECT_LT(after, initial);
+}
+
+TEST(BellamyModel, ReconstructionLossDecreases) {
+  BellamyModel model(BellamyConfig{}, 5);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  model.set_dropout_rate(0.0);
+  const auto batch = model.make_batch(runs);
+  nn::Adam::Config adam;
+  adam.lr = 1e-2;
+  nn::Adam opt(model.parameters(), adam);
+  const double initial = model.evaluate(batch, 1.0).reconstruction;
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    model.train_step(batch, 1.0);
+    opt.step();
+  }
+  EXPECT_LT(model.evaluate(batch, 1.0).reconstruction, initial);
+}
+
+TEST(BellamyModel, DecoderGetsNoGradientWithoutReconstructionLoss) {
+  // Fine-tuning disables the reconstruction term: h must receive no gradient
+  // while f, g and z still do.
+  BellamyModel model(BellamyConfig{}, 6);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  model.set_dropout_rate(0.0);
+  const auto batch = model.make_batch(runs);
+  for (nn::Parameter* p : model.parameters()) p->zero_grad();
+  model.train_step(batch, /*reconstruction_weight=*/0.0);
+  for (nn::Parameter* p : model.h().parameters()) {
+    EXPECT_DOUBLE_EQ(p->grad.squared_norm(), 0.0) << p->name;
+  }
+  double fz_grad = 0.0;
+  for (nn::Parameter* p : model.f().parameters()) fz_grad += p->grad.squared_norm();
+  for (nn::Parameter* p : model.z().parameters()) fz_grad += p->grad.squared_norm();
+  EXPECT_GT(fz_grad, 0.0);
+}
+
+TEST(BellamyModel, FiniteDifferenceOnJointLoss) {
+  // Check one representative weight of each component against central
+  // differences of the full joint objective.
+  BellamyConfig cfg;
+  BellamyModel model(cfg, 7);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  model.set_dropout_rate(0.0);
+  const auto batch = model.make_batch(runs);
+
+  for (nn::Parameter* p : model.parameters()) p->zero_grad();
+  model.train_step(batch, 1.0);
+
+  auto loss_value = [&]() { return model.evaluate(batch, 1.0).total; };
+  const double eps = 1e-6;
+  for (nn::Parameter* p : model.parameters()) {
+    // Probe the first entry of every parameter tensor.
+    const double analytic = p->grad.data()[0];
+    const double orig = p->value.data()[0];
+    p->value.data()[0] = orig + eps;
+    const double up = loss_value();
+    p->value.data()[0] = orig - eps;
+    const double down = loss_value();
+    p->value.data()[0] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic, numeric, 1e-4) << p->name;
+  }
+}
+
+TEST(BellamyModel, PredictDenormalizesToSeconds) {
+  BellamyModel model(BellamyConfig{}, 8);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  const auto preds = model.predict(runs);
+  ASSERT_EQ(preds.size(), runs.size());
+  // Untrained predictions are near the target mean (network outputs ~0).
+  double mean_rt = 0.0;
+  for (const auto& r : runs) mean_rt += r.runtime_s;
+  mean_rt /= runs.size();
+  for (double p : preds) EXPECT_NEAR(p, mean_rt, 400.0);
+}
+
+TEST(BellamyModel, CheckpointRoundTripPreservesPredictions) {
+  BellamyModel model(BellamyConfig{}, 9);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  const auto before = model.predict(runs);
+  const nn::Checkpoint ckpt = model.to_checkpoint();
+  BellamyModel restored = BellamyModel::from_checkpoint(ckpt);
+  const auto after = restored.predict(runs);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+}
+
+TEST(BellamyModel, CheckpointPreservesConfig) {
+  BellamyConfig cfg;
+  cfg.scaleout_hidden = 12;
+  cfg.code_dim = 5;
+  cfg.dropout = 0.2;
+  BellamyModel model(cfg, 10);
+  model.fit_normalization(small_context());
+  BellamyModel restored = BellamyModel::from_checkpoint(model.to_checkpoint());
+  EXPECT_EQ(restored.config().scaleout_hidden, 12u);
+  EXPECT_EQ(restored.config().code_dim, 5u);
+  EXPECT_DOUBLE_EQ(restored.config().dropout, 0.2);
+}
+
+TEST(BellamyModel, FromCheckpointRejectsForeignFormat) {
+  nn::Checkpoint ckpt;
+  ckpt.meta["format"] = "something-else";
+  EXPECT_THROW(BellamyModel::from_checkpoint(ckpt), std::runtime_error);
+}
+
+TEST(BellamyModel, SetTrainableComponents) {
+  BellamyModel model(BellamyConfig{}, 11);
+  model.set_trainable_components(false, false, false, true);
+  for (nn::Parameter* p : model.f().parameters()) EXPECT_FALSE(p->trainable);
+  for (nn::Parameter* p : model.g().parameters()) EXPECT_FALSE(p->trainable);
+  for (nn::Parameter* p : model.h().parameters()) EXPECT_FALSE(p->trainable);
+  for (nn::Parameter* p : model.z().parameters()) EXPECT_TRUE(p->trainable);
+}
+
+TEST(BellamyModel, ReinitChangesOnlyTargetComponents) {
+  BellamyModel model(BellamyConfig{}, 12);
+  const auto g_before = model.g().parameters()[0]->value;
+  const auto f_before = model.f().parameters()[0]->value;
+  const auto z_before = model.z().parameters()[0]->value;
+  model.reinit_z();
+  EXPECT_EQ(model.g().parameters()[0]->value, g_before);
+  EXPECT_EQ(model.f().parameters()[0]->value, f_before);
+  EXPECT_NE(model.z().parameters()[0]->value, z_before);
+  model.reinit_f();
+  EXPECT_NE(model.f().parameters()[0]->value, f_before);
+}
+
+TEST(BellamyModel, SnapshotRestoreRoundTrip) {
+  BellamyModel model(BellamyConfig{}, 13);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  const auto snap = model.snapshot_parameters();
+  const auto before = model.predict(runs);
+  model.reinit_f();
+  model.reinit_z();
+  model.restore_parameters(snap);
+  const auto after = model.predict(runs);
+  for (std::size_t i = 0; i < before.size(); ++i) EXPECT_DOUBLE_EQ(before[i], after[i]);
+}
+
+TEST(BellamyModel, NormalizationDegenerateSinglePoint) {
+  // One training point: feature range collapses; must not divide by zero.
+  BellamyModel model(BellamyConfig{}, 14);
+  model.fit_normalization({make_run(4, 100.0)});
+  const auto pred = model.predict({make_run(8, 0.0)});
+  EXPECT_TRUE(std::isfinite(pred[0]));
+}
+
+TEST(BellamyModel, RawTargetModeSkipsStandardization) {
+  BellamyConfig cfg;
+  cfg.standardize_target = false;
+  BellamyModel model(cfg, 15);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  // In raw mode the untrained network predicts values near 0 seconds, not
+  // near the target mean — the scale must be learned.
+  const auto preds = model.predict(runs);
+  for (double p : preds) EXPECT_LT(std::abs(p), 50.0);
+}
+
+TEST(BellamyModel, RawTargetModeSurvivesCheckpoint) {
+  BellamyConfig cfg;
+  cfg.standardize_target = false;
+  BellamyModel model(cfg, 16);
+  model.fit_normalization(small_context());
+  BellamyModel restored = BellamyModel::from_checkpoint(model.to_checkpoint());
+  EXPECT_FALSE(restored.config().standardize_target);
+  const auto a = model.predict(small_context());
+  const auto b = restored.predict(small_context());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(BellamyModel, RawTargetModeTrainsTowardsScale) {
+  // With an aggressive LR, even raw-seconds targets are reachable — but it
+  // takes visibly more work than the standardized mode, which is the
+  // mechanism behind the paper's Fig. 7 / training-time results.
+  BellamyConfig cfg;
+  cfg.standardize_target = false;
+  BellamyModel model(cfg, 17);
+  const auto runs = small_context();
+  model.fit_normalization(runs);
+  model.set_dropout_rate(0.0);
+  const auto batch = model.make_batch(runs);
+  nn::Adam::Config adam;
+  adam.lr = 5e-2;
+  nn::Adam opt(model.parameters(), adam);
+  const double before = model.evaluate(batch, 0.0).mae_seconds;
+  for (int i = 0; i < 400; ++i) {
+    opt.zero_grad();
+    model.train_step(batch, 0.0);
+    opt.step();
+  }
+  const double after = model.evaluate(batch, 0.0).mae_seconds;
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(BellamyModel, RejectsUnsupportedSchema) {
+  BellamyConfig cfg;
+  cfg.num_essential = 2;
+  EXPECT_THROW(BellamyModel(cfg, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bellamy::core

@@ -1,0 +1,97 @@
+#include "core/model_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/c3o_generator.hpp"
+
+namespace bellamy::core {
+namespace {
+
+class ModelStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("bellamy_store_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  BellamyModel make_model(std::uint64_t seed = 1) {
+    BellamyModel model(BellamyConfig{}, seed);
+    const auto ds = data::C3OGenerator().generate_algorithm("grep", 1);
+    model.fit_normalization(ds.runs());
+    return model;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ModelStoreTest, CreatesDirectory) {
+  ModelStore store(dir_);
+  EXPECT_TRUE(std::filesystem::exists(dir_));
+}
+
+TEST_F(ModelStoreTest, SaveLoadRoundTrip) {
+  ModelStore store(dir_);
+  BellamyModel model = make_model();
+  store.save(model, "grep", "c3o-full");
+  ASSERT_TRUE(store.contains("grep", "c3o-full"));
+
+  BellamyModel loaded = store.load("grep", "c3o-full");
+  const auto ds = data::C3OGenerator().generate_algorithm("grep", 1);
+  const auto a = model.predict(ds.runs());
+  const auto b = loaded.predict(ds.runs());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST_F(ModelStoreTest, ContainsFalseForMissing) {
+  ModelStore store(dir_);
+  EXPECT_FALSE(store.contains("sgd", "nope"));
+}
+
+TEST_F(ModelStoreTest, LoadMissingThrows) {
+  ModelStore store(dir_);
+  EXPECT_THROW(store.load("sgd", "nope"), std::runtime_error);
+}
+
+TEST_F(ModelStoreTest, ListSortedKeys) {
+  ModelStore store(dir_);
+  store.save(make_model(1), "sgd", "v1");
+  store.save(make_model(2), "grep", "v1");
+  store.save(make_model(3), "grep", "v2");
+  EXPECT_EQ(store.list(),
+            (std::vector<std::string>{"grep/v1", "grep/v2", "sgd/v1"}));
+}
+
+TEST_F(ModelStoreTest, RemoveDeletes) {
+  ModelStore store(dir_);
+  store.save(make_model(), "sgd", "tmp");
+  store.remove("sgd", "tmp");
+  EXPECT_FALSE(store.contains("sgd", "tmp"));
+  EXPECT_TRUE(store.list().empty());
+}
+
+TEST_F(ModelStoreTest, RejectsPathTraversalKeys) {
+  ModelStore store(dir_);
+  EXPECT_THROW(store.path_for("../evil", "x"), std::invalid_argument);
+  EXPECT_THROW(store.path_for("sgd", "a/b"), std::invalid_argument);
+  EXPECT_THROW(store.path_for("", "x"), std::invalid_argument);
+}
+
+TEST_F(ModelStoreTest, OverwriteReplacesModel) {
+  ModelStore store(dir_);
+  store.save(make_model(1), "sgd", "v");
+  BellamyModel second = make_model(2);
+  store.save(second, "sgd", "v");
+  BellamyModel loaded = store.load("sgd", "v");
+  const auto ds = data::C3OGenerator().generate_algorithm("grep", 1);
+  const auto a = second.predict(ds.runs());
+  const auto b = loaded.predict(ds.runs());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace bellamy::core

@@ -1,0 +1,99 @@
+#include "data/csv_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/c3o_generator.hpp"
+
+namespace bellamy::data {
+namespace {
+
+TEST(CsvIo, RoundTripPreservesEverything) {
+  C3OGeneratorConfig cfg;
+  const Dataset original = C3OGenerator(cfg).generate_algorithm("sgd", 2);
+  std::stringstream ss;
+  save_csv(ss, original);
+  const Dataset loaded = load_csv(ss);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const JobRun& a = original.runs()[i];
+    const JobRun& b = loaded.runs()[i];
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.environment, b.environment);
+    EXPECT_EQ(a.node_type, b.node_type);
+    EXPECT_EQ(a.job_parameters, b.job_parameters);
+    EXPECT_EQ(a.dataset_size_mb, b.dataset_size_mb);
+    EXPECT_EQ(a.data_characteristics, b.data_characteristics);
+    EXPECT_EQ(a.memory_mb, b.memory_mb);
+    EXPECT_EQ(a.cpu_cores, b.cpu_cores);
+    EXPECT_EQ(a.scale_out, b.scale_out);
+    EXPECT_NEAR(a.runtime_s, b.runtime_s, 1e-5);  // %.6f in the CSV
+  }
+}
+
+TEST(CsvIo, HeaderMatchesSchema) {
+  Dataset ds;
+  JobRun r;
+  r.algorithm = "grep";
+  r.scale_out = 2;
+  r.runtime_s = 1.0;
+  ds.add(r);
+  std::stringstream ss;
+  save_csv(ss, ds);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header,
+            "algorithm,environment,node_type,job_parameters,dataset_size_mb,"
+            "data_characteristics,memory_mb,cpu_cores,scale_out,runtime_s");
+}
+
+TEST(CsvIo, LoadRejectsMissingColumn) {
+  std::stringstream ss("algorithm,scale_out\ngrep,2\n");
+  EXPECT_THROW(load_csv(ss), std::out_of_range);
+}
+
+TEST(CsvIo, LoadRejectsInvalidScaleOut) {
+  std::stringstream ss;
+  ss << "algorithm,environment,node_type,job_parameters,dataset_size_mb,"
+        "data_characteristics,memory_mb,cpu_cores,scale_out,runtime_s\n"
+     << "grep,env,node,p,1,c,1,1,0,5.0\n";
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, LoadRejectsNegativeRuntime) {
+  std::stringstream ss;
+  ss << "algorithm,environment,node_type,job_parameters,dataset_size_mb,"
+        "data_characteristics,memory_mb,cpu_cores,scale_out,runtime_s\n"
+     << "grep,env,node,p,1,c,1,1,2,-5.0\n";
+  EXPECT_THROW(load_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, HandlesCommasInProperties) {
+  Dataset ds;
+  JobRun r;
+  r.algorithm = "grep";
+  r.job_parameters = "pattern, with comma";
+  r.scale_out = 2;
+  r.runtime_s = 1.0;
+  ds.add(r);
+  std::stringstream ss;
+  save_csv(ss, ds);
+  const Dataset back = load_csv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.runs()[0].job_parameters, "pattern, with comma");
+}
+
+TEST(CsvIo, MissingFileThrows) {
+  EXPECT_THROW(load_csv_file("/does/not/exist.csv"), std::runtime_error);
+}
+
+TEST(CsvIo, EmptyDatasetWritesHeaderOnly) {
+  std::stringstream ss;
+  save_csv(ss, Dataset{});
+  const Dataset back = load_csv(ss);
+  EXPECT_TRUE(back.empty());
+}
+
+}  // namespace
+}  // namespace bellamy::data

@@ -1,0 +1,173 @@
+#include "data/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bellamy::data {
+namespace {
+
+ContextSpec spec(const std::string& algo, const std::string& node = "m4.xlarge",
+                 const std::string& params = "", std::uint64_t size = 10240,
+                 const std::string& chars = "x") {
+  ContextSpec s;
+  s.algorithm = algo;
+  s.node_type = node;
+  s.job_parameters = params;
+  s.dataset_size_mb = size;
+  s.data_characteristics = chars;
+  return s;
+}
+
+TEST(NodeCatalog, C3OHasSixTypes) {
+  EXPECT_EQ(c3o_node_catalog().size(), 6u);
+}
+
+TEST(NodeCatalog, LookupByName) {
+  const NodeType& n = node_type_by_name("m4.2xlarge");
+  EXPECT_EQ(n.cpu_cores, 8u);
+  EXPECT_GT(n.memory_mb, 0u);
+  EXPECT_THROW(node_type_by_name("z9.mega"), std::invalid_argument);
+}
+
+TEST(NodeCatalog, BellNodeIsKnown) {
+  EXPECT_NO_THROW(node_type_by_name(bell_node_type().name));
+}
+
+TEST(CurveParams, RuntimeFormula) {
+  CurveParams c;
+  c.theta0 = 10.0;
+  c.theta1 = 100.0;
+  c.theta2 = 5.0;
+  c.theta3 = 2.0;
+  // x = 1: 10 + 100 + 0 + 2 = 112.
+  EXPECT_DOUBLE_EQ(c.runtime(1, 100000, 1000), 112.0);
+  EXPECT_THROW(c.runtime(0, 1, 1), std::invalid_argument);
+}
+
+TEST(CurveParams, SpillPenaltyKicksInUnderMemoryPressure) {
+  CurveParams c;
+  c.theta1 = 100.0;
+  c.spill_penalty = 50.0;
+  c.spill_knee = 0.5;
+  // pressure = 10000 / (2 * 1000) = 5 > 0.5 -> penalty applies.
+  const double with_pressure = c.runtime(2, 1000, 10000);
+  const double without = c.runtime(2, 1000000, 10000);
+  EXPECT_GT(with_pressure, without);
+}
+
+TEST(DeriveCurve, AllAlgorithmsProduceNonNegativeTheta) {
+  for (const auto& algo : c3o_algorithms()) {
+    const CurveParams c = derive_curve(spec(algo, "m4.xlarge", "10"));
+    EXPECT_GE(c.theta0, 0.0) << algo;
+    EXPECT_GE(c.theta1, 0.0) << algo;
+    EXPECT_GE(c.theta2, 0.0) << algo;
+    EXPECT_GE(c.theta3, 0.0) << algo;
+  }
+}
+
+TEST(DeriveCurve, UnknownAlgorithmThrows) {
+  EXPECT_THROW(derive_curve(spec("wordcount")), std::invalid_argument);
+}
+
+TEST(DeriveCurve, FasterNodeFasterRuntime) {
+  const CurveParams slow = derive_curve(spec("grep", "r4.xlarge", "x"));
+  const CurveParams fast = derive_curve(spec("grep", "c4.2xlarge", "x"));
+  EXPECT_LT(fast.runtime(4, 15360, 10240), slow.runtime(4, 31232, 10240));
+}
+
+TEST(DeriveCurve, LargerDatasetLongerRuntime) {
+  const CurveParams small = derive_curve(spec("sort", "m4.xlarge", "", 5120));
+  const CurveParams large = derive_curve(spec("sort", "m4.xlarge", "", 40960));
+  EXPECT_LT(small.runtime(6, 16384, 5120), large.runtime(6, 16384, 40960));
+}
+
+TEST(DeriveCurve, MoreIterationsLongerRuntime) {
+  const CurveParams few = derive_curve(spec("sgd", "m4.xlarge", "25"));
+  const CurveParams many = derive_curve(spec("sgd", "m4.xlarge", "100"));
+  EXPECT_LT(few.runtime(6, 16384, 10240), many.runtime(6, 16384, 10240));
+}
+
+TEST(DeriveCurve, EnvironmentOverheadScalesRuntime) {
+  ContextSpec base = spec("grep");
+  ContextSpec slow_env = base;
+  slow_env.environment_overhead = 1.5;
+  const double r1 = derive_curve(base).runtime(4, 16384, 10240);
+  const double r2 = derive_curve(slow_env).runtime(4, 16384, 10240);
+  EXPECT_NEAR(r2 / r1, 1.5, 1e-9);
+}
+
+TEST(DeriveCurve, TrivialAlgorithmsMonotoneDecreasing) {
+  // grep/sort/pagerank: runtime decreases across 2..12 machines (the paper's
+  // "rather trivial" scale-out behaviour).
+  for (const auto& algo : {"grep", "sort", "pagerank"}) {
+    const CurveParams c = derive_curve(spec(algo, "m4.xlarge", "10", 20480));
+    double prev = c.runtime(2, 1u << 30, 20480);  // huge memory: no spill
+    for (int x = 4; x <= 12; x += 2) {
+      const double cur = c.runtime(x, 1u << 30, 20480);
+      EXPECT_LT(cur, prev) << algo << " at x=" << x;
+      prev = cur;
+    }
+  }
+}
+
+TEST(DeriveCurve, NonTrivialAlgorithmsTurnUpwards) {
+  // sgd/kmeans with many iterations: the curve bottoms out inside 2..12 and
+  // rises again (non-trivial scale-out behaviour, paper Fig. 2/5).
+  for (const auto& [algo, params] : {std::pair<const char*, const char*>{"sgd", "100"},
+                                     {"kmeans", "16:100"}}) {
+    const CurveParams c = derive_curve(spec(algo, "m4.xlarge", params, 2048));
+    double best = 1e300;
+    int best_x = 0;
+    for (int x = 2; x <= 12; x += 2) {
+      const double r = c.runtime(x, 1u << 30, 2048);
+      if (r < best) {
+        best = r;
+        best_x = x;
+      }
+    }
+    EXPECT_LT(best_x, 12) << algo << ": runtime should rise again before x=12";
+    EXPECT_GT(c.runtime(12, 1u << 30, 2048), best) << algo;
+  }
+}
+
+TEST(HasNontrivialScaleout, Classification) {
+  EXPECT_TRUE(has_nontrivial_scaleout("sgd"));
+  EXPECT_TRUE(has_nontrivial_scaleout("kmeans"));
+  EXPECT_FALSE(has_nontrivial_scaleout("grep"));
+  EXPECT_FALSE(has_nontrivial_scaleout("sort"));
+  EXPECT_FALSE(has_nontrivial_scaleout("pagerank"));
+}
+
+TEST(SampleRuntime, NoiseIsMultiplicativeAndCentered) {
+  const ContextSpec s = spec("grep");
+  const CurveParams c = derive_curve(s);
+  util::Rng rng(1);
+  const double base = c.runtime(4, 16384, 10240);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += sample_runtime(c, s, 4, 0.05, rng);
+  EXPECT_NEAR(sum / n / base, 1.0, 0.01);  // log-normal corrected to mean 1
+}
+
+TEST(SampleRuntime, ZeroNoiseIsDeterministic) {
+  const ContextSpec s = spec("sort");
+  const CurveParams c = derive_curve(s);
+  util::Rng rng(2);
+  const double a = sample_runtime(c, s, 4, 0.0, rng);
+  const double b = sample_runtime(c, s, 4, 0.0, rng);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, c.runtime(4, node_type_by_name(s.node_type).memory_mb, 10240));
+}
+
+TEST(C3OContextCounts, MatchPaper) {
+  EXPECT_EQ(c3o_context_count("sort"), 21u);
+  EXPECT_EQ(c3o_context_count("grep"), 27u);
+  EXPECT_EQ(c3o_context_count("sgd"), 30u);
+  EXPECT_EQ(c3o_context_count("kmeans"), 30u);
+  EXPECT_EQ(c3o_context_count("pagerank"), 47u);
+  EXPECT_THROW(c3o_context_count("wordcount"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bellamy::data

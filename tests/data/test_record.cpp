@@ -1,0 +1,82 @@
+#include "data/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bellamy::data {
+namespace {
+
+JobRun make_run() {
+  JobRun r;
+  r.algorithm = "sgd";
+  r.environment = "c3o-cloud";
+  r.node_type = "m4.2xlarge";
+  r.job_parameters = "25";
+  r.dataset_size_mb = 19353;
+  r.data_characteristics = "features-100-dense";
+  r.memory_mb = 32768;
+  r.cpu_cores = 8;
+  r.scale_out = 6;
+  r.runtime_s = 321.5;
+  return r;
+}
+
+TEST(JobRun, ContextKeyCoversEssentialProperties) {
+  const JobRun r = make_run();
+  const std::string key = r.context_key();
+  EXPECT_NE(key.find("sgd"), std::string::npos);
+  EXPECT_NE(key.find("m4.2xlarge"), std::string::npos);
+  EXPECT_NE(key.find("25"), std::string::npos);
+  EXPECT_NE(key.find("19353"), std::string::npos);
+  EXPECT_NE(key.find("features-100-dense"), std::string::npos);
+}
+
+TEST(JobRun, ScaleOutDoesNotChangeContext) {
+  JobRun a = make_run();
+  JobRun b = make_run();
+  b.scale_out = 12;
+  b.runtime_s = 100.0;
+  EXPECT_TRUE(a.same_context(b));
+}
+
+TEST(JobRun, NodeTypeChangesContext) {
+  JobRun a = make_run();
+  JobRun b = make_run();
+  b.node_type = "r4.2xlarge";
+  EXPECT_FALSE(a.same_context(b));
+}
+
+TEST(JobRun, DatasetSizeChangesContext) {
+  JobRun a = make_run();
+  JobRun b = make_run();
+  b.dataset_size_mb = 14540;
+  EXPECT_FALSE(a.same_context(b));
+}
+
+TEST(JobRun, JobParametersChangeContext) {
+  JobRun a = make_run();
+  JobRun b = make_run();
+  b.job_parameters = "100";
+  EXPECT_FALSE(a.same_context(b));
+}
+
+TEST(JobRun, OptionalPropertiesDoNotChangeContext) {
+  JobRun a = make_run();
+  JobRun b = make_run();
+  b.memory_mb = 1;
+  b.cpu_cores = 1;
+  EXPECT_TRUE(a.same_context(b));
+}
+
+TEST(JobRun, OrderingIsDeterministic) {
+  JobRun a = make_run();
+  JobRun b = make_run();
+  b.scale_out = 8;
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  JobRun c = make_run();
+  c.algorithm = "grep";
+  EXPECT_TRUE(c < a);  // "grep" < "sgd"
+}
+
+}  // namespace
+}  // namespace bellamy::data

@@ -1,0 +1,68 @@
+#include "encoding/ngram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bellamy::encoding {
+namespace {
+
+TEST(Ngram, Unigrams) {
+  const auto g = extract_ngrams("abc", 1);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0], "a");
+  EXPECT_EQ(g[2], "c");
+}
+
+TEST(Ngram, Bigrams) {
+  const auto g = extract_ngrams("abcd", 2);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0], "ab");
+  EXPECT_EQ(g[1], "bc");
+  EXPECT_EQ(g[2], "cd");
+}
+
+TEST(Ngram, Trigrams) {
+  const auto g = extract_ngrams("spark", 3);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0], "spa");
+  EXPECT_EQ(g[2], "ark");
+}
+
+TEST(Ngram, TextShorterThanNIsEmpty) {
+  EXPECT_TRUE(extract_ngrams("ab", 3).empty());
+  EXPECT_TRUE(extract_ngrams("", 1).empty());
+}
+
+TEST(Ngram, ExactLengthYieldsOne) {
+  const auto g = extract_ngrams("abc", 3);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0], "abc");
+}
+
+TEST(Ngram, ZeroNThrows) {
+  EXPECT_THROW(extract_ngrams("abc", 0), std::invalid_argument);
+}
+
+TEST(Ngram, RangeCombinesAllSizes) {
+  const auto g = extract_ngram_range("abc", 1, 3);
+  // 3 unigrams + 2 bigrams + 1 trigram.
+  EXPECT_EQ(g.size(), 6u);
+}
+
+TEST(Ngram, RangeCountFormula) {
+  const std::string text = "m4.2xlarge";
+  const auto g = extract_ngram_range(text, 1, 3);
+  const std::size_t n = text.size();
+  EXPECT_EQ(g.size(), n + (n - 1) + (n - 2));
+}
+
+TEST(Ngram, RangeInvalidBoundsThrow) {
+  EXPECT_THROW(extract_ngram_range("abc", 0, 2), std::invalid_argument);
+  EXPECT_THROW(extract_ngram_range("abc", 3, 2), std::invalid_argument);
+}
+
+TEST(Ngram, RangeSingleSizeEqualsPlain) {
+  EXPECT_EQ(extract_ngram_range("test", 2, 2), extract_ngrams("test", 2));
+}
+
+}  // namespace
+}  // namespace bellamy::encoding

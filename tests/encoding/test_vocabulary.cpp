@@ -1,0 +1,60 @@
+#include "encoding/vocabulary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bellamy::encoding {
+namespace {
+
+TEST(Vocabulary, DefaultContainsAlphanumerics) {
+  Vocabulary v;
+  EXPECT_TRUE(v.contains('a'));
+  EXPECT_TRUE(v.contains('z'));
+  EXPECT_TRUE(v.contains('0'));
+  EXPECT_TRUE(v.contains('9'));
+}
+
+TEST(Vocabulary, CaseInsensitiveContains) {
+  Vocabulary v;
+  EXPECT_TRUE(v.contains('A'));
+  EXPECT_TRUE(v.contains('Z'));
+}
+
+TEST(Vocabulary, DefaultSpecialSymbols) {
+  Vocabulary v;
+  EXPECT_TRUE(v.contains('.'));
+  EXPECT_TRUE(v.contains('-'));
+  EXPECT_TRUE(v.contains('_'));
+  EXPECT_TRUE(v.contains('/'));
+  EXPECT_TRUE(v.contains(':'));
+  EXPECT_FALSE(v.contains('!'));
+  EXPECT_FALSE(v.contains('@'));
+}
+
+TEST(Vocabulary, CleanLowercasesAndStrips) {
+  Vocabulary v;
+  EXPECT_EQ(v.clean("M4.2xLarge"), "m4.2xlarge");
+  EXPECT_EQ(v.clean("Hello, World!"), "hello world");
+  EXPECT_EQ(v.clean("§§§"), "");
+}
+
+TEST(Vocabulary, CleanPreservesAllowedSymbols) {
+  Vocabulary v;
+  EXPECT_EQ(v.clean("a-b_c/d:e.f"), "a-b_c/d:e.f");
+}
+
+TEST(Vocabulary, CustomSymbols) {
+  Vocabulary v("+");
+  EXPECT_TRUE(v.contains('+'));
+  EXPECT_FALSE(v.contains('.'));
+  EXPECT_EQ(v.clean("a+b.c"), "a+bc");
+}
+
+TEST(Vocabulary, SizeCountsAdmissible) {
+  Vocabulary v("");
+  EXPECT_EQ(v.size(), 26u + 10u);
+  Vocabulary with_defaults;
+  EXPECT_EQ(with_defaults.size(), 26u + 10u + 6u);
+}
+
+}  // namespace
+}  // namespace bellamy::encoding

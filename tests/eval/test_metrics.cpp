@@ -1,0 +1,81 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bellamy::eval {
+namespace {
+
+TEST(Metrics, AbsoluteError) {
+  EXPECT_DOUBLE_EQ(absolute_error(10.0, 7.0), 3.0);
+  EXPECT_DOUBLE_EQ(absolute_error(7.0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(absolute_error(5.0, 5.0), 0.0);
+}
+
+TEST(Metrics, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(50.0, 100.0), 0.5);
+  EXPECT_THROW(relative_error(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ErrorAccumulator, EmptyStats) {
+  ErrorAccumulator acc;
+  const auto s = acc.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mae, 0.0);
+  EXPECT_DOUBLE_EQ(s.mre, 0.0);
+  EXPECT_DOUBLE_EQ(s.rmse, 0.0);
+}
+
+TEST(ErrorAccumulator, SinglePair) {
+  ErrorAccumulator acc;
+  acc.add(120.0, 100.0);
+  const auto s = acc.stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mae, 20.0);
+  EXPECT_DOUBLE_EQ(s.mre, 0.2);
+  EXPECT_DOUBLE_EQ(s.rmse, 20.0);
+}
+
+TEST(ErrorAccumulator, MultiplePairs) {
+  ErrorAccumulator acc;
+  acc.add(110.0, 100.0);  // abs 10, rel 0.1
+  acc.add(80.0, 100.0);   // abs 20, rel 0.2
+  const auto s = acc.stats();
+  EXPECT_DOUBLE_EQ(s.mae, 15.0);
+  EXPECT_NEAR(s.mre, 0.15, 1e-12);
+  EXPECT_NEAR(s.rmse, std::sqrt((100.0 + 400.0) / 2.0), 1e-12);
+}
+
+TEST(ErrorAccumulator, MergeEqualsCombined) {
+  ErrorAccumulator a;
+  a.add(110.0, 100.0);
+  ErrorAccumulator b;
+  b.add(80.0, 100.0);
+  a.merge(b);
+  ErrorAccumulator combined;
+  combined.add(110.0, 100.0);
+  combined.add(80.0, 100.0);
+  EXPECT_DOUBLE_EQ(a.stats().mae, combined.stats().mae);
+  EXPECT_DOUBLE_EQ(a.stats().mre, combined.stats().mre);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(ComputeErrors, VectorInterface) {
+  const auto s = compute_errors({110.0, 90.0}, {100.0, 100.0});
+  EXPECT_DOUBLE_EQ(s.mae, 10.0);
+  EXPECT_DOUBLE_EQ(s.mre, 0.1);
+}
+
+TEST(ComputeErrors, SizeMismatchThrows) {
+  EXPECT_THROW(compute_errors({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ComputeErrors, RmseAtLeastMae) {
+  const auto s = compute_errors({1.0, 5.0, 9.0}, {2.0, 2.0, 2.0});
+  EXPECT_GE(s.rmse, s.mae);
+}
+
+}  // namespace
+}  // namespace bellamy::eval

@@ -1,0 +1,77 @@
+#include "nn/lr_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bellamy::nn {
+namespace {
+
+TEST(ConstantLr, AlwaysSameValue) {
+  ConstantLr lr(0.01);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0), 0.01);
+  EXPECT_DOUBLE_EQ(lr.lr_at(1000), 0.01);
+}
+
+TEST(CyclicalLr, RejectsInvalidConfig) {
+  EXPECT_THROW(CyclicalLr(0.0, 0.01, 10), std::invalid_argument);
+  EXPECT_THROW(CyclicalLr(0.02, 0.01, 10), std::invalid_argument);
+  EXPECT_THROW(CyclicalLr(0.001, 0.01, 1), std::invalid_argument);
+}
+
+TEST(CyclicalLr, StartsAtBase) {
+  CyclicalLr lr(1e-3, 1e-2, 100);
+  EXPECT_DOUBLE_EQ(lr.lr_at(0), 1e-3);
+}
+
+TEST(CyclicalLr, PeaksMidCycle) {
+  CyclicalLr lr(1e-3, 1e-2, 100);
+  EXPECT_DOUBLE_EQ(lr.lr_at(50), 1e-2);
+}
+
+TEST(CyclicalLr, ReturnsToBaseAtCycleEnd) {
+  CyclicalLr lr(1e-3, 1e-2, 100);
+  // Step 99 is almost back at base; step 100 starts the next (damped) cycle.
+  EXPECT_NEAR(lr.lr_at(99), 1e-3, 2e-4);
+  EXPECT_DOUBLE_EQ(lr.lr_at(100), 1e-3);
+}
+
+TEST(CyclicalLr, StaysWithinBounds) {
+  CyclicalLr lr(1e-3, 1e-2, 64);
+  for (std::size_t step = 0; step < 1000; ++step) {
+    const double v = lr.lr_at(step);
+    EXPECT_GE(v, 1e-3);
+    EXPECT_LE(v, 1e-2);
+  }
+}
+
+TEST(CyclicalLr, AmplitudeDecaysAcrossCycles) {
+  // triangular2 behaviour: each cycle's peak is half the previous one.
+  CyclicalLr lr(1e-3, 1e-2, 100);
+  const double peak0 = lr.lr_at(50);
+  const double peak1 = lr.lr_at(150);
+  const double peak2 = lr.lr_at(250);
+  EXPECT_NEAR(peak1 - 1e-3, (peak0 - 1e-3) / 2.0, 1e-12);
+  EXPECT_NEAR(peak2 - 1e-3, (peak0 - 1e-3) / 4.0, 1e-12);
+}
+
+TEST(CyclicalLr, AnnealsTowardsBase) {
+  CyclicalLr lr(1e-3, 1e-2, 10);
+  EXPECT_NEAR(lr.lr_at(10000 + 5), 1e-3, 1e-6);  // amplitude has decayed away
+}
+
+TEST(CyclicalLr, MonotoneUpThenDownWithinCycle) {
+  CyclicalLr lr(1e-3, 1e-2, 100);
+  for (std::size_t s = 0; s < 49; ++s) EXPECT_LT(lr.lr_at(s), lr.lr_at(s + 1));
+  for (std::size_t s = 50; s < 99; ++s) EXPECT_GT(lr.lr_at(s), lr.lr_at(s + 1));
+}
+
+TEST(CyclicalLr, OddCycleLengthWellDefined) {
+  CyclicalLr lr(1e-3, 1e-2, 7);
+  for (std::size_t s = 0; s < 50; ++s) {
+    const double v = lr.lr_at(s);
+    EXPECT_GE(v, 1e-3);
+    EXPECT_LE(v, 1e-2);
+  }
+}
+
+}  // namespace
+}  // namespace bellamy::nn

@@ -1,0 +1,243 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bellamy::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, DataSizeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 2, std::vector<double>{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, TransposeTwiceIsIdentity) {
+  util::Rng rng(1);
+  const Matrix m = Matrix::randn(5, 7, rng);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, Reshaped) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix r = m.reshaped(1, 4);
+  EXPECT_DOUBLE_EQ(r(0, 3), 4.0);
+  EXPECT_THROW(m.reshaped(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, SliceRows) {
+  Matrix m{{1.0}, {2.0}, {3.0}};
+  const Matrix s = m.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 2.0);
+  EXPECT_THROW(m.slice_rows(2, 4), std::out_of_range);
+}
+
+TEST(Matrix, SliceCols) {
+  Matrix m{{1.0, 2.0, 3.0}};
+  const Matrix s = m.slice_cols(1, 3);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 3.0);
+}
+
+TEST(Matrix, GatherRows) {
+  Matrix m{{1.0}, {2.0}, {3.0}};
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix g = m.gather_rows(idx);
+  EXPECT_DOUBLE_EQ(g(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 1.0);
+}
+
+TEST(Matrix, HcatVcat) {
+  Matrix a{{1.0}, {2.0}};
+  Matrix b{{3.0}, {4.0}};
+  const Matrix h = Matrix::hcat(a, b);
+  EXPECT_EQ(h.cols(), 2u);
+  EXPECT_DOUBLE_EQ(h(1, 1), 4.0);
+  const Matrix v = Matrix::vcat(a, b);
+  EXPECT_EQ(v.rows(), 4u);
+  EXPECT_DOUBLE_EQ(v(3, 0), 4.0);
+}
+
+TEST(Matrix, HcatShapeMismatchThrows) {
+  Matrix a(2, 1);
+  Matrix b(3, 1);
+  EXPECT_THROW(Matrix::hcat(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, SetCols) {
+  Matrix m(2, 4, 0.0);
+  Matrix sub{{1.0, 2.0}, {3.0, 4.0}};
+  m.set_cols(1, sub);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_THROW(m.set_cols(3, sub), std::invalid_argument);
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ((3.0 * a)(0, 0), 3.0);
+}
+
+TEST(Matrix, ArithmeticShapeMismatchThrows) {
+  Matrix a(1, 2);
+  Matrix b(2, 1);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, Hadamard) {
+  Matrix a{{2.0, 3.0}};
+  Matrix b{{4.0, 5.0}};
+  const Matrix h = a.hadamard(b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 15.0);
+}
+
+TEST(Matrix, ApplyAndAddScaled) {
+  Matrix a{{1.0, -2.0}};
+  const Matrix sq = a.apply([](double v) { return v * v; });
+  EXPECT_DOUBLE_EQ(sq(0, 1), 4.0);
+  Matrix b{{10.0, 10.0}};
+  b.add_scaled(a, 0.5);
+  EXPECT_DOUBLE_EQ(b(0, 0), 10.5);
+  EXPECT_DOUBLE_EQ(b(0, 1), 9.0);
+}
+
+TEST(Matrix, MatmulKnownResult) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = Matrix::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(Matrix::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulIdentity) {
+  util::Rng rng(2);
+  const Matrix m = Matrix::randn(4, 4, rng);
+  EXPECT_LT(Matrix::max_abs_diff(Matrix::matmul(m, Matrix::identity(4)), m), 1e-15);
+}
+
+TEST(Matrix, MatmulTnMatchesExplicitTranspose) {
+  util::Rng rng(3);
+  const Matrix a = Matrix::randn(6, 4, rng);
+  const Matrix b = Matrix::randn(6, 5, rng);
+  const Matrix expect = Matrix::matmul(a.transposed(), b);
+  EXPECT_LT(Matrix::max_abs_diff(Matrix::matmul_tn(a, b), expect), 1e-12);
+}
+
+TEST(Matrix, MatmulNtMatchesExplicitTranspose) {
+  util::Rng rng(4);
+  const Matrix a = Matrix::randn(3, 7, rng);
+  const Matrix b = Matrix::randn(5, 7, rng);
+  const Matrix expect = Matrix::matmul(a, b.transposed());
+  EXPECT_LT(Matrix::max_abs_diff(Matrix::matmul_nt(a, b), expect), 1e-12);
+}
+
+TEST(Matrix, AddRowBroadcast) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix row{{10.0, 20.0}};
+  const Matrix out = m.add_row_broadcast(row);
+  EXPECT_DOUBLE_EQ(out(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 24.0);
+  EXPECT_THROW(m.add_row_broadcast(Matrix(1, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, ColwiseSumAndMean) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix s = m.colwise_sum();
+  EXPECT_DOUBLE_EQ(s(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 6.0);
+  const Matrix mn = m.colwise_mean();
+  EXPECT_DOUBLE_EQ(mn(0, 0), 2.0);
+}
+
+TEST(Matrix, MeanOf) {
+  const std::vector<Matrix> ms{Matrix{{2.0}}, Matrix{{4.0}}, Matrix{{6.0}}};
+  EXPECT_DOUBLE_EQ(Matrix::mean_of(ms)(0, 0), 4.0);
+  EXPECT_THROW(Matrix::mean_of(std::vector<Matrix>{}), std::invalid_argument);
+}
+
+TEST(Matrix, Reductions) {
+  Matrix m{{-1.0, 2.0}, {3.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), -4.0);
+  EXPECT_DOUBLE_EQ(m.max(), 3.0);
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 30.0);
+}
+
+TEST(Matrix, RandnStatistics) {
+  util::Rng rng(5);
+  const Matrix m = Matrix::randn(200, 200, rng, 1.0, 2.0);
+  EXPECT_NEAR(m.mean(), 1.0, 0.05);
+}
+
+TEST(Matrix, RowSpanMutates) {
+  Matrix m(2, 3, 0.0);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, ShapeStr) {
+  EXPECT_EQ(Matrix(2, 3).shape_str(), "(2x3)");
+}
+
+}  // namespace
+}  // namespace bellamy::nn

@@ -1,0 +1,138 @@
+#include "opt/hyperparam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "parallel/thread_pool.hpp"
+
+namespace bellamy::opt {
+namespace {
+
+TEST(SearchSpace, GridSizeIsProductOfAxes) {
+  const SearchSpace space;  // paper defaults: 3 x 3 x 3
+  EXPECT_EQ(space.grid_size(), 27u);
+}
+
+TEST(SearchSpace, AtEnumeratesDistinctConfigs) {
+  const SearchSpace space;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < space.grid_size(); ++i) {
+    seen.insert(space.at(i).to_string());
+  }
+  EXPECT_EQ(seen.size(), 27u);
+  EXPECT_THROW(space.at(27), std::out_of_range);
+}
+
+TEST(SearchSpace, AtCoversAllAxisValues) {
+  const SearchSpace space;
+  std::set<double> dropouts;
+  std::set<double> lrs;
+  std::set<double> wds;
+  for (std::size_t i = 0; i < space.grid_size(); ++i) {
+    const auto cfg = space.at(i);
+    dropouts.insert(cfg.dropout);
+    lrs.insert(cfg.learning_rate);
+    wds.insert(cfg.weight_decay);
+  }
+  EXPECT_EQ(dropouts.size(), 3u);
+  EXPECT_EQ(lrs.size(), 3u);
+  EXPECT_EQ(wds.size(), 3u);
+}
+
+TEST(RandomSearch, EvaluatesRequestedTrialCount) {
+  const SearchSpace space;
+  std::atomic<int> calls{0};
+  const auto outcome = random_search(
+      space,
+      [&](const TrialConfig&) {
+        calls.fetch_add(1);
+        return 1.0;
+      },
+      12, 42);
+  EXPECT_EQ(calls.load(), 12);
+  EXPECT_EQ(outcome.trials.size(), 12u);
+}
+
+TEST(RandomSearch, TrialsAreDistinctGridPoints) {
+  const SearchSpace space;
+  const auto outcome =
+      random_search(space, [](const TrialConfig&) { return 0.0; }, 12, 7);
+  std::set<std::string> seen;
+  for (const auto& t : outcome.trials) seen.insert(t.config.to_string());
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(RandomSearch, FindsMinimum) {
+  const SearchSpace space;
+  // Objective minimized at dropout=0.05, lr=1e-3, wd=1e-4; evaluate the whole
+  // grid so the optimum must be found.
+  const auto outcome = random_search(
+      space,
+      [](const TrialConfig& c) {
+        return c.dropout + c.learning_rate + c.weight_decay;
+      },
+      27, 1);
+  EXPECT_DOUBLE_EQ(outcome.best.config.dropout, 0.05);
+  EXPECT_DOUBLE_EQ(outcome.best.config.learning_rate, 1e-3);
+  EXPECT_DOUBLE_EQ(outcome.best.config.weight_decay, 1e-4);
+}
+
+TEST(RandomSearch, CapsTrialsAtGridSize) {
+  const SearchSpace space;
+  const auto outcome =
+      random_search(space, [](const TrialConfig&) { return 0.0; }, 1000, 3);
+  EXPECT_EQ(outcome.trials.size(), 27u);
+}
+
+TEST(RandomSearch, DeterministicGivenSeed) {
+  const SearchSpace space;
+  auto obj = [](const TrialConfig& c) { return c.dropout * c.learning_rate; };
+  const auto a = random_search(space, obj, 12, 5);
+  const auto b = random_search(space, obj, 12, 5);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].config.to_string(), b.trials[i].config.to_string());
+  }
+}
+
+TEST(RandomSearch, WorksOnThreadPool) {
+  parallel::ThreadPool pool(4);
+  const SearchSpace space;
+  std::atomic<int> calls{0};
+  const auto outcome = random_search(
+      space,
+      [&](const TrialConfig& c) {
+        calls.fetch_add(1);
+        return c.learning_rate;
+      },
+      12, 11, &pool);
+  EXPECT_EQ(calls.load(), 12);
+  EXPECT_DOUBLE_EQ(outcome.best.config.learning_rate, 1e-3);
+}
+
+TEST(RandomSearch, NullObjectiveThrows) {
+  EXPECT_THROW(random_search(SearchSpace{}, Objective{}, 5, 1), std::invalid_argument);
+}
+
+TEST(RandomSearch, EmptySpaceThrows) {
+  SearchSpace space;
+  space.dropout.clear();
+  EXPECT_THROW(random_search(space, [](const TrialConfig&) { return 0.0; }, 5, 1),
+               std::invalid_argument);
+}
+
+TEST(TrialConfig, ToStringContainsValues) {
+  TrialConfig cfg;
+  cfg.dropout = 0.20;
+  cfg.learning_rate = 1e-2;
+  cfg.weight_decay = 1e-3;
+  const std::string s = cfg.to_string();
+  EXPECT_NE(s.find("0.20"), std::string::npos);
+  EXPECT_NE(s.find("1e-02"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bellamy::opt

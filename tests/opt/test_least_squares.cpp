@@ -1,0 +1,99 @@
+#include "opt/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace bellamy::opt {
+namespace {
+
+TEST(LeastSquares, SolvesExactSquareSystem) {
+  const nn::Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  const auto res = solve_least_squares(a, {6.0, 8.0});
+  ASSERT_EQ(res.x.size(), 2u);
+  EXPECT_NEAR(res.x[0], 3.0, 1e-12);
+  EXPECT_NEAR(res.x[1], 2.0, 1e-12);
+  EXPECT_NEAR(res.residual_norm, 0.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedConsistentSystem) {
+  // y = 1 + 2x sampled without noise.
+  nn::Matrix a(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[i] = 1.0 + 2.0 * i;
+  }
+  const auto res = solve_least_squares(a, b);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(res.x[1], 2.0, 1e-10);
+  EXPECT_NEAR(res.residual_norm, 0.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualUnderNoise) {
+  util::Rng rng(1);
+  const std::size_t m = 50;
+  nn::Matrix a(m, 3);
+  std::vector<double> b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = rng.uniform(0.0, 10.0);
+    a(i, 2) = rng.uniform(-5.0, 5.0);
+    b[i] = 3.0 + 0.5 * a(i, 1) - 2.0 * a(i, 2) + rng.normal(0.0, 0.1);
+  }
+  const auto res = solve_least_squares(a, b);
+  EXPECT_NEAR(res.x[0], 3.0, 0.2);
+  EXPECT_NEAR(res.x[1], 0.5, 0.05);
+  EXPECT_NEAR(res.x[2], -2.0, 0.05);
+
+  // Perturbing the solution must not reduce the residual.
+  auto residual = [&](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      double p = 0.0;
+      for (std::size_t j = 0; j < 3; ++j) p += a(i, j) * x[j];
+      s += (p - b[i]) * (p - b[i]);
+    }
+    return std::sqrt(s);
+  };
+  EXPECT_NEAR(residual(res.x), res.residual_norm, 1e-9);
+  for (std::size_t j = 0; j < 3; ++j) {
+    auto perturbed = res.x;
+    perturbed[j] += 0.01;
+    EXPECT_GE(residual(perturbed) + 1e-12, res.residual_norm);
+  }
+}
+
+TEST(LeastSquares, SizeMismatchThrows) {
+  EXPECT_THROW(solve_least_squares(nn::Matrix(3, 2), {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  EXPECT_THROW(solve_least_squares(nn::Matrix(2, 3), {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  // Two identical columns.
+  nn::Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_THROW(solve_least_squares(a, {1.0, 2.0, 3.0}), std::runtime_error);
+}
+
+TEST(LeastSquares, SingleColumn) {
+  nn::Matrix a{{1.0}, {2.0}};
+  const auto res = solve_least_squares(a, {2.0, 4.0});
+  EXPECT_NEAR(res.x[0], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, ResidualIsOrthogonalComplementNorm) {
+  // b has a component orthogonal to the column space.
+  nn::Matrix a{{1.0}, {0.0}};
+  const auto res = solve_least_squares(a, {3.0, 4.0});
+  EXPECT_NEAR(res.x[0], 3.0, 1e-12);
+  EXPECT_NEAR(res.residual_norm, 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bellamy::opt

@@ -1,0 +1,164 @@
+#include "opt/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/least_squares.hpp"
+#include "util/rng.hpp"
+
+namespace bellamy::opt {
+namespace {
+
+double residual_of(const nn::Matrix& a, const std::vector<double>& x,
+                   const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double p = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) p += a(i, j) * x[j];
+    s += (p - b[i]) * (p - b[i]);
+  }
+  return std::sqrt(s);
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenSolutionPositive) {
+  nn::Matrix a(6, 2);
+  std::vector<double> b(6);
+  for (int i = 0; i < 6; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i + 1.0;
+    b[i] = 2.0 + 3.0 * (i + 1.0);
+  }
+  const auto nnls = solve_nnls(a, b);
+  EXPECT_NEAR(nnls.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(nnls.x[1], 3.0, 1e-9);
+  EXPECT_TRUE(nnls.converged);
+}
+
+TEST(Nnls, ClampsNegativeComponentToZero) {
+  // Unconstrained solution has a negative weight; NNLS must zero it.
+  nn::Matrix a{{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  const std::vector<double> b{3.0, 2.0, 1.0};  // decreasing -> negative slope
+  const auto res = solve_nnls(a, b);
+  EXPECT_DOUBLE_EQ(res.x[1], 0.0);
+  EXPECT_GT(res.x[0], 0.0);
+}
+
+TEST(Nnls, AllZeroWhenBPointsAway) {
+  // b is negative: best non-negative combination is x = 0.
+  nn::Matrix a{{1.0}, {1.0}};
+  const std::vector<double> b{-1.0, -2.0};
+  const auto res = solve_nnls(a, b);
+  EXPECT_DOUBLE_EQ(res.x[0], 0.0);
+  EXPECT_NEAR(res.residual_norm, std::sqrt(5.0), 1e-12);
+}
+
+TEST(Nnls, NonNegativityAlwaysHolds) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 8;
+    const std::size_t n = 4;
+    nn::Matrix a(m, n);
+    std::vector<double> b(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+      b[i] = rng.normal();
+    }
+    const auto res = solve_nnls(a, b);
+    for (double x : res.x) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(Nnls, KktOptimality) {
+  // At the solution: gradient w = Aᵀ(b - Ax) must satisfy w_j <= 0 for
+  // inactive (zero) variables and w_j ≈ 0 for active ones.
+  util::Rng rng(2);
+  const std::size_t m = 12;
+  const std::size_t n = 5;
+  nn::Matrix a(m, n);
+  std::vector<double> b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(0.0, 1.0);
+    b[i] = rng.uniform(-1.0, 2.0);
+  }
+  const auto res = solve_nnls(a, b);
+  std::vector<double> w(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double pred = 0.0;
+      for (std::size_t k = 0; k < n; ++k) pred += a(i, k) * res.x[k];
+      w[j] += a(i, j) * (b[i] - pred);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (res.x[j] > 1e-10) {
+      EXPECT_NEAR(w[j], 0.0, 1e-6) << "active variable " << j;
+    } else {
+      EXPECT_LE(w[j], 1e-6) << "inactive variable " << j;
+    }
+  }
+}
+
+TEST(Nnls, BeatsClampedLeastSquares) {
+  // NNLS residual must be <= residual of "solve unconstrained then clamp".
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 10;
+    const std::size_t n = 3;
+    nn::Matrix a(m, n);
+    std::vector<double> b(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal(1.0, 1.0);
+      b[i] = rng.normal(0.0, 2.0);
+    }
+    const auto nnls = solve_nnls(a, b);
+    auto clamped = solve_least_squares(a, b).x;
+    for (double& v : clamped) v = std::max(v, 0.0);
+    EXPECT_LE(nnls.residual_norm, residual_of(a, clamped, b) + 1e-9);
+  }
+}
+
+TEST(Nnls, SinglePointSingleColumn) {
+  nn::Matrix a{{2.0}};
+  const auto res = solve_nnls(a, {6.0});
+  EXPECT_NEAR(res.x[0], 3.0, 1e-12);
+}
+
+TEST(Nnls, UnderdeterminedSinglePointManyColumns) {
+  // One observation, four features (the Ernest n=1 case): must not crash and
+  // must produce a non-negative solution fitting the point.
+  nn::Matrix a(1, 4);
+  a(0, 0) = 1.0;
+  a(0, 1) = 0.5;
+  a(0, 2) = 0.69;
+  a(0, 3) = 2.0;
+  const auto res = solve_nnls(a, {100.0});
+  for (double x : res.x) EXPECT_GE(x, 0.0);
+  EXPECT_NEAR(res.residual_norm, 0.0, 1e-6);
+}
+
+TEST(Nnls, InvalidInputsThrow) {
+  EXPECT_THROW(solve_nnls(nn::Matrix(2, 2), {1.0}), std::invalid_argument);
+  EXPECT_THROW(solve_nnls(nn::Matrix(), {}), std::invalid_argument);
+}
+
+TEST(Nnls, ErnestStyleRecovery) {
+  // Generate data from a known Ernest curve and recover theta.
+  const std::vector<double> theta{10.0, 200.0, 5.0, 1.5};
+  std::vector<int> xs{2, 4, 6, 8, 10, 12};
+  nn::Matrix a(xs.size(), 4);
+  std::vector<double> b(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    a(i, 0) = 1.0;
+    a(i, 1) = 1.0 / x;
+    a(i, 2) = std::log(x);
+    a(i, 3) = x;
+    b[i] = theta[0] + theta[1] / x + theta[2] * std::log(x) + theta[3] * x;
+  }
+  const auto res = solve_nnls(a, b);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(res.x[j], theta[j], 1e-6);
+}
+
+}  // namespace
+}  // namespace bellamy::opt

@@ -1,0 +1,94 @@
+#include "parallel/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace bellamy::parallel {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; }, &pool);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleIteration) {
+  ThreadPool pool(2);
+  int value = 0;
+  parallel_for(1, [&](std::size_t i) { value = static_cast<int>(i) + 5; }, &pool);
+  EXPECT_EQ(value, 5);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [&](std::size_t i) {
+            if (i == 57) throw std::runtime_error("bad index");
+          },
+          &pool),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, WorksWithSingleThreadPool) {
+  ThreadPool pool(1);
+  std::vector<int> out(50, 0);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i * i); }, &pool);
+  EXPECT_EQ(out[7], 49);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  ThreadPool pool(4);
+  std::vector<int> in(100);
+  std::iota(in.begin(), in.end(), 0);
+  const auto out = parallel_map(in, [](int v) { return v * 2; }, &pool);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+}
+
+TEST(ParallelMap, EmptyInput) {
+  ThreadPool pool(2);
+  const std::vector<int> in;
+  const auto out = parallel_map(in, [](int v) { return v; }, &pool);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  const double total = parallel_reduce(
+      n, 0.0, [](std::size_t i) { return static_cast<double>(i); },
+      [](double a, double b) { return a + b; }, &pool);
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ParallelReduce, EmptyReturnsInit) {
+  ThreadPool pool(2);
+  const double total = parallel_reduce(
+      0, 42.0, [](std::size_t) { return 1.0; }, [](double a, double b) { return a + b; },
+      &pool);
+  EXPECT_DOUBLE_EQ(total, 42.0);
+}
+
+TEST(ParallelFor, LargeWorkStress) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  parallel_for(
+      100000, [&](std::size_t i) { sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed); },
+      &pool);
+  EXPECT_EQ(sum.load(), 100000LL * 99999 / 2);
+}
+
+}  // namespace
+}  // namespace bellamy::parallel

@@ -1,0 +1,102 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace bellamy::parallel {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTask) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ExecutesManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, PassesArguments) {
+  ThreadPool pool(1);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 3, 4);
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroThreadsUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int prev = max_in_flight.load();
+      while (prev < now && !max_in_flight.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      in_flight.fetch_sub(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (std::thread::hardware_concurrency() > 1) {
+    EXPECT_GE(max_in_flight.load(), 1);
+  }
+  EXPECT_EQ(in_flight.load(), 0);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+  }  // destructor joins workers after queue drains
+  EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace bellamy::parallel

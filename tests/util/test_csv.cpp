@@ -1,0 +1,96 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bellamy::util {
+namespace {
+
+TEST(Csv, ParseSimple) {
+  std::istringstream in("a,b,c\n1,2,3\n4,5,6\n");
+  const auto t = read_csv(in);
+  ASSERT_EQ(t.header.size(), 3u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][1], "2");
+  EXPECT_EQ(t.rows[1][2], "6");
+}
+
+TEST(Csv, ColumnLookup) {
+  std::istringstream in("x,y\n1,2\n");
+  const auto t = read_csv(in);
+  EXPECT_EQ(t.column("y"), 1u);
+  EXPECT_THROW(t.column("z"), std::out_of_range);
+}
+
+TEST(Csv, QuotedFieldWithDelimiter) {
+  std::istringstream in("a,b\n\"1,5\",2\n");
+  const auto t = read_csv(in);
+  EXPECT_EQ(t.rows[0][0], "1,5");
+}
+
+TEST(Csv, QuotedFieldWithEscapedQuote) {
+  std::istringstream in("a\n\"say \"\"hi\"\"\"\n");
+  const auto t = read_csv(in);
+  EXPECT_EQ(t.rows[0][0], "say \"hi\"");
+}
+
+TEST(Csv, QuotedFieldWithNewline) {
+  std::istringstream in("a,b\n\"line1\nline2\",x\n");
+  const auto t = read_csv(in);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "line1\nline2");
+}
+
+TEST(Csv, CrLfHandled) {
+  std::istringstream in("a,b\r\n1,2\r\n");
+  const auto t = read_csv(in);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::istringstream in("a,b\n1,2,3\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  std::istringstream in("a\n\"oops\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, NoHeaderMode) {
+  std::istringstream in("1,2\n3,4\n");
+  const auto t = read_csv(in, ',', /*has_header=*/false);
+  EXPECT_TRUE(t.header.empty());
+  ASSERT_EQ(t.rows.size(), 2u);
+}
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+}
+
+TEST(Csv, EscapeQuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("he said \"x\""), "\"he said \"\"x\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, RoundTrip) {
+  CsvTable t;
+  t.header = {"name", "value"};
+  t.rows = {{"plain", "1"}, {"with,comma", "2"}, {"with\"quote", "3"}, {"multi\nline", "4"}};
+  std::ostringstream out;
+  write_csv(out, t);
+  std::istringstream in(out.str());
+  const auto back = read_csv(in);
+  EXPECT_EQ(back.header, t.header);
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bellamy::util
