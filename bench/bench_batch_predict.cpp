@@ -1,0 +1,156 @@
+// Throughput of the prediction engine: per-sample loop vs one batched
+// forward pass vs batched + threaded (per-thread model replicas), at
+// B in {1, 16, 256, 4096}.  The workload is a resource-selection-style
+// sweep: every query shares the context template and varies the scale-out,
+// which is exactly the many-query pattern the paper's reuse setting produces.
+//
+//   ./build/bench/bench_batch_predict [--threads=N]
+//
+// Prints predictions/sec per mode and the batched-over-loop speedup, and
+// verifies that all three modes produce identical predictions.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bellamy_model.hpp"
+#include "core/trainer.hpp"
+#include "data/c3o_generator.hpp"
+#include "nn/serialize.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+
+using namespace bellamy;
+
+namespace {
+
+std::vector<data::JobRun> make_queries(const data::JobRun& context_template, std::size_t b) {
+  std::vector<data::JobRun> queries;
+  queries.reserve(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    data::JobRun q = context_template;
+    q.scale_out = static_cast<int>(1 + i % 60);  // sweep scale-outs 1..60
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = static_cast<std::size_t>(std::atoi(argv[i] + 10));
+      if (num_threads == 0) num_threads = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads=N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // A quick pre-trained model; prediction cost does not depend on how long
+  // it trained, so a short budget keeps bench start-up snappy.
+  data::C3OGeneratorConfig gen_cfg;
+  gen_cfg.seed = 71;
+  const data::Dataset history = data::C3OGenerator(gen_cfg).generate_algorithm("sgd", 6);
+  core::BellamyModel model(core::BellamyConfig{}, /*seed=*/71);
+  core::PreTrainConfig pre;
+  pre.epochs = 60;
+  core::pretrain(model, history.runs(), pre);
+  const nn::Checkpoint ckpt = model.to_checkpoint();
+
+  // Per-thread replicas: one forward pass caches activations inside the
+  // network modules, so a model instance must never be shared across
+  // threads — replicate from the checkpoint instead.
+  std::vector<core::BellamyModel> replicas;
+  replicas.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    replicas.push_back(core::BellamyModel::from_checkpoint(ckpt));
+  }
+  parallel::ThreadPool pool(num_threads);
+
+  const data::JobRun context_template = history.runs().front();
+  std::printf("bench_batch_predict: %zu thread(s)\n", num_threads);
+  std::printf("%8s %16s %16s %16s %12s\n", "B", "loop pred/s", "batch pred/s",
+              "batch+thr pred/s", "batch/loop");
+
+  bool all_identical = true;
+  double speedup_256 = 0.0;
+  for (const std::size_t b : {std::size_t{1}, std::size_t{16}, std::size_t{256},
+                              std::size_t{4096}}) {
+    const auto queries = make_queries(context_template, b);
+    // Aim for a comparable number of total predictions per mode so small
+    // batches still get stable timings.
+    const std::size_t reps = std::max<std::size_t>(1, 4096 / b);
+
+    // Mode 1: per-sample loop (the pre-batching engine).
+    std::vector<double> loop_preds(b);
+    util::Timer loop_timer;
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < b; ++i) loop_preds[i] = model.predict_one(queries[i]);
+    }
+    const double loop_s = loop_timer.seconds();
+
+    // Mode 2: one stacked forward pass.
+    std::vector<double> batch_preds;
+    util::Timer batch_timer;
+    for (std::size_t r = 0; r < reps; ++r) batch_preds = model.predict_batch(queries);
+    const double batch_s = batch_timer.seconds();
+
+    // Mode 3: batched + threaded over contiguous chunks, replica per thread.
+    std::vector<double> threaded_preds(b);
+    const std::size_t chunk = (b + num_threads - 1) / num_threads;
+    util::Timer threaded_timer;
+    for (std::size_t r = 0; r < reps; ++r) {
+      parallel::parallel_for(
+          num_threads,
+          [&](std::size_t t) {
+            const std::size_t begin = t * chunk;
+            if (begin >= b) return;
+            const std::size_t end = std::min(b, begin + chunk);
+            const std::vector<data::JobRun> slice(queries.begin() + begin,
+                                                  queries.begin() + end);
+            const auto preds = replicas[t].predict_batch(slice);
+            for (std::size_t i = 0; i < preds.size(); ++i) threaded_preds[begin + i] = preds[i];
+          },
+          &pool);
+    }
+    const double threaded_s = threaded_timer.seconds();
+
+    const double total = static_cast<double>(b * reps);
+    const double loop_rate = total / std::max(loop_s, 1e-12);
+    const double batch_rate = total / std::max(batch_s, 1e-12);
+    const double threaded_rate = total / std::max(threaded_s, 1e-12);
+    const double speedup = batch_rate / std::max(loop_rate, 1e-12);
+    if (b == 256) speedup_256 = speedup;
+
+    const double diff_batch = max_abs_diff(loop_preds, batch_preds);
+    const double diff_threaded = max_abs_diff(loop_preds, threaded_preds);
+    if (diff_batch > 1e-9 || diff_threaded > 1e-9) {
+      all_identical = false;
+      std::fprintf(stderr, "B=%zu: PREDICTION MISMATCH (batch %.3e, threaded %.3e)\n", b,
+                   diff_batch, diff_threaded);
+    }
+    std::printf("%8zu %16.0f %16.0f %16.0f %11.2fx\n", b, loop_rate, batch_rate,
+                threaded_rate, speedup);
+  }
+
+  std::printf("predictions identical across modes: %s\n", all_identical ? "yes" : "NO");
+  std::printf("batched speedup at B=256: %.2fx (acceptance floor: 5x)\n", speedup_256);
+  if (!all_identical) return 1;
+  return 0;
+}

@@ -24,9 +24,14 @@ BenchOptions parse_options(int argc, char** argv) {
       opts.seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--cache-dir=", 0) == 0) {
       opts.cache_dir = arg.substr(12);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opts.eval_threads = std::stoull(arg.substr(10));
+      if (opts.eval_threads == 0) opts.eval_threads = 1;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--paper-scale] [--no-cache] [--seed=N] [--cache-dir=DIR]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--paper-scale] [--no-cache] [--seed=N] [--cache-dir=DIR] "
+          "[--threads=N]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
@@ -51,6 +56,7 @@ data::Dataset make_bell_dataset(const BenchOptions& opts) {
 eval::CrossContextConfig cross_context_config(const BenchOptions& opts) {
   eval::CrossContextConfig cfg;
   cfg.seed = opts.seed;
+  cfg.eval_threads = opts.eval_threads;
   // Paper-faithful: the network predicts raw seconds (no target scaling).
   cfg.model_config.standardize_target = false;
   if (opts.paper_scale) {
@@ -79,6 +85,7 @@ eval::CrossContextConfig cross_context_config(const BenchOptions& opts) {
 eval::CrossEnvironmentConfig cross_environment_config(const BenchOptions& opts) {
   eval::CrossEnvironmentConfig cfg;
   cfg.seed = opts.seed ^ 0xc105edULL;
+  cfg.eval_threads = opts.eval_threads;
   cfg.model_config.standardize_target = false;
   if (opts.paper_scale) {
     cfg.max_splits = 500;

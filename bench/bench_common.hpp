@@ -25,6 +25,9 @@ struct BenchOptions {
   bool no_cache = false;
   std::uint64_t seed = 2021;
   std::string cache_dir = "bellamy-bench-cache";
+  /// Split-evaluation worker threads (--threads=N); results are bit-identical
+  /// to the serial path at any thread count.
+  std::size_t eval_threads = 1;
 };
 
 /// Parses the common flags; unknown flags abort with a usage message.

@@ -53,9 +53,14 @@ int main() {
 
   auto evaluate = [&](const std::string& name, core::BellamyPredictor& pred) {
     pred.fit(observed);
-    eval::ErrorAccumulator acc;
+    std::vector<data::JobRun> queries;
     for (const auto& r : target.runs) {
-      if (r.scale_out > 16) acc.add(pred.predict(r), r.runtime_s);
+      if (r.scale_out > 16) queries.push_back(r);
+    }
+    const auto predicted = pred.predict_batch(queries);  // one forward pass
+    eval::ErrorAccumulator acc;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      acc.add(predicted[i], queries[i].runtime_s);
     }
     rows.push_back({name, acc.stats().mae, pred.last_fit().fit_seconds,
                     pred.last_fit().epochs_run});

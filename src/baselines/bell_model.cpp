@@ -25,7 +25,8 @@ void InterpolationModel::fit(const std::vector<data::JobRun>& runs) {
 
 double InterpolationModel::predict_scaleout(double scale_out) const {
   if (mean_by_scaleout_.size() < 2) {
-    throw std::logic_error("InterpolationModel: predict before fit");
+    throw std::runtime_error("InterpolationModel::predict_scaleout: model is not fitted "
+                             "(needs >= 2 distinct scale-outs) — call fit() first");
   }
   // Locate the segment; clamp to the boundary segments for extrapolation.
   auto hi = mean_by_scaleout_.lower_bound(static_cast<int>(std::ceil(scale_out)));
@@ -42,6 +43,15 @@ double InterpolationModel::predict_scaleout(double scale_out) const {
 
 double InterpolationModel::predict(const data::JobRun& query) {
   return predict_scaleout(static_cast<double>(query.scale_out));
+}
+
+std::vector<double> InterpolationModel::predict_batch(const std::vector<data::JobRun>& queries) {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const data::JobRun& q : queries) {
+    out.push_back(predict_scaleout(static_cast<double>(q.scale_out)));
+  }
+  return out;
 }
 
 void BellModel::fit(const std::vector<data::JobRun>& runs) {
@@ -96,6 +106,11 @@ void BellModel::fit(const std::vector<data::JobRun>& runs) {
 
 double BellModel::predict(const data::JobRun& query) {
   return use_parametric_ ? parametric_.predict(query) : non_parametric_.predict(query);
+}
+
+std::vector<double> BellModel::predict_batch(const std::vector<data::JobRun>& queries) {
+  return use_parametric_ ? parametric_.predict_batch(queries)
+                         : non_parametric_.predict_batch(queries);
 }
 
 }  // namespace bellamy::baselines

@@ -27,7 +27,10 @@ void ErnestModel::fit(const std::vector<data::JobRun>& runs) {
 }
 
 double ErnestModel::predict_scaleout(double scale_out) const {
-  if (!fitted_) throw std::logic_error("ErnestModel: predict before fit");
+  if (!fitted_) {
+    throw std::runtime_error("ErnestModel::predict_scaleout: model is not fitted — "
+                             "call fit() first");
+  }
   const auto f = ernest_features(scale_out);
   double r = 0.0;
   for (std::size_t j = 0; j < 4; ++j) r += theta_[j] * f[j];
@@ -36,6 +39,15 @@ double ErnestModel::predict_scaleout(double scale_out) const {
 
 double ErnestModel::predict(const data::JobRun& query) {
   return predict_scaleout(static_cast<double>(query.scale_out));
+}
+
+std::vector<double> ErnestModel::predict_batch(const std::vector<data::JobRun>& queries) {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const data::JobRun& q : queries) {
+    out.push_back(predict_scaleout(static_cast<double>(q.scale_out)));
+  }
+  return out;
 }
 
 }  // namespace bellamy::baselines

@@ -21,6 +21,8 @@ class ErnestModel : public data::RuntimeModel {
  public:
   void fit(const std::vector<data::JobRun>& runs) override;
   double predict(const data::JobRun& query) override;
+  /// Evaluates the fitted closed form over all queries.
+  std::vector<double> predict_batch(const std::vector<data::JobRun>& queries) override;
   std::size_t min_training_points() const override { return 1; }
   std::string name() const override { return "NNLS"; }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "nn/activations.hpp"
 #include "util/string_utils.hpp"
@@ -79,6 +80,9 @@ void BellamyModel::build(std::uint64_t dropout_seed) {
 
 BellamyBatch BellamyModel::make_batch(const std::vector<data::JobRun>& runs) const {
   if (runs.empty()) throw std::invalid_argument("BellamyModel::make_batch: empty batch");
+  // Queries in one batch routinely share context properties (a scale-out
+  // sweep varies only x), so memoize the property vectorization per batch.
+  encoding::PropertyEncodeCache encode_cache;
   const std::size_t b = runs.size();
   const std::size_t ppr = config_.props_per_sample();
   BellamyBatch batch;
@@ -101,12 +105,12 @@ BellamyBatch BellamyModel::make_batch(const std::vector<data::JobRun>& runs) con
     const auto opt = optional_properties(run);
     std::size_t row = i * ppr;
     for (const auto& p : ess) {
-      const auto vec = property_encoder_.encode(p);
+      const auto& vec = property_encoder_.encode_cached(p, encode_cache);
       for (std::size_t j = 0; j < vec.size(); ++j) batch.properties(row, j) = vec[j];
       ++row;
     }
     for (const auto& p : opt) {
-      const auto vec = property_encoder_.encode(p);
+      const auto& vec = property_encoder_.encode_cached(p, encode_cache);
       for (std::size_t j = 0; j < vec.size(); ++j) batch.properties(row, j) = vec[j];
       ++row;
     }
@@ -280,15 +284,92 @@ BellamyLoss BellamyModel::evaluate(const BellamyBatch& batch, double reconstruct
   return loss;
 }
 
-std::vector<double> BellamyModel::predict(const std::vector<data::JobRun>& runs) {
-  const BellamyBatch batch = make_batch(runs);
-  const BellamyForward fw = forward(batch, /*training=*/false);
-  std::vector<double> out(runs.size());
-  for (std::size_t i = 0; i < runs.size(); ++i) out[i] = fw.prediction_raw(i, 0);
+std::vector<double> BellamyModel::predict_batch(const std::vector<data::JobRun>& runs) {
+  if (runs.empty()) return {};
+  if (!norm_fitted_) {
+    throw std::logic_error("BellamyModel::predict_batch: fit_normalization was never called "
+                           "(pre-train or load a checkpoint first)");
+  }
+  set_training(false);
+
+  const std::size_t b = runs.size();
+  const std::size_t m = config_.num_essential;
+  const std::size_t n = config_.num_optional;
+  const std::size_t M = config_.code_dim;
+  const std::size_t F = config_.scaleout_out;
+  const std::size_t ppr = config_.props_per_sample();
+
+  // Inference needs the property codes but never the reconstruction, so the
+  // decoder h is skipped entirely.  Queries in one batch overwhelmingly
+  // share property values (a scale-out sweep repeats the whole context), so
+  // the encoder g runs over the UNIQUE property rows only and the codes are
+  // gathered back per sample — the encoder cost is O(distinct properties),
+  // not O(B * (m+n)).  Row-wise the arithmetic is identical to the stacked
+  // forward, so predictions match the per-sample path bit for bit.
+  encoding::PropertyEncodeCache encode_cache;
+  nn::Matrix scaleout_raw(b, 3);
+  std::vector<std::size_t> code_row(b * ppr);
+  std::unordered_map<const std::vector<double>*, std::size_t> unique_index;
+  std::vector<const std::vector<double>*> unique_rows;
+  for (std::size_t i = 0; i < b; ++i) {
+    const auto& run = runs[i];
+    if (run.scale_out < 1) {
+      throw std::invalid_argument("BellamyModel::predict_batch: scale-out must be >= 1");
+    }
+    const double x = static_cast<double>(run.scale_out);
+    scaleout_raw(i, 0) = 1.0 / x;
+    scaleout_raw(i, 1) = std::log(x);
+    scaleout_raw(i, 2) = x;
+
+    const auto ess = essential_properties(run);
+    const auto opt = optional_properties(run);
+    std::size_t slot = i * ppr;
+    for (const auto* props : {&ess, &opt}) {
+      for (const auto& p : *props) {
+        // encode_cached returns a stable reference per distinct value, so
+        // the address doubles as the row's identity.
+        const std::vector<double>& vec = property_encoder_.encode_cached(p, encode_cache);
+        const auto [it, inserted] = unique_index.try_emplace(&vec, unique_rows.size());
+        if (inserted) unique_rows.push_back(&vec);
+        code_row[slot++] = it->second;
+      }
+    }
+  }
+
+  nn::Matrix unique_props(unique_rows.size(), config_.property_dim);
+  for (std::size_t r = 0; r < unique_rows.size(); ++r) {
+    const auto& vec = *unique_rows[r];
+    for (std::size_t j = 0; j < vec.size(); ++j) unique_props(r, j) = vec[j];
+  }
+
+  const nn::Matrix e = f_.forward(normalize_scaleout(scaleout_raw));  // (B x F)
+  const nn::Matrix codes = g_.forward(unique_props);                  // (U x M)
+
+  nn::Matrix combined(b, config_.combined_dim());
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < F; ++j) combined(i, j) = e(i, j);
+    for (std::size_t p = 0; p < m; ++p) {
+      const std::size_t crow = code_row[i * ppr + p];
+      for (std::size_t j = 0; j < M; ++j) combined(i, F + p * M + j) = codes(crow, j);
+    }
+    for (std::size_t j = 0; j < M; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < n; ++p) acc += codes(code_row[i * ppr + m + p], j);
+      combined(i, F + m * M + j) = n ? acc / static_cast<double>(n) : 0.0;
+    }
+  }
+
+  const nn::Matrix prediction = z_.forward(combined);  // (B x 1)
+  std::vector<double> out(b);
+  for (std::size_t i = 0; i < b; ++i) out[i] = denormalize_target(prediction(i, 0));
   return out;
 }
 
-double BellamyModel::predict_one(const data::JobRun& run) { return predict({run})[0]; }
+std::vector<double> BellamyModel::predict(const std::vector<data::JobRun>& runs) {
+  return predict_batch(runs);
+}
+
+double BellamyModel::predict_one(const data::JobRun& run) { return predict_batch({run})[0]; }
 
 std::vector<nn::Parameter*> BellamyModel::parameters() {
   std::vector<nn::Parameter*> ps;

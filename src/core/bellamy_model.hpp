@@ -84,7 +84,13 @@ class BellamyModel {
   /// Loss evaluation without gradients (dropout off).
   BellamyLoss evaluate(const BellamyBatch& batch, double reconstruction_weight);
 
-  /// Predict runtimes in seconds (eval mode).
+  /// Predict runtimes in seconds (eval mode) for a whole batch in a single
+  /// forward pass: all queries are encoded into one stacked property matrix
+  /// and one scale-out matrix, so the network runs once regardless of batch
+  /// size.  Repeated property values across queries are vectorized once.
+  /// An empty batch yields an empty vector.
+  std::vector<double> predict_batch(const std::vector<data::JobRun>& runs);
+  /// Alias for predict_batch (historical name).
   std::vector<double> predict(const std::vector<data::JobRun>& runs);
   double predict_one(const data::JobRun& run);
 

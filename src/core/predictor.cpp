@@ -24,9 +24,22 @@ BellamyPredictor::BellamyPredictor(const BellamyModel& pretrained,
     : model_config_(pretrained.config()),
       finetune_config_(finetune_config),
       strategy_(strategy),
-      pretrained_checkpoint_(pretrained.to_checkpoint()),
+      pretrained_checkpoint_(std::make_shared<const nn::Checkpoint>(pretrained.to_checkpoint())),
       pretrained_(true),
       name_(std::move(name)) {}
+
+BellamyPredictor::BellamyPredictor(std::shared_ptr<const nn::Checkpoint> pretrained_checkpoint,
+                                   FineTuneConfig finetune_config, ReuseStrategy strategy,
+                                   std::string name)
+    : finetune_config_(finetune_config),
+      strategy_(strategy),
+      pretrained_checkpoint_(std::move(pretrained_checkpoint)),
+      pretrained_(true),
+      name_(std::move(name)) {
+  if (!pretrained_checkpoint_) {
+    throw std::invalid_argument("BellamyPredictor: null pretrained checkpoint");
+  }
+}
 
 void BellamyPredictor::fit(const std::vector<data::JobRun>& runs) {
   util::Timer timer;
@@ -53,12 +66,22 @@ void BellamyPredictor::fit(const std::vector<data::JobRun>& runs) {
 }
 
 double BellamyPredictor::predict(const data::JobRun& query) {
-  if (!model_) throw std::logic_error("BellamyPredictor::predict before fit");
-  return model_->predict_one(query);
+  return fitted_model("predict").predict_one(query);
 }
 
-BellamyModel& BellamyPredictor::model() {
-  if (!model_) throw std::logic_error("BellamyPredictor::model before fit");
+std::vector<double> BellamyPredictor::predict_batch(const std::vector<data::JobRun>& queries) {
+  return fitted_model("predict_batch").predict_batch(queries);
+}
+
+BellamyModel& BellamyPredictor::model() { return fitted_model("model"); }
+
+BellamyModel& BellamyPredictor::fitted_model(const char* caller) {
+  if (!model_) {
+    // Dereferencing the empty optional here would be UB; fail loudly with
+    // enough context to identify the offending predictor.
+    throw std::runtime_error("BellamyPredictor::" + std::string(caller) + ": '" + name_ +
+                             "' has no fitted model — call fit() first");
+  }
   return *model_;
 }
 

@@ -7,6 +7,7 @@
 // so repeated cross-validation splits are independent.  A pre-trained
 // predictor accepts fit() with zero runs (extrapolation at 0 data points).
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -30,21 +31,36 @@ class BellamyPredictor : public data::RuntimeModel {
                    ReuseStrategy strategy = ReuseStrategy::kPartialUnfreeze,
                    std::string name = "Bellamy(pretrained)");
 
+  /// Pre-trained variant from a stored checkpoint, shared rather than
+  /// copied.  This is the cheap constructor for fan-out paths that build
+  /// many predictors from one pre-training run (threaded split evaluation):
+  /// no model is materialized until fit().
+  BellamyPredictor(std::shared_ptr<const nn::Checkpoint> pretrained_checkpoint,
+                   FineTuneConfig finetune_config,
+                   ReuseStrategy strategy = ReuseStrategy::kPartialUnfreeze,
+                   std::string name = "Bellamy(pretrained)");
+
   void fit(const std::vector<data::JobRun>& runs) override;
   double predict(const data::JobRun& query) override;
+  /// One stacked forward pass through the fitted network for all queries.
+  std::vector<double> predict_batch(const std::vector<data::JobRun>& queries) override;
   std::size_t min_training_points() const override { return pretrained_ ? 0 : 1; }
   std::string name() const override { return name_; }
 
   /// Statistics of the most recent fit (epochs, wall time, best MAE).
   const FineTuneResult& last_fit() const { return last_fit_; }
-  /// Access the fitted model (throws if fit was never called).
+  /// Access the fitted model.  Throws std::runtime_error when fit() was
+  /// never called (the optional holding the model is empty until then).
   BellamyModel& model();
 
  private:
+  /// Throws a descriptive std::runtime_error if fit() was never called.
+  BellamyModel& fitted_model(const char* caller);
+
   BellamyConfig model_config_;
   FineTuneConfig finetune_config_;
   ReuseStrategy strategy_ = ReuseStrategy::kPartialUnfreeze;
-  std::optional<nn::Checkpoint> pretrained_checkpoint_;
+  std::shared_ptr<const nn::Checkpoint> pretrained_checkpoint_;
   bool pretrained_ = false;
   std::uint64_t seed_ = 0;
   std::string name_;

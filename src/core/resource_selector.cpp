@@ -21,14 +21,25 @@ ResourceSelection select_scaleout(data::RuntimeModel& model,
       std::unique(candidate_scaleouts.begin(), candidate_scaleouts.end()),
       candidate_scaleouts.end());
 
-  ResourceSelection sel;
-  double fastest = std::numeric_limits<double>::infinity();
-  int fastest_x = candidate_scaleouts.front();
+  // One query per candidate, answered in a single batched forward pass:
+  // every query shares the template's context, so the sweep costs one
+  // stacked network evaluation instead of |candidates| scalar ones.
+  std::vector<data::JobRun> queries;
+  queries.reserve(candidate_scaleouts.size());
   for (int x : candidate_scaleouts) {
     if (x < 1) throw std::invalid_argument("select_scaleout: scale-out must be >= 1");
     data::JobRun query = context_template;
     query.scale_out = x;
-    const double pred = model.predict(query);
+    queries.push_back(std::move(query));
+  }
+  const std::vector<double> predicted = model.predict_batch(queries);
+
+  ResourceSelection sel;
+  double fastest = std::numeric_limits<double>::infinity();
+  int fastest_x = candidate_scaleouts.front();
+  for (std::size_t i = 0; i < candidate_scaleouts.size(); ++i) {
+    const int x = candidate_scaleouts[i];
+    const double pred = predicted[i];
     sel.predictions.push_back({x, pred});
     if (pred < fastest) {
       fastest = pred;

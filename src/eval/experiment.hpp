@@ -62,6 +62,12 @@ struct CrossContextConfig {
   /// benchmark runs bound single-core pre-training cost.
   std::size_t pretrain_sample_cap = 0;
   std::uint64_t seed = 2021;
+  /// Worker threads for cross-validation split evaluation.  <= 1 runs the
+  /// serial reference path.  N > 1 fans independent splits out over a
+  /// ThreadPool; every split rebuilds its contenders from the same
+  /// deterministic seeds / checkpoints, so records are bit-identical to the
+  /// serial path (fit wall-times differ, predictions do not).
+  std::size_t eval_threads = 1;
 };
 
 ExperimentResult run_cross_context(const data::Dataset& c3o, const CrossContextConfig& cfg);
@@ -77,6 +83,8 @@ struct CrossEnvironmentConfig {
   core::FineTuneConfig finetune;
   std::size_t pretrain_sample_cap = 0;  ///< 0 = use the full corpus
   std::uint64_t seed = 2022;
+  /// Same contract as CrossContextConfig::eval_threads.
+  std::size_t eval_threads = 1;
 };
 
 /// Pre-trains one model per algorithm on ALL C3O runs of that algorithm and

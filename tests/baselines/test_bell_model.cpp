@@ -51,7 +51,7 @@ TEST(InterpolationModel, NeedsTwoDistinctScaleOuts) {
 
 TEST(InterpolationModel, PredictBeforeFitThrows) {
   InterpolationModel m;
-  EXPECT_THROW(m.predict_scaleout(2.0), std::logic_error);
+  EXPECT_THROW(m.predict_scaleout(2.0), std::runtime_error);
 }
 
 TEST(BellModel, RequiresThreePoints) {

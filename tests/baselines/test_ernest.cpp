@@ -89,7 +89,10 @@ TEST(Ernest, EmptyFitThrows) {
 
 TEST(Ernest, PredictBeforeFitThrows) {
   ErnestModel model;
-  EXPECT_THROW(model.predict_scaleout(4.0), std::logic_error);
+  EXPECT_THROW(model.predict_scaleout(4.0), std::runtime_error);
+  EXPECT_THROW(model.predict_batch({data::JobRun{}}), std::runtime_error);
+  // An empty batch needs no fitted state.
+  EXPECT_TRUE(model.predict_batch({}).empty());
 }
 
 TEST(Ernest, MinTrainingPointsIsOne) {

@@ -58,7 +58,8 @@ TEST(BellamyPredictor, LocalPredictBeforeFitThrows) {
   BellamyPredictor pred(BellamyConfig{}, quick_finetune(), 3);
   data::JobRun q;
   q.scale_out = 4;
-  EXPECT_THROW(pred.predict(q), std::logic_error);
+  EXPECT_THROW(pred.predict(q), std::runtime_error);
+  EXPECT_THROW(pred.predict_batch({q}), std::runtime_error);
 }
 
 TEST(BellamyPredictor, PretrainedAcceptsZeroPoints) {
@@ -127,8 +128,17 @@ TEST(BellamyPredictor, NamesArePropagated) {
 }
 
 TEST(BellamyPredictor, ModelAccessorThrowsBeforeFit) {
-  BellamyPredictor pred(BellamyConfig{}, quick_finetune(), 9);
-  EXPECT_THROW(pred.model(), std::logic_error);
+  // Regression: before the fit, the optional holding the model is empty —
+  // the accessor must throw a descriptive runtime_error, not dereference it.
+  BellamyPredictor pred(BellamyConfig{}, quick_finetune(), 9, "Bellamy (unfitted)");
+  try {
+    pred.model();
+    FAIL() << "model() on an unfitted predictor must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Bellamy (unfitted)"), std::string::npos) << what;
+    EXPECT_NE(what.find("fit()"), std::string::npos) << what;
+  }
 }
 
 TEST(BellamyPredictor, FitTimeIsRecorded) {

@@ -102,6 +102,39 @@ TEST(PropertyEncoder, LooksNumeric) {
   EXPECT_FALSE(looks_numeric(""));
 }
 
+TEST(PropertyEncoder, CachedEncodeMatchesUncachedAndCountsHits) {
+  PropertyEncoder enc;
+  PropertyEncodeCache cache;
+  const std::vector<PropertyValue> values{
+      PropertyValue{std::string("m4.2xlarge")}, PropertyValue{std::uint64_t{4096}},
+      PropertyValue{std::string("m4.2xlarge")},  // repeat -> hit
+      PropertyValue{std::uint64_t{4096}},        // repeat -> hit
+      PropertyValue{std::string("4096")},        // text, distinct cache entry
+  };
+  for (const auto& v : values) {
+    EXPECT_EQ(enc.encode_cached(v, cache), enc.encode(v));
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.hits(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(PropertyEncoder, CachedReferencesStayValidAcrossInserts) {
+  // predict_batch keys unique property rows by the cached vector's address,
+  // so references handed out earlier must survive later insertions.
+  PropertyEncoder enc;
+  PropertyEncodeCache cache;
+  const auto& first = enc.encode_cached(PropertyValue{std::string("sgd")}, cache);
+  const std::vector<double> copy = first;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    enc.encode_cached(PropertyValue{i}, cache);
+  }
+  EXPECT_EQ(first, copy);
+  EXPECT_EQ(&enc.encode_cached(PropertyValue{std::string("sgd")}, cache), &first);
+}
+
 TEST(PropertyEncoder, ValuesStayInTanhRange) {
   // The decoder reconstructs with tanh, so every encoded component must lie
   // in [-1, 1] (paper: tanh "is in line with the nature of our vectorized
