@@ -4,10 +4,11 @@
 // sweep: every query shares the context template and varies the scale-out,
 // which is exactly the many-query pattern the paper's reuse setting produces.
 //
-//   ./build/bench/bench_batch_predict [--threads=N]
+//   ./build/bench/bench_batch_predict [--threads=N] [--json=PATH]
 //
 // Prints predictions/sec per mode and the batched-over-loop speedup, and
-// verifies that all three modes produce identical predictions.
+// verifies that all three modes produce identical predictions.  --json
+// writes the per-B rates as a small JSON document (CI artifact).
 
 #include <cmath>
 #include <cstdio>
@@ -20,8 +21,6 @@
 #include "core/bellamy_model.hpp"
 #include "core/trainer.hpp"
 #include "data/c3o_generator.hpp"
-#include "nn/serialize.hpp"
-#include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -52,12 +51,15 @@ double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) 
 
 int main(int argc, char** argv) {
   std::size_t num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = static_cast<std::size_t>(std::atoi(argv[i] + 10));
       if (num_threads == 0) num_threads = 1;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads=N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--threads=N] [--json=PATH]\n", argv[0]);
       return 2;
     }
   }
@@ -71,16 +73,7 @@ int main(int argc, char** argv) {
   core::PreTrainConfig pre;
   pre.epochs = 60;
   core::pretrain(model, history.runs(), pre);
-  const nn::Checkpoint ckpt = model.to_checkpoint();
-
-  // Per-thread replicas: one forward pass caches activations inside the
-  // network modules, so a model instance must never be shared across
-  // threads — replicate from the checkpoint instead.
-  std::vector<core::BellamyModel> replicas;
-  replicas.reserve(num_threads);
-  for (std::size_t t = 0; t < num_threads; ++t) {
-    replicas.push_back(core::BellamyModel::from_checkpoint(ckpt));
-  }
+  model.set_predict_chunk_threshold(0);  // modes 1/2 must stay single-pass
   parallel::ThreadPool pool(num_threads);
 
   const data::JobRun context_template = history.runs().front();
@@ -90,6 +83,11 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   double speedup_256 = 0.0;
+  struct Row {
+    std::size_t b;
+    double loop_rate, batch_rate, threaded_rate, speedup;
+  };
+  std::vector<Row> rows;
   for (const std::size_t b : {std::size_t{1}, std::size_t{16}, std::size_t{256},
                               std::size_t{4096}}) {
     const auto queries = make_queries(context_template, b);
@@ -111,23 +109,13 @@ int main(int argc, char** argv) {
     for (std::size_t r = 0; r < reps; ++r) batch_preds = model.predict_batch(queries);
     const double batch_s = batch_timer.seconds();
 
-    // Mode 3: batched + threaded over contiguous chunks, replica per thread.
-    std::vector<double> threaded_preds(b);
-    const std::size_t chunk = (b + num_threads - 1) / num_threads;
+    // Mode 3: batched + chunked across the pool (per-chunk model replicas
+    // rebuilt from the checkpoint inside predict_batch_chunked — a model
+    // instance must never be shared across threads).
+    std::vector<double> threaded_preds;
     util::Timer threaded_timer;
     for (std::size_t r = 0; r < reps; ++r) {
-      parallel::parallel_for(
-          num_threads,
-          [&](std::size_t t) {
-            const std::size_t begin = t * chunk;
-            if (begin >= b) return;
-            const std::size_t end = std::min(b, begin + chunk);
-            const std::vector<data::JobRun> slice(queries.begin() + begin,
-                                                  queries.begin() + end);
-            const auto preds = replicas[t].predict_batch(slice);
-            for (std::size_t i = 0; i < preds.size(); ++i) threaded_preds[begin + i] = preds[i];
-          },
-          &pool);
+      threaded_preds = model.predict_batch_chunked(queries, &pool, num_threads);
     }
     const double threaded_s = threaded_timer.seconds();
 
@@ -147,10 +135,32 @@ int main(int argc, char** argv) {
     }
     std::printf("%8zu %16.0f %16.0f %16.0f %11.2fx\n", b, loop_rate, batch_rate,
                 threaded_rate, speedup);
+    rows.push_back({b, loop_rate, batch_rate, threaded_rate, speedup});
   }
 
   std::printf("predictions identical across modes: %s\n", all_identical ? "yes" : "NO");
   std::printf("batched speedup at B=256: %.2fx (acceptance floor: 5x)\n", speedup_256);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    } else {
+      std::fprintf(f, "{\n  \"threads\": %zu,\n  \"identical\": %s,\n  \"batches\": [\n",
+                   num_threads, all_identical ? "true" : "false");
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        std::fprintf(f,
+                     "    {\"b\": %zu, \"loop_per_s\": %.0f, \"batch_per_s\": %.0f, "
+                     "\"chunked_per_s\": %.0f, \"speedup\": %.2f}%s\n",
+                     r.b, r.loop_rate, r.batch_rate, r.threaded_rate, r.speedup,
+                     i + 1 < rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
   if (!all_identical) return 1;
   return 0;
 }

@@ -37,7 +37,7 @@ data::JobRun sgd_context(const char* node, const char* iters, std::uint64_t size
 
 void print_codes(const char* title, core::BellamyModel& model, const data::JobRun& run) {
   const auto batch = model.make_batch({run});
-  const auto fw = model.forward(batch, /*training=*/false);
+  const auto codes = model.forward(batch, /*training=*/false).stacked_codes();
   std::printf("\n%s\n", title);
   std::printf("property\tc1\tc2\tc3\tc4\n");
   const char* names[] = {"node_type", "job_parameters", "dataset_size_mb",
@@ -45,19 +45,19 @@ void print_codes(const char* title, core::BellamyModel& model, const data::JobRu
   for (std::size_t p = 0; p < 4; ++p) {
     std::printf("%s", names[p]);
     for (std::size_t j = 0; j < model.config().code_dim; ++j) {
-      std::printf("\t%+.3f", fw.codes(p, j));
+      std::printf("\t%+.3f", codes(p, j));
     }
     std::printf("\n");
   }
 }
 
 double code_distance(core::BellamyModel& model, const data::JobRun& a, const data::JobRun& b) {
-  const auto fa = model.forward(model.make_batch({a}), false);
-  const auto fb = model.forward(model.make_batch({b}), false);
+  const auto ca = model.forward(model.make_batch({a}), false).stacked_codes();
+  const auto cb = model.forward(model.make_batch({b}), false).stacked_codes();
   double d2 = 0.0;
   for (std::size_t p = 0; p < 4; ++p) {
     for (std::size_t j = 0; j < model.config().code_dim; ++j) {
-      const double d = fa.codes(p, j) - fb.codes(p, j);
+      const double d = ca(p, j) - cb(p, j);
       d2 += d * d;
     }
   }

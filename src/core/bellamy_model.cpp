@@ -1,10 +1,13 @@
 #include "core/bellamy_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "nn/activations.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/string_utils.hpp"
 
 namespace bellamy::core {
@@ -78,55 +81,112 @@ void BellamyModel::build(std::uint64_t dropout_seed) {
   z_linears_ = {&z1, &z2};
 }
 
-BellamyBatch BellamyModel::make_batch(const std::vector<data::JobRun>& runs) const {
-  if (runs.empty()) throw std::invalid_argument("BellamyModel::make_batch: empty batch");
-  // Queries in one batch routinely share context properties (a scale-out
-  // sweep varies only x), so memoize the property vectorization per batch.
+BellamyEncodedRuns BellamyModel::encode_runs(const std::vector<data::JobRun>& runs) const {
+  if (runs.empty()) throw std::invalid_argument("BellamyModel::encode_runs: no runs");
+  // Runs routinely share context properties (a scale-out sweep varies only
+  // x), so the vectorization is memoized per distinct value and the stacked
+  // property matrix stores each distinct vector exactly once.  encode_cached
+  // returns a stable reference per distinct value, so the address doubles as
+  // the row's identity.
   encoding::PropertyEncodeCache encode_cache;
-  const std::size_t b = runs.size();
+  const std::size_t r = runs.size();
+  const std::size_t ppr = config_.props_per_sample();
+  BellamyEncodedRuns encoded;
+  encoded.num_runs = r;
+  encoded.scaleout_raw = nn::Matrix(r, 3);
+  encoded.targets_raw = nn::Matrix(r, 1);
+  encoded.prop_row.resize(r * ppr);
+  std::unordered_map<const std::vector<double>*, std::size_t> unique_index;
+  std::vector<const std::vector<double>*> unique_rows;
+  for (std::size_t i = 0; i < r; ++i) {
+    const auto& run = runs[i];
+    if (run.scale_out < 1) {
+      throw std::invalid_argument("BellamyModel::encode_runs: scale-out must be >= 1");
+    }
+    const double x = static_cast<double>(run.scale_out);
+    encoded.scaleout_raw(i, 0) = 1.0 / x;
+    encoded.scaleout_raw(i, 1) = std::log(x);
+    encoded.scaleout_raw(i, 2) = x;
+    encoded.targets_raw(i, 0) = run.runtime_s;
+
+    const auto ess = essential_properties(run);
+    const auto opt = optional_properties(run);
+    std::size_t slot = i * ppr;
+    for (const auto* props : {&ess, &opt}) {
+      for (const auto& p : *props) {
+        const std::vector<double>& vec = property_encoder_.encode_cached(p, encode_cache);
+        const auto [it, inserted] = unique_index.try_emplace(&vec, unique_rows.size());
+        if (inserted) unique_rows.push_back(&vec);
+        encoded.prop_row[slot++] = it->second;
+      }
+    }
+  }
+  encoded.properties = nn::Matrix(unique_rows.size(), config_.property_dim);
+  for (std::size_t row = 0; row < unique_rows.size(); ++row) {
+    const auto& vec = *unique_rows[row];
+    for (std::size_t j = 0; j < vec.size(); ++j) encoded.properties(row, j) = vec[j];
+  }
+  return encoded;
+}
+
+BellamyBatch BellamyModel::gather_batch(const BellamyEncodedRuns& encoded,
+                                        std::span<const std::size_t> indices) const {
+  if (indices.empty()) {
+    throw std::invalid_argument("BellamyModel::gather_batch: empty index set");
+  }
+  const std::size_t b = indices.size();
   const std::size_t ppr = config_.props_per_sample();
   BellamyBatch batch;
   batch.batch_size = b;
   batch.scaleout_raw = nn::Matrix(b, 3);
   batch.targets_raw = nn::Matrix(b, 1);
-  batch.properties = nn::Matrix(b * ppr, config_.property_dim);
-  for (std::size_t i = 0; i < b; ++i) {
-    const auto& run = runs[i];
-    if (run.scale_out < 1) {
-      throw std::invalid_argument("BellamyModel::make_batch: scale-out must be >= 1");
-    }
-    const double x = static_cast<double>(run.scale_out);
-    batch.scaleout_raw(i, 0) = 1.0 / x;
-    batch.scaleout_raw(i, 1) = std::log(x);
-    batch.scaleout_raw(i, 2) = x;
-    batch.targets_raw(i, 0) = run.runtime_s;
+  batch.prop_row.resize(b * ppr);
 
-    const auto ess = essential_properties(run);
-    const auto opt = optional_properties(run);
-    std::size_t row = i * ppr;
-    for (const auto& p : ess) {
-      const auto& vec = property_encoder_.encode_cached(p, encode_cache);
-      for (std::size_t j = 0; j < vec.size(); ++j) batch.properties(row, j) = vec[j];
-      ++row;
+  // Remap the set-wide unique rows to a batch-local unique set (first-use
+  // order keeps the gather deterministic).
+  constexpr std::size_t kUnused = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> local_row(encoded.properties.rows(), kUnused);
+  std::vector<std::size_t> used_rows;
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    const std::size_t i = indices[bi];
+    if (i >= encoded.num_runs) {
+      throw std::out_of_range("BellamyModel::gather_batch: run index out of range");
     }
-    for (const auto& p : opt) {
-      const auto& vec = property_encoder_.encode_cached(p, encode_cache);
-      for (std::size_t j = 0; j < vec.size(); ++j) batch.properties(row, j) = vec[j];
-      ++row;
+    for (std::size_t j = 0; j < 3; ++j) batch.scaleout_raw(bi, j) = encoded.scaleout_raw(i, j);
+    batch.targets_raw(bi, 0) = encoded.targets_raw(i, 0);
+    for (std::size_t p = 0; p < ppr; ++p) {
+      const std::size_t global = encoded.prop_row[i * ppr + p];
+      if (local_row[global] == kUnused) {
+        local_row[global] = used_rows.size();
+        used_rows.push_back(global);
+      }
+      batch.prop_row[bi * ppr + p] = local_row[global];
     }
   }
+  batch.properties = encoded.properties.gather_rows(used_rows);
+  batch.prop_weight.assign(used_rows.size(), 0.0);
+  for (const std::size_t row : batch.prop_row) batch.prop_weight[row] += 1.0;
   return batch;
+}
+
+BellamyBatch BellamyModel::make_batch(const std::vector<data::JobRun>& runs) const {
+  if (runs.empty()) throw std::invalid_argument("BellamyModel::make_batch: empty batch");
+  const BellamyEncodedRuns encoded = encode_runs(runs);
+  std::vector<std::size_t> all(runs.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return gather_batch(encoded, all);
 }
 
 void BellamyModel::fit_normalization(const std::vector<data::JobRun>& runs) {
   if (runs.empty()) {
     throw std::invalid_argument("BellamyModel::fit_normalization: no runs");
   }
-  const BellamyBatch batch = make_batch(runs);
+  const BellamyEncodedRuns batch = encode_runs(runs);
+  const std::size_t count = batch.num_runs;
   for (std::size_t j = 0; j < 3; ++j) {
     double lo = batch.scaleout_raw(0, j);
     double hi = lo;
-    for (std::size_t i = 1; i < batch.batch_size; ++i) {
+    for (std::size_t i = 1; i < count; ++i) {
       lo = std::min(lo, batch.scaleout_raw(i, j));
       hi = std::max(hi, batch.scaleout_raw(i, j));
     }
@@ -135,14 +195,14 @@ void BellamyModel::fit_normalization(const std::vector<data::JobRun>& runs) {
   }
   if (config_.standardize_target) {
     double sum = 0.0;
-    for (std::size_t i = 0; i < batch.batch_size; ++i) sum += batch.targets_raw(i, 0);
-    target_mean_ = sum / static_cast<double>(batch.batch_size);
+    for (std::size_t i = 0; i < count; ++i) sum += batch.targets_raw(i, 0);
+    target_mean_ = sum / static_cast<double>(count);
     double var = 0.0;
-    for (std::size_t i = 0; i < batch.batch_size; ++i) {
+    for (std::size_t i = 0; i < count; ++i) {
       const double d = batch.targets_raw(i, 0) - target_mean_;
       var += d * d;
     }
-    target_std_ = std::sqrt(var / static_cast<double>(batch.batch_size));
+    target_std_ = std::sqrt(var / static_cast<double>(count));
     if (target_std_ < 1e-9) target_std_ = std::max(1.0, std::abs(target_mean_) * 0.25);
   } else {
     // Paper-faithful mode: the network predicts raw seconds.
@@ -180,10 +240,11 @@ BellamyForward BellamyModel::forward(const BellamyBatch& batch, bool training) {
   set_training(training);
 
   BellamyForward fw;
+  fw.prop_row = batch.prop_row;
   const nn::Matrix xs = normalize_scaleout(batch.scaleout_raw);
   const nn::Matrix e = f_.forward(xs);                // (B x F)
-  fw.codes = g_.forward(batch.properties);            // (B*(m+n) x M)
-  fw.reconstruction = h_.forward(fw.codes);           // (B*(m+n) x N)
+  fw.codes = g_.forward(batch.properties);            // (U x M) unique rows only
+  fw.reconstruction = h_.forward(fw.codes);           // (U x N)
 
   const std::size_t b = batch.batch_size;
   const std::size_t m = config_.num_essential;
@@ -196,14 +257,14 @@ BellamyForward BellamyModel::forward(const BellamyBatch& batch, bool training) {
   for (std::size_t i = 0; i < b; ++i) {
     for (std::size_t j = 0; j < F; ++j) fw.combined(i, j) = e(i, j);
     for (std::size_t p = 0; p < m; ++p) {
-      const std::size_t crow = i * ppr + p;
+      const std::size_t crow = batch.prop_row[i * ppr + p];
       for (std::size_t j = 0; j < M; ++j) {
         fw.combined(i, F + p * M + j) = fw.codes(crow, j);
       }
     }
     for (std::size_t j = 0; j < M; ++j) {
       double acc = 0.0;
-      for (std::size_t p = 0; p < n; ++p) acc += fw.codes(i * ppr + m + p, j);
+      for (std::size_t p = 0; p < n; ++p) acc += fw.codes(batch.prop_row[i * ppr + m + p], j);
       fw.combined(i, F + m * M + j) = n ? acc / static_cast<double>(n) : 0.0;
     }
   }
@@ -212,6 +273,28 @@ BellamyForward BellamyModel::forward(const BellamyBatch& batch, bool training) {
   fw.prediction_raw = fw.prediction_norm.apply(
       [this](double v) { return denormalize_target(v); });
   return fw;
+}
+
+double BellamyModel::reconstruction_mse(const BellamyForward& fw, const BellamyBatch& batch,
+                                        nn::Matrix* grad) const {
+  // MSE over the stacked (B*(m+n) x N) matrix, computed on the unique rows
+  // weighted by multiplicity: duplicate rows reconstruct identically, so
+  // their terms are the unique-row terms counted prop_weight times.
+  const std::size_t u = batch.num_unique_properties();
+  const std::size_t cols = config_.property_dim;
+  const double denom =
+      static_cast<double>(batch.prop_row.size()) * static_cast<double>(cols);
+  if (grad) *grad = nn::Matrix(u, cols);
+  double total = 0.0;
+  for (std::size_t r = 0; r < u; ++r) {
+    const double weight = batch.prop_weight[r];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double e = fw.reconstruction(r, c) - batch.properties(r, c);
+      total += weight * e * e;
+      if (grad) (*grad)(r, c) = weight * 2.0 * e / denom;
+    }
+  }
+  return total / denom;
 }
 
 BellamyLoss BellamyModel::train_step(const BellamyBatch& batch, double reconstruction_weight) {
@@ -238,28 +321,33 @@ BellamyLoss BellamyModel::train_step(const BellamyBatch& batch, double reconstru
   const std::size_t F = config_.scaleout_out;
   const std::size_t ppr = config_.props_per_sample();
 
-  // Split grad_combined into the scale-out part and the code parts.
+  // Split grad_combined into the scale-out part and the code parts.  A
+  // unique property row that serves several stacked slots receives the SUM
+  // of their gradients (its code fed all of them), accumulated in
+  // slot order — the dedup-aware equivalent of the stacked scatter.
   nn::Matrix grad_e(b, F);
-  nn::Matrix grad_codes(b * ppr, M, 0.0);
+  nn::Matrix grad_codes(batch.num_unique_properties(), M, 0.0);
   for (std::size_t i = 0; i < b; ++i) {
     for (std::size_t j = 0; j < F; ++j) grad_e(i, j) = grad_combined(i, j);
     for (std::size_t p = 0; p < m; ++p) {
+      const std::size_t crow = batch.prop_row[i * ppr + p];
       for (std::size_t j = 0; j < M; ++j) {
-        grad_codes(i * ppr + p, j) = grad_combined(i, F + p * M + j);
+        grad_codes(crow, j) += grad_combined(i, F + p * M + j);
       }
     }
     for (std::size_t j = 0; j < M; ++j) {
       const double go = n ? grad_combined(i, F + m * M + j) / static_cast<double>(n) : 0.0;
-      for (std::size_t p = 0; p < n; ++p) grad_codes(i * ppr + m + p, j) = go;
+      for (std::size_t p = 0; p < n; ++p) {
+        grad_codes(batch.prop_row[i * ppr + m + p], j) += go;
+      }
     }
   }
 
   f_.backward(grad_e);
 
   if (reconstruction_weight > 0.0) {
-    const auto recon = nn::mse_loss(fw.reconstruction, batch.properties);
-    loss.reconstruction = recon.value;
-    nn::Matrix grad_recon = recon.grad;
+    nn::Matrix grad_recon;
+    loss.reconstruction = reconstruction_mse(fw, batch, &grad_recon);
     grad_recon *= reconstruction_weight;
     grad_codes += h_.backward(grad_recon);
   }
@@ -278,7 +366,7 @@ BellamyLoss BellamyModel::evaluate(const BellamyBatch& batch, double reconstruct
   loss.huber = nn::huber_loss(fw.prediction_norm, targets_norm, config_.huber_delta).value;
   loss.mae_seconds = nn::mae_loss(fw.prediction_raw, batch.targets_raw).value;
   if (reconstruction_weight > 0.0) {
-    loss.reconstruction = nn::mse_loss(fw.reconstruction, batch.properties).value;
+    loss.reconstruction = reconstruction_mse(fw, batch, nullptr);
   }
   loss.total = loss.huber + reconstruction_weight * loss.reconstruction;
   return loss;
@@ -290,6 +378,18 @@ std::vector<double> BellamyModel::predict_batch(const std::vector<data::JobRun>&
     throw std::logic_error("BellamyModel::predict_batch: fit_normalization was never called "
                            "(pre-train or load a checkpoint first)");
   }
+  // Very large batches go memory-bound in a single stacked pass on one core
+  // (the B=4096 dip), so they are split into contiguous chunks across the
+  // global ThreadPool.  Every output row's arithmetic is independent of the
+  // batch it rides in, so the chunked result is bit-identical.
+  if (predict_chunk_threshold_ > 0 && runs.size() >= predict_chunk_threshold_ &&
+      parallel::ThreadPool::global().size() > 1) {
+    return predict_batch_chunked(runs);
+  }
+  return predict_batch_serial(runs);
+}
+
+std::vector<double> BellamyModel::predict_batch_serial(const std::vector<data::JobRun>& runs) {
   set_training(false);
 
   const std::size_t b = runs.size();
@@ -300,61 +400,26 @@ std::vector<double> BellamyModel::predict_batch(const std::vector<data::JobRun>&
   const std::size_t ppr = config_.props_per_sample();
 
   // Inference needs the property codes but never the reconstruction, so the
-  // decoder h is skipped entirely.  Queries in one batch overwhelmingly
-  // share property values (a scale-out sweep repeats the whole context), so
-  // the encoder g runs over the UNIQUE property rows only and the codes are
-  // gathered back per sample — the encoder cost is O(distinct properties),
-  // not O(B * (m+n)).  Row-wise the arithmetic is identical to the stacked
+  // decoder h is skipped entirely.  encode_runs dedups the property rows, so
+  // the encoder g runs over the UNIQUE rows only and the codes are gathered
+  // back per sample — the encoder cost is O(distinct properties), not
+  // O(B * (m+n)).  Row-wise the arithmetic is identical to the stacked
   // forward, so predictions match the per-sample path bit for bit.
-  encoding::PropertyEncodeCache encode_cache;
-  nn::Matrix scaleout_raw(b, 3);
-  std::vector<std::size_t> code_row(b * ppr);
-  std::unordered_map<const std::vector<double>*, std::size_t> unique_index;
-  std::vector<const std::vector<double>*> unique_rows;
-  for (std::size_t i = 0; i < b; ++i) {
-    const auto& run = runs[i];
-    if (run.scale_out < 1) {
-      throw std::invalid_argument("BellamyModel::predict_batch: scale-out must be >= 1");
-    }
-    const double x = static_cast<double>(run.scale_out);
-    scaleout_raw(i, 0) = 1.0 / x;
-    scaleout_raw(i, 1) = std::log(x);
-    scaleout_raw(i, 2) = x;
+  const BellamyEncodedRuns encoded = encode_runs(runs);
 
-    const auto ess = essential_properties(run);
-    const auto opt = optional_properties(run);
-    std::size_t slot = i * ppr;
-    for (const auto* props : {&ess, &opt}) {
-      for (const auto& p : *props) {
-        // encode_cached returns a stable reference per distinct value, so
-        // the address doubles as the row's identity.
-        const std::vector<double>& vec = property_encoder_.encode_cached(p, encode_cache);
-        const auto [it, inserted] = unique_index.try_emplace(&vec, unique_rows.size());
-        if (inserted) unique_rows.push_back(&vec);
-        code_row[slot++] = it->second;
-      }
-    }
-  }
-
-  nn::Matrix unique_props(unique_rows.size(), config_.property_dim);
-  for (std::size_t r = 0; r < unique_rows.size(); ++r) {
-    const auto& vec = *unique_rows[r];
-    for (std::size_t j = 0; j < vec.size(); ++j) unique_props(r, j) = vec[j];
-  }
-
-  const nn::Matrix e = f_.forward(normalize_scaleout(scaleout_raw));  // (B x F)
-  const nn::Matrix codes = g_.forward(unique_props);                  // (U x M)
+  const nn::Matrix e = f_.forward(normalize_scaleout(encoded.scaleout_raw));  // (B x F)
+  const nn::Matrix codes = g_.forward(encoded.properties);                    // (U x M)
 
   nn::Matrix combined(b, config_.combined_dim());
   for (std::size_t i = 0; i < b; ++i) {
     for (std::size_t j = 0; j < F; ++j) combined(i, j) = e(i, j);
     for (std::size_t p = 0; p < m; ++p) {
-      const std::size_t crow = code_row[i * ppr + p];
+      const std::size_t crow = encoded.prop_row[i * ppr + p];
       for (std::size_t j = 0; j < M; ++j) combined(i, F + p * M + j) = codes(crow, j);
     }
     for (std::size_t j = 0; j < M; ++j) {
       double acc = 0.0;
-      for (std::size_t p = 0; p < n; ++p) acc += codes(code_row[i * ppr + m + p], j);
+      for (std::size_t p = 0; p < n; ++p) acc += codes(encoded.prop_row[i * ppr + m + p], j);
       combined(i, F + m * M + j) = n ? acc / static_cast<double>(n) : 0.0;
     }
   }
@@ -362,6 +427,48 @@ std::vector<double> BellamyModel::predict_batch(const std::vector<data::JobRun>&
   const nn::Matrix prediction = z_.forward(combined);  // (B x 1)
   std::vector<double> out(b);
   for (std::size_t i = 0; i < b; ++i) out[i] = denormalize_target(prediction(i, 0));
+  return out;
+}
+
+std::vector<double> BellamyModel::predict_batch_chunked(const std::vector<data::JobRun>& runs,
+                                                        parallel::ThreadPool* pool,
+                                                        std::size_t num_chunks) {
+  if (runs.empty()) return {};
+  if (!norm_fitted_) {
+    throw std::logic_error(
+        "BellamyModel::predict_batch_chunked: fit_normalization was never called "
+        "(pre-train or load a checkpoint first)");
+  }
+  parallel::ThreadPool& p = pool ? *pool : parallel::ThreadPool::global();
+  const std::size_t b = runs.size();
+  const std::size_t chunks = std::min(b, num_chunks ? num_chunks : std::max<std::size_t>(
+                                                                       1, p.size()));
+  // Fanning out over the pool we are currently a worker of would block this
+  // worker on tasks that may never get a thread — run inline instead.
+  if (chunks <= 1 || p.owns_current_thread()) return predict_batch_serial(runs);
+
+  // One forward pass caches activations inside the network modules, so a
+  // model instance must never be shared across threads — every chunk gets a
+  // replica rebuilt from this model's checkpoint.
+  const nn::Checkpoint ckpt = to_checkpoint();
+  std::vector<BellamyModel> replicas;
+  replicas.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) replicas.push_back(from_checkpoint(ckpt));
+
+  const std::size_t chunk_size = (b + chunks - 1) / chunks;
+  std::vector<double> out(b);
+  parallel::parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk_size;
+        if (begin >= b) return;
+        const std::size_t end = std::min(b, begin + chunk_size);
+        const std::vector<data::JobRun> slice(runs.begin() + static_cast<std::ptrdiff_t>(begin),
+                                              runs.begin() + static_cast<std::ptrdiff_t>(end));
+        const auto preds = replicas[c].predict_batch_serial(slice);
+        std::copy(preds.begin(), preds.end(), out.begin() + static_cast<std::ptrdiff_t>(begin));
+      },
+      &p);
   return out;
 }
 

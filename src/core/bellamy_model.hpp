@@ -14,6 +14,7 @@
 // frozen into checkpoints; §IV-A) so a persisted model is self-contained.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@
 #include "nn/serialize.hpp"
 #include "util/rng.hpp"
 
+namespace bellamy::parallel {
+class ThreadPool;
+}
+
 namespace bellamy::core {
 
 /// Extract the paper's essential property list from a run:
@@ -35,21 +40,51 @@ std::vector<encoding::PropertyValue> essential_properties(const data::JobRun& ru
 /// Optional property list: memory MB, CPU cores, job (algorithm) name.
 std::vector<encoding::PropertyValue> optional_properties(const data::JobRun& run);
 
-/// A vectorized mini-batch ready for the network.
-struct BellamyBatch {
-  nn::Matrix scaleout_raw;   ///< (B x 3) un-normalized [1/x, log x, x]
-  nn::Matrix properties;     ///< (B*(m+n) x N) sample-major stacked vectors
-  nn::Matrix targets_raw;    ///< (B x 1) runtimes in seconds
-  std::size_t batch_size = 0;
+/// A set of runs encoded once for repeated batching: scale-out features and
+/// targets per run, plus the property vectors deduplicated across the whole
+/// set.  Pre-training gathers thousands of mini-batches from one of these, so
+/// the (comparatively expensive) property vectorization runs once per corpus
+/// instead of once per epoch.
+struct BellamyEncodedRuns {
+  nn::Matrix scaleout_raw;  ///< (R x 3) un-normalized [1/x, log x, x]
+  nn::Matrix targets_raw;   ///< (R x 1) runtimes in seconds
+  nn::Matrix properties;    ///< (U x N) distinct property vectors, first-use order
+  std::vector<std::size_t> prop_row;  ///< (R*(m+n)) stacked slot -> row in properties
+  std::size_t num_runs = 0;
 };
 
-/// Result of one forward pass.
+/// A vectorized mini-batch ready for the network.  Property rows are
+/// deduplicated: `properties` holds only the distinct vectors of this batch,
+/// `prop_row` maps every stacked per-sample slot (sample-major, m essential
+/// then n optional) to its row, and `prop_weight` is each row's multiplicity.
+/// The encoder/decoder run over the unique rows only; gradients are
+/// accumulated back per unique row via the same mapping.
+struct BellamyBatch {
+  nn::Matrix scaleout_raw;   ///< (B x 3) un-normalized [1/x, log x, x]
+  nn::Matrix properties;     ///< (U x N) deduplicated property vectors
+  nn::Matrix targets_raw;    ///< (B x 1) runtimes in seconds
+  std::vector<std::size_t> prop_row;  ///< (B*(m+n)) stacked slot -> row in properties
+  std::vector<double> prop_weight;    ///< (U) multiplicity of each unique row
+  std::size_t batch_size = 0;
+
+  std::size_t num_unique_properties() const { return properties.rows(); }
+  /// Materialize the pre-dedup sample-major stacked matrix (B*(m+n) x N).
+  nn::Matrix stacked_properties() const { return properties.gather_rows(prop_row); }
+};
+
+/// Result of one forward pass.  `codes` / `reconstruction` cover the UNIQUE
+/// property rows of the batch (matching BellamyBatch::properties); use the
+/// stacked_* helpers for the per-sample-slot view.
 struct BellamyForward {
   nn::Matrix prediction_raw;  ///< (B x 1) denormalized runtime prediction
   nn::Matrix prediction_norm; ///< (B x 1) network-space prediction
-  nn::Matrix codes;           ///< (B*(m+n) x M)
-  nn::Matrix reconstruction;  ///< (B*(m+n) x N)
+  nn::Matrix codes;           ///< (U x M) encoder output per unique property row
+  nn::Matrix reconstruction;  ///< (U x N) decoder output per unique property row
   nn::Matrix combined;        ///< (B x combined_dim) the vector r
+  std::vector<std::size_t> prop_row;  ///< copy of the batch's slot -> row mapping
+
+  nn::Matrix stacked_codes() const { return codes.gather_rows(prop_row); }
+  nn::Matrix stacked_reconstruction() const { return reconstruction.gather_rows(prop_row); }
 };
 
 /// Losses of one training step.
@@ -65,6 +100,18 @@ class BellamyModel {
   BellamyModel(BellamyConfig config, std::uint64_t seed);
 
   // ---- data preparation ----------------------------------------------------
+  /// Encode a set of runs once (scale-out features, targets, property vectors
+  /// deduplicated across the set).  Feed the result to gather_batch to form
+  /// mini-batches without re-encoding.
+  BellamyEncodedRuns encode_runs(const std::vector<data::JobRun>& runs) const;
+
+  /// Assemble the mini-batch of the given run indices from an encoded set.
+  /// The batch references only the property rows its samples use, with
+  /// per-batch multiplicities.
+  BellamyBatch gather_batch(const BellamyEncodedRuns& encoded,
+                            std::span<const std::size_t> indices) const;
+
+  /// encode_runs + gather_batch over all runs (one-shot convenience).
   BellamyBatch make_batch(const std::vector<data::JobRun>& runs) const;
 
   /// Fit scale-out feature bounds and target scaling on training runs.
@@ -88,11 +135,29 @@ class BellamyModel {
   /// forward pass: all queries are encoded into one stacked property matrix
   /// and one scale-out matrix, so the network runs once regardless of batch
   /// size.  Repeated property values across queries are vectorized once.
-  /// An empty batch yields an empty vector.
+  /// Batches of at least predict_chunk_threshold() queries are split into
+  /// contiguous chunks across the global ThreadPool (per-thread model
+  /// replicas built from a checkpoint); chunked results are bit-identical to
+  /// the single-pass path.  An empty batch yields an empty vector.
   std::vector<double> predict_batch(const std::vector<data::JobRun>& runs);
   /// Alias for predict_batch (historical name).
   std::vector<double> predict(const std::vector<data::JobRun>& runs);
   double predict_one(const data::JobRun& run);
+
+  /// Explicitly chunked prediction over `pool` (nullptr = global pool) in
+  /// `num_chunks` contiguous slices (0 = one per pool worker).  Used
+  /// internally for large batches; exposed so callers and tests can pick
+  /// their own pool and chunking.
+  std::vector<double> predict_batch_chunked(const std::vector<data::JobRun>& runs,
+                                            parallel::ThreadPool* pool = nullptr,
+                                            std::size_t num_chunks = 0);
+
+  /// Minimum batch size at which predict_batch auto-chunks across the global
+  /// ThreadPool (0 disables auto-chunking).  Default 2048.
+  std::size_t predict_chunk_threshold() const { return predict_chunk_threshold_; }
+  void set_predict_chunk_threshold(std::size_t threshold) {
+    predict_chunk_threshold_ = threshold;
+  }
 
   // ---- components (freeze policy, reuse variants) ---------------------------
   nn::Sequential& f() { return f_; }
@@ -129,6 +194,12 @@ class BellamyModel {
   nn::Matrix normalize_scaleout(const nn::Matrix& raw) const;
   double normalize_target(double seconds) const;
   double denormalize_target(double network_value) const;
+  std::vector<double> predict_batch_serial(const std::vector<data::JobRun>& runs);
+  /// Weighted (by row multiplicity) reconstruction MSE over the batch's
+  /// unique property rows — equal to the MSE over the stacked matrix.  Fills
+  /// `grad` (U x N) with d(mse)/d(reconstruction) when non-null.
+  double reconstruction_mse(const BellamyForward& fw, const BellamyBatch& batch,
+                            nn::Matrix* grad) const;
 
   BellamyConfig config_;
   util::Rng rng_;
@@ -140,6 +211,9 @@ class BellamyModel {
   nn::Sequential z_;  ///< runtime predictor
   nn::AlphaDropout* g_dropout_ = nullptr;  ///< owned by g_
   nn::AlphaDropout* h_dropout_ = nullptr;  ///< owned by h_
+
+  // Auto-chunking floor for predict_batch (not persisted).
+  std::size_t predict_chunk_threshold_ = 2048;
 
   // Normalization state (persisted).
   bool norm_fitted_ = false;

@@ -1,6 +1,7 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "nn/lr_scheduler.hpp"
@@ -28,6 +29,11 @@ PreTrainResult pretrain(BellamyModel& model, const std::vector<data::JobRun>& ru
   std::vector<std::size_t> order(runs.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // Encode the whole corpus once (scale-out features, targets, property
+  // vectors deduplicated set-wide); every epoch's mini-batches are cheap
+  // index gathers instead of per-sample re-vectorization.
+  const BellamyEncodedRuns encoded = model.encode_runs(runs);
+
   PreTrainResult result;
   result.loss_history.reserve(config.epochs);
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
@@ -37,12 +43,10 @@ PreTrainResult pretrain(BellamyModel& model, const std::vector<data::JobRun>& ru
     std::size_t batches = 0;
     for (std::size_t begin = 0; begin < order.size(); begin += config.batch_size) {
       const std::size_t end = std::min(order.size(), begin + config.batch_size);
-      std::vector<data::JobRun> batch_runs;
-      batch_runs.reserve(end - begin);
-      for (std::size_t i = begin; i < end; ++i) batch_runs.push_back(runs[order[i]]);
+      const std::span<const std::size_t> indices(order.data() + begin, end - begin);
 
       optimizer.zero_grad();
-      const BellamyBatch batch = model.make_batch(batch_runs);
+      const BellamyBatch batch = model.gather_batch(encoded, indices);
       const BellamyLoss loss = model.train_step(batch, config.reconstruction_weight);
       optimizer.step();
 

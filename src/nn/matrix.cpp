@@ -6,6 +6,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
 #include "util/rng.hpp"
 
 namespace bellamy::nn {
@@ -200,16 +204,6 @@ Matrix Matrix::hadamard(const Matrix& rhs) const {
   return out;
 }
 
-Matrix Matrix::apply(const std::function<double(double)>& fn) const {
-  Matrix out = *this;
-  out.apply_inplace(fn);
-  return out;
-}
-
-void Matrix::apply_inplace(const std::function<double(double)>& fn) {
-  for (double& v : data_) v = fn(v);
-}
-
 void Matrix::add_scaled(const Matrix& rhs, double alpha) {
   check_same_shape(rhs, "add_scaled");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * rhs.data_[i];
@@ -217,9 +211,266 @@ void Matrix::add_scaled(const Matrix& rhs, double alpha) {
 
 void Matrix::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
 
+namespace {
+
+// Tile sizes for the blocked GEMM: a 64x64 double tile is 32 KB, so one
+// packed B tile plus the four active C rows stay resident in L1 while the
+// k loop runs.
+constexpr std::size_t kTileI = 64;
+constexpr std::size_t kTileJ = 64;
+constexpr std::size_t kTileK = 64;
+
+// Copies columns [j0, j0 + w) of op(B) into a contiguous (k x w) row-major
+// panel.  op(B) is B itself (k x n, row-major) or, with b_trans, Bᵀ where B
+// is stored (n x k) — packing absorbs the transpose so the micro-kernel
+// always streams the panel contiguously.
+void pack_b_panel(const double* b, std::size_t ldb, bool b_trans, std::size_t k,
+                  std::size_t j0, std::size_t w, double* dst) {
+  if (!b_trans) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      std::copy_n(b + kk * ldb + j0, w, dst + kk * w);
+    }
+  } else {
+    for (std::size_t j = 0; j < w; ++j) {
+      const double* bcol = b + (j0 + j) * ldb;
+      for (std::size_t kk = 0; kk < k; ++kk) dst[kk * w + j] = bcol[kk];
+    }
+  }
+}
+
+// ---- portable micro-kernels ------------------------------------------------
+//
+// 4x8 register micro-kernel: acc[] covers a 4-row x 8-column patch of C and
+// accumulates the whole k-tile in registers before C is touched once.  Each
+// C element still receives its k contributions in ascending order (grouped
+// per k-tile), so a row's result is independent of how many rows the call
+// processes — chunked and unchunked batches match bit for bit.
+void micro_4x8(const double* a, std::size_t lda, const double* panel, std::size_t w,
+               std::size_t kk, double* c, std::size_t ldc) {
+  double acc[4][8] = {};
+  for (std::size_t k = 0; k < kk; ++k) {
+    const double* br = panel + k * w;
+    const double v0 = a[0 * lda + k];
+    const double v1 = a[1 * lda + k];
+    const double v2 = a[2 * lda + k];
+    const double v3 = a[3 * lda + k];
+    for (std::size_t j = 0; j < 8; ++j) {
+      const double bj = br[j];
+      acc[0][j] += v0 * bj;
+      acc[1][j] += v1 * bj;
+      acc[2][j] += v2 * bj;
+      acc[3][j] += v3 * bj;
+    }
+  }
+  for (std::size_t r = 0; r < 4; ++r) {
+    double* cr = c + r * ldc;
+    for (std::size_t j = 0; j < 8; ++j) cr[j] += acc[r][j];
+  }
+}
+
+// Scalar edge kernel for the ragged i/j remainders of a tile.
+void micro_edge(const double* a, std::size_t lda, const double* panel, std::size_t w,
+                std::size_t mi, std::size_t j0, std::size_t wj, std::size_t kk, double* c,
+                std::size_t ldc) {
+  for (std::size_t i = 0; i < mi; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    double acc[8] = {};
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double v = ai[k];
+      const double* br = panel + k * w + j0;
+      for (std::size_t j = 0; j < wj; ++j) acc[j] += v * br[j];
+    }
+    for (std::size_t j = 0; j < wj; ++j) ci[j0 + j] += acc[j];
+  }
+}
+
+// C[i0 .. i0+mi) x [panel columns] += A-tile * B-panel-tile via the 4x8
+// register micro-kernel, i/k/j order.
+void gemm_tile_portable(const double* a, std::size_t lda, const double* panel,
+                        std::size_t w, std::size_t mi, std::size_t kk, double* c,
+                        std::size_t ldc) {
+  const std::size_t mi4 = mi - mi % 4;
+  const std::size_t w8 = w - w % 8;
+  for (std::size_t i = 0; i < mi4; i += 4) {
+    for (std::size_t j = 0; j < w8; j += 8) {
+      micro_4x8(a + i * lda, lda, panel + j, w, kk, c + i * ldc + j, ldc);
+    }
+    if (w8 < w) micro_edge(a + i * lda, lda, panel, w, 4, w8, w - w8, kk, c + i * ldc, ldc);
+  }
+  if (mi4 < mi) {
+    for (std::size_t j = 0; j < w; j += 8) {
+      micro_edge(a + mi4 * lda, lda, panel, w, mi - mi4, j, std::min<std::size_t>(8, w - j),
+                 kk, c + mi4 * ldc, ldc);
+    }
+  }
+}
+
+// ---- AVX2 + FMA micro-kernels (runtime-dispatched) -------------------------
+//
+// Same tiling, but the 4x8 patch is held in eight ymm accumulators and
+// updated with vfmadd.  The edge kernel uses scalar fused multiply-adds so
+// that on an AVX2 machine EVERY C element is computed with the exact same
+// (fused) arithmetic regardless of which kernel its position lands in; the
+// dispatch decision is per-process, so all results within a run stay
+// self-consistent across batch sizes and chunkings.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define BELLAMY_GEMM_X86_DISPATCH 1
+
+__attribute__((target("avx2,fma"))) void micro_4x8_avx2(const double* a, std::size_t lda,
+                                                        const double* panel, std::size_t w,
+                                                        std::size_t kk, double* c,
+                                                        std::size_t ldc) {
+  __m256d a00 = _mm256_setzero_pd(), a01 = a00, a10 = a00, a11 = a00, a20 = a00, a21 = a00,
+          a30 = a00, a31 = a00;
+  for (std::size_t k = 0; k < kk; ++k) {
+    const double* br = panel + k * w;
+    const __m256d b0 = _mm256_loadu_pd(br);
+    const __m256d b1 = _mm256_loadu_pd(br + 4);
+    __m256d v = _mm256_broadcast_sd(a + 0 * lda + k);
+    a00 = _mm256_fmadd_pd(v, b0, a00);
+    a01 = _mm256_fmadd_pd(v, b1, a01);
+    v = _mm256_broadcast_sd(a + 1 * lda + k);
+    a10 = _mm256_fmadd_pd(v, b0, a10);
+    a11 = _mm256_fmadd_pd(v, b1, a11);
+    v = _mm256_broadcast_sd(a + 2 * lda + k);
+    a20 = _mm256_fmadd_pd(v, b0, a20);
+    a21 = _mm256_fmadd_pd(v, b1, a21);
+    v = _mm256_broadcast_sd(a + 3 * lda + k);
+    a30 = _mm256_fmadd_pd(v, b0, a30);
+    a31 = _mm256_fmadd_pd(v, b1, a31);
+  }
+  double* c0 = c + 0 * ldc;
+  double* c1 = c + 1 * ldc;
+  double* c2 = c + 2 * ldc;
+  double* c3 = c + 3 * ldc;
+  _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), a00));
+  _mm256_storeu_pd(c0 + 4, _mm256_add_pd(_mm256_loadu_pd(c0 + 4), a01));
+  _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), a10));
+  _mm256_storeu_pd(c1 + 4, _mm256_add_pd(_mm256_loadu_pd(c1 + 4), a11));
+  _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), a20));
+  _mm256_storeu_pd(c2 + 4, _mm256_add_pd(_mm256_loadu_pd(c2 + 4), a21));
+  _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), a30));
+  _mm256_storeu_pd(c3 + 4, _mm256_add_pd(_mm256_loadu_pd(c3 + 4), a31));
+}
+
+__attribute__((target("avx2,fma"))) void micro_edge_fma(const double* a, std::size_t lda,
+                                                        const double* panel, std::size_t w,
+                                                        std::size_t mi, std::size_t j0,
+                                                        std::size_t wj, std::size_t kk,
+                                                        double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < mi; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    double acc[8] = {};
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double v = ai[k];
+      const double* br = panel + k * w + j0;
+      for (std::size_t j = 0; j < wj; ++j) acc[j] = __builtin_fma(v, br[j], acc[j]);
+    }
+    for (std::size_t j = 0; j < wj; ++j) ci[j0 + j] += acc[j];
+  }
+}
+
+__attribute__((target("avx2,fma"))) void gemm_tile_avx2(const double* a, std::size_t lda,
+                                                        const double* panel, std::size_t w,
+                                                        std::size_t mi, std::size_t kk,
+                                                        double* c, std::size_t ldc) {
+  const std::size_t mi4 = mi - mi % 4;
+  const std::size_t w8 = w - w % 8;
+  for (std::size_t i = 0; i < mi4; i += 4) {
+    for (std::size_t j = 0; j < w8; j += 8) {
+      micro_4x8_avx2(a + i * lda, lda, panel + j, w, kk, c + i * ldc + j, ldc);
+    }
+    if (w8 < w) {
+      micro_edge_fma(a + i * lda, lda, panel, w, 4, w8, w - w8, kk, c + i * ldc, ldc);
+    }
+  }
+  if (mi4 < mi) {
+    for (std::size_t j = 0; j < w; j += 8) {
+      micro_edge_fma(a + mi4 * lda, lda, panel, w, mi - mi4, j,
+                     std::min<std::size_t>(8, w - j), kk, c + mi4 * ldc, ldc);
+    }
+  }
+}
+#endif  // x86 dispatch
+
+using GemmTileFn = void (*)(const double*, std::size_t, const double*, std::size_t,
+                            std::size_t, std::size_t, double*, std::size_t);
+
+GemmTileFn pick_gemm_tile() {
+#ifdef BELLAMY_GEMM_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return gemm_tile_avx2;
+  }
+#endif
+  return gemm_tile_portable;
+}
+
+// Shared blocked kernel: C (m x n, zero-initialized) = A (m x k, row-major)
+// * op(B).  All three public matmul variants route here; matmul_tn first
+// materializes Aᵀ (O(mk) — negligible against the O(mkn) product).
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                  std::size_t lda, const double* b, std::size_t ldb, bool b_trans,
+                  double* c, std::size_t ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  static const GemmTileFn tile = pick_gemm_tile();
+  // Per-thread scratch so small products don't pay a malloc per call.
+  thread_local std::vector<double> panel;
+  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const std::size_t w = std::min(kTileJ, n - j0);
+    if (panel.size() < k * w) panel.resize(k * w);
+    pack_b_panel(b, ldb, b_trans, k, j0, w, panel.data());
+    for (std::size_t i0 = 0; i0 < m; i0 += kTileI) {
+      const std::size_t mi = std::min(kTileI, m - i0);
+      for (std::size_t k0 = 0; k0 < k; k0 += kTileK) {
+        const std::size_t kk = std::min(kTileK, k - k0);
+        tile(a + i0 * lda + k0, lda, panel.data() + k0 * w, w, mi, kk, c + i0 * ldc + j0,
+             ldc);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
   if (a.cols_ != b.rows_) {
     throw std::invalid_argument("Matrix::matmul: inner dim mismatch " + a.shape_str() +
+                                " * " + b.shape_str());
+  }
+  Matrix out(a.rows_, b.cols_, 0.0);
+  gemm_blocked(a.rows_, b.cols_, a.cols_, a.data_.data(), a.cols_, b.data_.data(), b.cols_,
+               /*b_trans=*/false, out.data_.data(), out.cols_);
+  return out;
+}
+
+Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows_ != b.rows_) {
+    throw std::invalid_argument("Matrix::matmul_tn: dim mismatch " + a.shape_str() +
+                                "ᵀ * " + b.shape_str());
+  }
+  const Matrix at = a.transposed();
+  Matrix out(a.cols_, b.cols_, 0.0);
+  gemm_blocked(at.rows_, b.cols_, at.cols_, at.data_.data(), at.cols_, b.data_.data(),
+               b.cols_, /*b_trans=*/false, out.data_.data(), out.cols_);
+  return out;
+}
+
+Matrix Matrix::matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols_ != b.cols_) {
+    throw std::invalid_argument("Matrix::matmul_nt: dim mismatch " + a.shape_str() + " * " +
+                                b.shape_str() + "ᵀ");
+  }
+  Matrix out(a.rows_, b.rows_, 0.0);
+  gemm_blocked(a.rows_, b.rows_, a.cols_, a.data_.data(), a.cols_, b.data_.data(), b.cols_,
+               /*b_trans=*/true, out.data_.data(), out.cols_);
+  return out;
+}
+
+Matrix Matrix::matmul_ref(const Matrix& a, const Matrix& b) {
+  if (a.cols_ != b.rows_) {
+    throw std::invalid_argument("Matrix::matmul_ref: inner dim mismatch " + a.shape_str() +
                                 " * " + b.shape_str());
   }
   Matrix out(a.rows_, b.cols_, 0.0);
@@ -229,7 +480,6 @@ Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
     double* orow = out.data_.data() + i * out.cols_;
     for (std::size_t k = 0; k < a.cols_; ++k) {
       const double aik = arow[k];
-      if (aik == 0.0) continue;
       const double* brow = b.data_.data() + k * b.cols_;
       for (std::size_t j = 0; j < b.cols_; ++j) orow[j] += aik * brow[j];
     }
@@ -237,9 +487,9 @@ Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
+Matrix Matrix::matmul_tn_ref(const Matrix& a, const Matrix& b) {
   if (a.rows_ != b.rows_) {
-    throw std::invalid_argument("Matrix::matmul_tn: dim mismatch " + a.shape_str() +
+    throw std::invalid_argument("Matrix::matmul_tn_ref: dim mismatch " + a.shape_str() +
                                 "ᵀ * " + b.shape_str());
   }
   Matrix out(a.cols_, b.cols_, 0.0);
@@ -248,7 +498,6 @@ Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
     const double* brow = b.data_.data() + k * b.cols_;
     for (std::size_t i = 0; i < a.cols_; ++i) {
       const double aki = arow[i];
-      if (aki == 0.0) continue;
       double* orow = out.data_.data() + i * out.cols_;
       for (std::size_t j = 0; j < b.cols_; ++j) orow[j] += aki * brow[j];
     }
@@ -256,10 +505,10 @@ Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix Matrix::matmul_nt(const Matrix& a, const Matrix& b) {
+Matrix Matrix::matmul_nt_ref(const Matrix& a, const Matrix& b) {
   if (a.cols_ != b.cols_) {
-    throw std::invalid_argument("Matrix::matmul_nt: dim mismatch " + a.shape_str() + " * " +
-                                b.shape_str() + "ᵀ");
+    throw std::invalid_argument("Matrix::matmul_nt_ref: dim mismatch " + a.shape_str() +
+                                " * " + b.shape_str() + "ᵀ");
   }
   Matrix out(a.rows_, b.rows_, 0.0);
   for (std::size_t i = 0; i < a.rows_; ++i) {

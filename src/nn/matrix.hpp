@@ -7,11 +7,11 @@
 // message.
 
 #include <cstddef>
-#include <functional>
 #include <initializer_list>
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bellamy::util {
@@ -86,20 +86,40 @@ class Matrix {
 
   /// Element-wise (Hadamard) product.
   Matrix hadamard(const Matrix& rhs) const;
-  /// Element-wise transform.
-  Matrix apply(const std::function<double(double)>& fn) const;
-  void apply_inplace(const std::function<double(double)>& fn);
+  /// Element-wise transform.  Templated so callables are statically dispatched
+  /// (inlined) in hot loops — no std::function indirection per element.
+  template <typename Fn>
+  Matrix apply(Fn&& fn) const {
+    Matrix out = *this;
+    out.apply_inplace(std::forward<Fn>(fn));
+    return out;
+  }
+  template <typename Fn>
+  void apply_inplace(Fn&& fn) {
+    for (double& v : data_) v = fn(v);
+  }
   /// this += alpha * rhs (axpy).
   void add_scaled(const Matrix& rhs, double alpha);
   void fill(double value);
   void setZero() { fill(0.0); }
 
-  /// Matrix product: (m x k) * (k x n) -> (m x n). Blocked inner loop.
+  /// Matrix product: (m x k) * (k x n) -> (m x n).  Register-blocked,
+  /// cache-tiled kernel (packed B panel, i/k/j loop order, 64x64 tiles);
+  /// every output row is accumulated in ascending-k order, so results are
+  /// independent of how rows are batched or chunked.
   static Matrix matmul(const Matrix& a, const Matrix& b);
-  /// aᵀ * b without materializing the transpose: (k x m)ᵀ (k x n) -> (m x n).
+  /// aᵀ * b: (k x m)ᵀ (k x n) -> (m x n).  Materializes aᵀ (O(km), negligible
+  /// against the O(mkn) product) so the blocked kernel streams rows.
   static Matrix matmul_tn(const Matrix& a, const Matrix& b);
-  /// a * bᵀ without materializing the transpose: (m x k)(n x k)ᵀ -> (m x n).
+  /// a * bᵀ without materializing the transpose: (m x k)(n x k)ᵀ -> (m x n)
+  /// (the packed B panel absorbs the transpose).
   static Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+  /// Naive triple-loop reference kernels (the pre-blocking implementations),
+  /// kept as the ground truth for the blocked kernels' property tests.
+  static Matrix matmul_ref(const Matrix& a, const Matrix& b);
+  static Matrix matmul_tn_ref(const Matrix& a, const Matrix& b);
+  static Matrix matmul_nt_ref(const Matrix& a, const Matrix& b);
 
   /// Broadcast-add a row vector (1 x cols) to every row.
   Matrix add_row_broadcast(const Matrix& row_vec) const;

@@ -25,7 +25,15 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+namespace {
+// Owning pool of the current thread (nullptr outside any pool worker).
+thread_local const ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::owns_current_thread() const { return t_current_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -53,6 +53,12 @@ class ThreadPool {
   /// Block until all currently queued and running tasks finish.
   void wait_idle();
 
+  /// True when called from one of THIS pool's worker threads.  Code that
+  /// fans out over a pool and blocks on the results must not do so from
+  /// inside the same pool (every worker could end up waiting on tasks that
+  /// no free worker is left to run) — check this and run inline instead.
+  bool owns_current_thread() const;
+
   /// Process-wide default pool (lazily constructed, hardware concurrency).
   static ThreadPool& global();
 

@@ -13,6 +13,7 @@
 #include "core/trainer.hpp"
 #include "data/c3o_generator.hpp"
 #include "eval/experiment.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace bellamy::core {
 namespace {
@@ -115,6 +116,65 @@ TEST(BatchPredict, SingleElementBatchMatchesScalar) {
   const auto batched = pred.predict_batch(one);
   ASSERT_EQ(batched.size(), 1u);
   EXPECT_NEAR(batched[0], pred.predict(fx.target_runs[0]), 1e-9);
+}
+
+// ---- chunked large-batch prediction ----------------------------------------
+
+std::vector<data::JobRun> scaleout_sweep(const data::JobRun& context_template, std::size_t b) {
+  std::vector<data::JobRun> queries;
+  queries.reserve(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    data::JobRun q = context_template;
+    q.scale_out = static_cast<int>(1 + i % 60);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+TEST(BatchPredict, ChunkedMatchesUnchunkedBitForBit) {
+  Fixture fx;
+  BellamyModel model = quick_pretrained(fx.rest, 17);
+  const auto queries = scaleout_sweep(fx.target_runs.front(), 403);  // ragged chunks
+
+  model.set_predict_chunk_threshold(0);  // force the single-pass path
+  const auto unchunked = model.predict_batch(queries);
+
+  parallel::ThreadPool pool(3);
+  for (const std::size_t chunks : {std::size_t{2}, std::size_t{3}, std::size_t{7}}) {
+    const auto chunked = model.predict_batch_chunked(queries, &pool, chunks);
+    ASSERT_EQ(chunked.size(), unchunked.size()) << chunks << " chunks";
+    // Bit-identical, not merely close: a prediction's arithmetic must not
+    // depend on which chunk (or batch) the query rides in.
+    EXPECT_EQ(chunked, unchunked) << chunks << " chunks";
+  }
+}
+
+TEST(BatchPredict, AutoChunkThresholdRoutesThroughChunkedPath) {
+  Fixture fx;
+  BellamyModel model = quick_pretrained(fx.rest, 19);
+  const auto queries = scaleout_sweep(fx.target_runs.front(), 96);
+
+  model.set_predict_chunk_threshold(0);
+  const auto baseline = model.predict_batch(queries);
+  // A tiny threshold forces auto-chunking (when the global pool has >1
+  // worker; with 1 worker predict_batch falls back to the serial path —
+  // either way the contract is identical output).
+  model.set_predict_chunk_threshold(8);
+  EXPECT_EQ(model.predict_batch(queries), baseline);
+  EXPECT_EQ(model.predict_chunk_threshold(), 8u);
+}
+
+TEST(BatchPredict, ChunkedSingleChunkAndEmptyEdges) {
+  Fixture fx;
+  BellamyModel model = quick_pretrained(fx.rest, 23);
+  EXPECT_TRUE(model.predict_batch_chunked({}).empty());
+  const auto queries = scaleout_sweep(fx.target_runs.front(), 5);
+  parallel::ThreadPool pool(2);
+  model.set_predict_chunk_threshold(0);
+  const auto serial = model.predict_batch(queries);
+  EXPECT_EQ(model.predict_batch_chunked(queries, &pool, 1), serial);
+  // More chunks than queries degenerates to one query per chunk.
+  EXPECT_EQ(model.predict_batch_chunked(queries, &pool, 64), serial);
 }
 
 // Tiny end-to-end experiment used by the determinism checks below.

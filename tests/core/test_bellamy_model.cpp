@@ -61,9 +61,36 @@ TEST(BellamyModel, MakeBatchShapes) {
   EXPECT_EQ(batch.batch_size, 6u);
   EXPECT_EQ(batch.scaleout_raw.rows(), 6u);
   EXPECT_EQ(batch.scaleout_raw.cols(), 3u);
-  EXPECT_EQ(batch.properties.rows(), 6u * 7u);
+  // All six runs share the same context, so the deduplicated property matrix
+  // holds exactly one batch's worth of rows; the stacked view restores the
+  // full sample-major layout.
+  EXPECT_EQ(batch.properties.rows(), 7u);
   EXPECT_EQ(batch.properties.cols(), 40u);
+  EXPECT_EQ(batch.prop_row.size(), 6u * 7u);
+  const auto stacked = batch.stacked_properties();
+  EXPECT_EQ(stacked.rows(), 6u * 7u);
+  EXPECT_EQ(stacked.cols(), 40u);
   EXPECT_EQ(batch.targets_raw.rows(), 6u);
+  double total_weight = 0.0;
+  for (double w : batch.prop_weight) total_weight += w;
+  EXPECT_DOUBLE_EQ(total_weight, 6.0 * 7.0);
+}
+
+TEST(BellamyModel, GatherBatchMatchesMakeBatch) {
+  BellamyModel model(BellamyConfig{}, 1);
+  const auto runs = small_context();
+  const auto encoded = model.encode_runs(runs);
+  const std::vector<std::size_t> idx{4, 1, 2};
+  const auto gathered = model.gather_batch(encoded, idx);
+  const std::vector<data::JobRun> subset{runs[4], runs[1], runs[2]};
+  const auto direct = model.make_batch(subset);
+  EXPECT_EQ(gathered.scaleout_raw, direct.scaleout_raw);
+  EXPECT_EQ(gathered.targets_raw, direct.targets_raw);
+  EXPECT_EQ(gathered.stacked_properties(), direct.stacked_properties());
+  EXPECT_EQ(gathered.prop_weight, direct.prop_weight);
+  EXPECT_THROW(model.gather_batch(encoded, std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(model.gather_batch(encoded, std::vector<std::size_t>{99}), std::out_of_range);
 }
 
 TEST(BellamyModel, MakeBatchScaleoutFeatures) {
@@ -94,10 +121,14 @@ TEST(BellamyModel, ForwardShapes) {
   const auto fw = model.forward(batch, false);
   EXPECT_EQ(fw.prediction_raw.rows(), 6u);
   EXPECT_EQ(fw.prediction_raw.cols(), 1u);
-  EXPECT_EQ(fw.codes.rows(), 42u);
+  // codes/reconstruction cover the batch's unique property rows (one shared
+  // context here); the stacked views expand to sample-major layout.
+  EXPECT_EQ(fw.codes.rows(), batch.num_unique_properties());
   EXPECT_EQ(fw.codes.cols(), 4u);
-  EXPECT_EQ(fw.reconstruction.rows(), 42u);
+  EXPECT_EQ(fw.reconstruction.rows(), batch.num_unique_properties());
   EXPECT_EQ(fw.reconstruction.cols(), 40u);
+  EXPECT_EQ(fw.stacked_codes().rows(), 42u);
+  EXPECT_EQ(fw.stacked_reconstruction().rows(), 42u);
   EXPECT_EQ(fw.combined.rows(), 6u);
   EXPECT_EQ(fw.combined.cols(), 28u);
 }
@@ -119,20 +150,21 @@ TEST(BellamyModel, CombinedVectorLayout) {
   model.fit_normalization(runs);
   const auto batch = model.make_batch({runs[0]});
   const auto fw = model.forward(batch, false);
+  const auto codes = fw.stacked_codes();
   const auto& cfg = model.config();
   const std::size_t F = cfg.scaleout_out;
   const std::size_t M = cfg.code_dim;
   // Essential code p occupies columns F + p*M .. F + (p+1)*M.
   for (std::size_t p = 0; p < cfg.num_essential; ++p) {
     for (std::size_t j = 0; j < M; ++j) {
-      EXPECT_DOUBLE_EQ(fw.combined(0, F + p * M + j), fw.codes(p, j));
+      EXPECT_DOUBLE_EQ(fw.combined(0, F + p * M + j), codes(p, j));
     }
   }
   // Mean of optional codes in the last M columns.
   for (std::size_t j = 0; j < M; ++j) {
     double mean = 0.0;
     for (std::size_t p = 0; p < cfg.num_optional; ++p) {
-      mean += fw.codes(cfg.num_essential + p, j);
+      mean += codes(cfg.num_essential + p, j);
     }
     mean /= static_cast<double>(cfg.num_optional);
     EXPECT_NEAR(fw.combined(0, F + cfg.num_essential * M + j), mean, 1e-12);

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bellamy_model.hpp"
 #include "nn/activations.hpp"
+#include "nn/dropout.hpp"
 #include "nn/gradcheck.hpp"
 #include "nn/linear.hpp"
 #include "nn/loss.hpp"
@@ -44,7 +46,10 @@ INSTANTIATE_TEST_SUITE_P(
                       ShapeCase{4, 8, 3, false},   // h first layer
                       ShapeCase{8, 40, 3, false},  // h second layer
                       ShapeCase{28, 8, 5, true},   // z first layer
-                      ShapeCase{8, 1, 5, true}),   // z output layer
+                      ShapeCase{8, 1, 5, true},    // z output layer
+                      ShapeCase{40, 8, 7, false},  // encoder at odd batch
+                      ShapeCase{40, 8, 64, false},  // encoder at pre-train batch
+                      ShapeCase{3, 16, 64, true}),  // f at pre-train batch
     [](const auto& info) {
       return "in" + std::to_string(info.param.in) + "_out" + std::to_string(info.param.out) +
              "_b" + std::to_string(info.param.batch) + (info.param.bias ? "_bias" : "_nobias");
@@ -71,7 +76,47 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Activation::kSelu, Activation::kTanh,
                                          Activation::kRelu, Activation::kSigmoid,
                                          Activation::kIdentity),
-                       ::testing::Values<std::size_t>(1, 4, 16)),
+                       ::testing::Values<std::size_t>(1, 2, 4, 7, 16, 64)),
+    [](const auto& info) {
+      return std::string(activation_name(std::get<0>(info.param))) + "_b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Batched-backward certification: a Linear / activation / AlphaDropout(eval)
+// / Linear / activation stack — the exact module mix of the Bellamy
+// encoder/decoder — gradchecked against central differences for every
+// activation at batch sizes {1, 2, 7, 64}.
+class BatchedBackwardSweep
+    : public ::testing::TestWithParam<std::tuple<Activation, std::size_t>> {};
+
+TEST_P(BatchedBackwardSweep, LinearActivationDropoutStack) {
+  const auto [act, batch] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(batch) * 101 + static_cast<std::uint64_t>(act));
+  Sequential net;
+  net.emplace<Linear>(6, 9, false, Init::kLeCunNormal, rng, "l1");
+  net.add(make_activation(act));
+  net.emplace<AlphaDropout>(0.10, util::Rng(7));
+  net.emplace<Linear>(9, 5, true, Init::kHeNormal, rng, "l2");
+  net.add(make_activation(act));
+  // Dropout must behave as identity under gradcheck: eval mode.
+  net.set_training(false);
+  Matrix x = Matrix::randn(batch, 6, rng);
+  if (act == Activation::kRelu) {
+    x.apply_inplace([](double v) { return v + (v >= 0.0 ? 0.5 : -0.5); });
+  }
+  const auto result = grad_check(net, x, {}, 1e-6);
+  const double tol = act == Activation::kRelu ? 1e-3 : 1e-5;
+  EXPECT_TRUE(result.ok(tol)) << activation_name(act) << " batch=" << batch
+                              << " input_err=" << result.max_input_grad_error
+                              << " param_err=" << result.max_param_grad_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, BatchedBackwardSweep,
+    ::testing::Combine(::testing::Values(Activation::kSelu, Activation::kTanh,
+                                         Activation::kRelu, Activation::kSigmoid,
+                                         Activation::kIdentity),
+                       ::testing::Values<std::size_t>(1, 2, 7, 64)),
     [](const auto& info) {
       return std::string(activation_name(std::get<0>(info.param))) + "_b" +
              std::to_string(std::get<1>(info.param));
@@ -133,6 +178,80 @@ INSTANTIATE_TEST_SUITE_P(Deltas, LossGradSweep, ::testing::Values(0.1, 1.0, 5.0)
                          [](const auto& info) {
                            return "delta_x10_" +
                                   std::to_string(static_cast<int>(info.param * 10));
+                         });
+
+// ---- batched train_step vs accumulated per-sample steps --------------------
+//
+// One stacked train_step over a B-sample batch must produce (a) the mean of
+// the per-sample losses and (b) 1/B times the SUM of the per-sample
+// gradients, because every loss term is normalized by the batch element
+// count.  This certifies the dedup-aware batched backward (gradients of
+// shared property rows accumulated by multiplicity) against the per-sample
+// path to 1e-9.
+
+data::JobRun equivalence_run(int ctx, int scale_out, double runtime_s) {
+  data::JobRun r;
+  r.algorithm = ctx % 2 ? "sgd" : "grep";
+  r.node_type = ctx % 3 ? "m4.2xlarge" : "r4.2xlarge";
+  r.job_parameters = std::to_string(25 + ctx);
+  r.dataset_size_mb = 10000 + 500 * static_cast<std::uint64_t>(ctx);
+  r.data_characteristics = "features-100-dense";
+  r.memory_mb = 32768;
+  r.cpu_cores = 8;
+  r.scale_out = scale_out;
+  r.runtime_s = runtime_s;
+  return r;
+}
+
+class TrainStepEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TrainStepEquivalence, BatchedMatchesAccumulatedPerSample) {
+  const std::size_t b = GetParam();
+  // Mix duplicated contexts (exercising multiplicity > 1) with distinct ones.
+  std::vector<data::JobRun> runs;
+  for (std::size_t i = 0; i < b; ++i) {
+    runs.push_back(equivalence_run(static_cast<int>(i % 5), 2 + static_cast<int>(i % 7),
+                                   120.0 + 10.0 * static_cast<double>(i)));
+  }
+
+  core::BellamyModel model(core::BellamyConfig{}, 42);
+  model.fit_normalization(runs);
+  model.set_dropout_rate(0.0);  // equivalence requires the deterministic path
+  const auto params = model.parameters();
+
+  // Batched: one stacked forward/backward.
+  for (nn::Parameter* p : params) p->zero_grad();
+  const auto batch_loss = model.train_step(model.make_batch(runs), 1.0);
+  std::vector<Matrix> batched_grads;
+  for (nn::Parameter* p : params) batched_grads.push_back(p->grad);
+
+  // Per-sample: B singleton steps, gradients and losses accumulated.
+  for (nn::Parameter* p : params) p->zero_grad();
+  double sum_total = 0.0, sum_huber = 0.0, sum_recon = 0.0, sum_mae = 0.0;
+  for (const auto& run : runs) {
+    const auto loss = model.train_step(model.make_batch({run}), 1.0);
+    sum_total += loss.total;
+    sum_huber += loss.huber;
+    sum_recon += loss.reconstruction;
+    sum_mae += loss.mae_seconds;
+  }
+
+  const double inv_b = 1.0 / static_cast<double>(b);
+  EXPECT_NEAR(batch_loss.total, sum_total * inv_b, 1e-9);
+  EXPECT_NEAR(batch_loss.huber, sum_huber * inv_b, 1e-9);
+  EXPECT_NEAR(batch_loss.reconstruction, sum_recon * inv_b, 1e-9);
+  EXPECT_NEAR(batch_loss.mae_seconds, sum_mae * inv_b, 1e-9);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Matrix scaled = params[i]->grad;
+    scaled *= inv_b;
+    EXPECT_LE(Matrix::max_abs_diff(batched_grads[i], scaled), 1e-9) << params[i]->name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, TrainStepEquivalence,
+                         ::testing::Values<std::size_t>(1, 2, 7, 64),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param);
                          });
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "util/rng.hpp"
 
 namespace bellamy::nn {
@@ -187,6 +190,125 @@ TEST(Matrix, MatmulNtMatchesExplicitTranspose) {
   const Matrix b = Matrix::randn(5, 7, rng);
   const Matrix expect = Matrix::matmul(a, b.transposed());
   EXPECT_LT(Matrix::max_abs_diff(Matrix::matmul_nt(a, b), expect), 1e-12);
+}
+
+// ---- blocked-GEMM property tests -------------------------------------------
+//
+// The blocked kernels must agree with the naive matmul*_ref triple loops on
+// every shape, in particular around the 64x64 tile and 4x8 register-block
+// boundaries.  Tolerances scale with the inner dimension: the blocked path
+// may use fused multiply-adds, so results are equal only up to rounding.
+
+double gemm_tol(std::size_t inner) {
+  return 1e-13 * static_cast<double>(std::max<std::size_t>(inner, 1));
+}
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+class BlockedGemmSweep : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(BlockedGemmSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 131 + k * 17 + n);
+  const Matrix a = Matrix::randn(m, k, rng);
+  const Matrix b = Matrix::randn(k, n, rng);
+  const Matrix bt = b.transposed();  // (n x k) for the nt variant
+  const Matrix at = a.transposed();  // (k x m) for the tn variant
+  const double tol = gemm_tol(k);
+  EXPECT_LE(Matrix::max_abs_diff(Matrix::matmul(a, b), Matrix::matmul_ref(a, b)), tol);
+  EXPECT_LE(Matrix::max_abs_diff(Matrix::matmul_tn(at, b), Matrix::matmul_tn_ref(at, b)),
+            tol);
+  EXPECT_LE(Matrix::max_abs_diff(Matrix::matmul_nt(a, bt), Matrix::matmul_nt_ref(a, bt)),
+            tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedGemmSweep,
+    ::testing::Values(GemmShape{1, 1, 1},       // degenerate scalar
+                      GemmShape{1, 40, 8},      // one Bellamy encoder row
+                      GemmShape{4, 8, 4},       // exact register block
+                      GemmShape{5, 9, 7},       // every remainder path at once
+                      GemmShape{63, 65, 66},    // straddles the 64-tile on all dims
+                      GemmShape{64, 64, 64},    // exactly one tile
+                      GemmShape{64, 128, 72},   // multiple k tiles + ragged j
+                      GemmShape{130, 40, 8},    // encoder-shaped, ragged i tile
+                      GemmShape{256, 3, 16},    // tiny inner dimension
+                      GemmShape{4096, 40, 8}),  // the B=4096 bench forward shape
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "_k" + std::to_string(info.param.k) +
+             "_n" + std::to_string(info.param.n);
+    });
+
+TEST(Matrix, BlockedGemmRandomizedShapes) {
+  // Randomized shape fuzz around the tile/register boundaries.
+  util::Rng rng(1234);
+  const std::size_t interesting[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                     31, 32, 33, 63, 64, 65, 96, 127, 128, 130};
+  const std::size_t count = sizeof(interesting) / sizeof(interesting[0]);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = interesting[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(count) - 1))];
+    const std::size_t k = interesting[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(count) - 1))];
+    const std::size_t n = interesting[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(count) - 1))];
+    const Matrix a = Matrix::randn(m, k, rng);
+    const Matrix b = Matrix::randn(k, n, rng);
+    const double tol = gemm_tol(k);
+    EXPECT_LE(Matrix::max_abs_diff(Matrix::matmul(a, b), Matrix::matmul_ref(a, b)), tol)
+        << "m=" << m << " k=" << k << " n=" << n;
+    const Matrix bt = b.transposed();
+    EXPECT_LE(Matrix::max_abs_diff(Matrix::matmul_nt(a, bt), Matrix::matmul_nt_ref(a, bt)),
+              tol)
+        << "m=" << m << " k=" << k << " n=" << n;
+    const Matrix at = a.transposed();
+    EXPECT_LE(Matrix::max_abs_diff(Matrix::matmul_tn(at, b), Matrix::matmul_tn_ref(at, b)),
+              tol)
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(Matrix, BlockedGemmZeroDimensionEdges) {
+  // 0-row / 0-col operands produce empty (but correctly shaped) outputs.
+  const Matrix a0(0, 5);
+  const Matrix b(5, 3);
+  const Matrix c0 = Matrix::matmul(a0, b);
+  EXPECT_EQ(c0.rows(), 0u);
+  EXPECT_EQ(c0.cols(), 3u);
+
+  const Matrix a(4, 5);
+  const Matrix bn(5, 0);
+  const Matrix cn = Matrix::matmul(a, bn);
+  EXPECT_EQ(cn.rows(), 4u);
+  EXPECT_EQ(cn.cols(), 0u);
+
+  // k = 0: the product over an empty inner dimension is all zeros.
+  const Matrix ak(3, 0);
+  const Matrix bk(0, 2);
+  const Matrix ck = Matrix::matmul(ak, bk);
+  EXPECT_EQ(ck.rows(), 3u);
+  EXPECT_EQ(ck.cols(), 2u);
+  EXPECT_DOUBLE_EQ(ck.squared_norm(), 0.0);
+
+  EXPECT_EQ(Matrix::matmul_tn(Matrix(0, 3), Matrix(0, 2)).rows(), 3u);
+  EXPECT_EQ(Matrix::matmul_nt(Matrix(2, 0), Matrix(3, 0)).cols(), 3u);
+}
+
+TEST(Matrix, BlockedGemmRowResultsIndependentOfBatchRows) {
+  // A row of the output must be bit-identical no matter which batch it is
+  // computed in — the invariant that makes chunked prediction exact.
+  util::Rng rng(9);
+  const Matrix a = Matrix::randn(100, 40, rng);
+  const Matrix w = Matrix::randn(8, 40, rng);
+  const Matrix full = Matrix::matmul_nt(a, w);
+  for (const auto [begin, end] : {std::pair<std::size_t, std::size_t>{0, 1},
+                                  std::pair<std::size_t, std::size_t>{37, 59},
+                                  std::pair<std::size_t, std::size_t>{95, 100}}) {
+    const Matrix part = Matrix::matmul_nt(a.slice_rows(begin, end), w);
+    EXPECT_EQ(part, full.slice_rows(begin, end)) << begin << ".." << end;
+  }
 }
 
 TEST(Matrix, AddRowBroadcast) {
