@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON artifact against its committed baseline.
+
+Usage: bench-compare.py BASELINE.json CURRENT.json [--threshold=0.25]
+
+Walks both documents and compares every numeric leaf whose key encodes a
+direction:
+
+  *_ms               lower is better (latency)
+  *_per_s            higher is better (throughput)
+  speedup* / *speedup  higher is better
+
+Keys without a direction (counts, diffs, flags) are ignored.  A metric
+regresses when it is worse than the baseline by more than the threshold
+(default 25%).  Exit status: 0 = no regression, 1 = regression, 2 = usage or
+parse error.  Keys present in only one file are reported but never fail the
+run (benches grow new sections).
+
+CI runs this as a NON-BLOCKING step: machine-to-machine variance on shared
+runners exceeds what a hard gate can tolerate, but the report makes real
+regressions visible in the job log.
+"""
+
+import json
+import sys
+
+
+def numeric_leaves(node, prefix=""):
+    """Yield (dotted.path, value) for every numeric leaf in a JSON tree."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from numeric_leaves(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from numeric_leaves(value, f"{prefix}[{i}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield prefix, float(node)
+
+
+def direction(path):
+    """+1 = higher is better, -1 = lower is better, 0 = not comparable."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf.endswith("_ms"):
+        return -1
+    if leaf.endswith("_per_s") or "speedup" in leaf:
+        return 1
+    return 0
+
+
+def main(argv):
+    threshold = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+
+    try:
+        with open(paths[0]) as f:
+            baseline = dict(numeric_leaves(json.load(f)))
+        with open(paths[1]) as f:
+            current = dict(numeric_leaves(json.load(f)))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench-compare: {err}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'metric':50s} {'baseline':>12s} {'current':>12s} {'change':>9s}")
+    for path in sorted(baseline):
+        sign = direction(path)
+        if sign == 0:
+            continue
+        if path not in current:
+            print(f"{path:50s} {baseline[path]:12.2f} {'missing':>12s}")
+            continue
+        base, cur = baseline[path], current[path]
+        if base == 0:
+            continue
+        change = (cur - base) / abs(base)
+        worse = -sign * change  # positive = regression for either direction
+        flag = ""
+        if worse > threshold:
+            flag = "  << REGRESSION"
+            regressions.append((path, change))
+        print(f"{path:50s} {base:12.2f} {cur:12.2f} {change:+8.1%}{flag}")
+    for path in sorted(set(current) - set(baseline)):
+        if direction(path):
+            print(f"{path:50s} {'new':>12s} {current[path]:12.2f}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed more than "
+            f"{threshold:.0%} vs {paths[0]}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno regression beyond {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,13 +1,16 @@
 #include "core/bellamy_model.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/replica_pool.hpp"
 #include "nn/activations.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/hash.hpp"
 #include "util/string_utils.hpp"
 
 namespace bellamy::core {
@@ -91,7 +94,9 @@ BellamyEncodedRuns BellamyModel::encode_runs(const std::vector<data::JobRun>& ru
   encoding::PropertyEncodeCache encode_cache;
   const std::size_t r = runs.size();
   const std::size_t ppr = config_.props_per_sample();
+  static std::atomic<std::uint64_t> next_encode_id{1};
   BellamyEncodedRuns encoded;
+  encoded.encode_id = next_encode_id.fetch_add(1, std::memory_order_relaxed);
   encoded.num_runs = r;
   encoded.scaleout_raw = nn::Matrix(r, 3);
   encoded.targets_raw = nn::Matrix(r, 1);
@@ -130,7 +135,8 @@ BellamyEncodedRuns BellamyModel::encode_runs(const std::vector<data::JobRun>& ru
 }
 
 BellamyBatch BellamyModel::gather_batch(const BellamyEncodedRuns& encoded,
-                                        std::span<const std::size_t> indices) const {
+                                        std::span<const std::size_t> indices,
+                                        BellamyGatherCache* cache) const {
   if (indices.empty()) {
     throw std::invalid_argument("BellamyModel::gather_batch: empty index set");
   }
@@ -163,7 +169,25 @@ BellamyBatch BellamyModel::gather_batch(const BellamyEncodedRuns& encoded,
       batch.prop_row[bi * ppr + p] = local_row[global];
     }
   }
-  batch.properties = encoded.properties.gather_rows(used_rows);
+  // Small corpora make consecutive batches hit the same unique-row set
+  // (every batch sees all contexts); a cheap hash compare (verified exactly)
+  // then reuses the previously gathered property block instead of copying
+  // row by row.  Multiplicities still differ per batch and are recomputed.
+  const std::uint64_t rows_hash = util::fnv1a64_bytes(
+      used_rows.data(), used_rows.size() * sizeof(used_rows[0]));
+  if (cache && cache->encode_id == encoded.encode_id && cache->rows_hash == rows_hash &&
+      cache->used_rows == used_rows) {
+    batch.properties = cache->properties;
+    ++cache->reuses;
+  } else {
+    batch.properties = encoded.properties.gather_rows(used_rows);
+    if (cache) {
+      cache->encode_id = encoded.encode_id;
+      cache->rows_hash = rows_hash;
+      cache->used_rows = used_rows;
+      cache->properties = batch.properties;
+    }
+  }
   batch.prop_weight.assign(used_rows.size(), 0.0);
   for (const std::size_t row : batch.prop_row) batch.prop_weight[row] += 1.0;
   return batch;
@@ -430,6 +454,52 @@ std::vector<double> BellamyModel::predict_batch_serial(const std::vector<data::J
   return out;
 }
 
+std::uint64_t BellamyModel::state_stamp() const {
+  // Stable hash over the architecture config, every parameter tensor, and
+  // the normalization state — everything a replica's predictions depend on.
+  // The optimizer mutates parameters through raw pointers, so the stamp is
+  // recomputed from the values (cheap: one pass over ~2k doubles) rather
+  // than tracked.  The config fields are included so two models that happen
+  // to share parameter bytes but differ in architecture can never collide
+  // on a shared pool (fields are hashed individually — raw struct bytes
+  // would include indeterminate padding).
+  std::uint64_t h = util::kFnv1a64Seed;
+  const auto mix = [&h](const auto& v) { h = util::fnv1a64_bytes(&v, sizeof(v), h); };
+  mix(config_.scaleout_input);
+  mix(config_.scaleout_hidden);
+  mix(config_.scaleout_out);
+  mix(config_.property_dim);
+  mix(config_.encoder_hidden);
+  mix(config_.code_dim);
+  mix(config_.predictor_hidden);
+  mix(config_.num_essential);
+  mix(config_.num_optional);
+  mix(config_.dropout);
+  mix(config_.huber_delta);
+  mix(config_.init);
+  mix(config_.standardize_target);
+  auto* self = const_cast<BellamyModel*>(this);
+  for (const nn::Parameter* p : self->parameters()) {
+    const auto flat = p->value.flat();
+    h = util::fnv1a64_bytes(flat.data(), flat.size() * sizeof(double), h);
+  }
+  h = util::fnv1a64_bytes(scaleout_min_.data(), 3 * sizeof(double), h);
+  h = util::fnv1a64_bytes(scaleout_max_.data(), 3 * sizeof(double), h);
+  h = util::fnv1a64_bytes(&target_mean_, sizeof(double), h);
+  h = util::fnv1a64_bytes(&target_std_, sizeof(double), h);
+  const unsigned char fitted = norm_fitted_ ? 1 : 0;
+  return util::fnv1a64_bytes(&fitted, 1, h);
+}
+
+ReplicaPool& BellamyModel::replica_pool() {
+  if (!replica_pool_) replica_pool_ = std::make_shared<ReplicaPool>();
+  return *replica_pool_;
+}
+
+void BellamyModel::set_replica_pool(std::shared_ptr<ReplicaPool> pool) {
+  replica_pool_ = std::move(pool);
+}
+
 std::vector<double> BellamyModel::predict_batch_chunked(const std::vector<data::JobRun>& runs,
                                                         parallel::ThreadPool* pool,
                                                         std::size_t num_chunks) {
@@ -443,17 +513,21 @@ std::vector<double> BellamyModel::predict_batch_chunked(const std::vector<data::
   const std::size_t b = runs.size();
   const std::size_t chunks = std::min(b, num_chunks ? num_chunks : std::max<std::size_t>(
                                                                        1, p.size()));
-  // Fanning out over the pool we are currently a worker of would block this
-  // worker on tasks that may never get a thread — run inline instead.
+  // From inside the pool, nested fan-out would be safe (parallel_for helps
+  // drain the queue) but the outer fan-out already owns the workers — run
+  // inline instead of competing for them.
   if (chunks <= 1 || p.owns_current_thread()) return predict_batch_serial(runs);
 
   // One forward pass caches activations inside the network modules, so a
-  // model instance must never be shared across threads — every chunk gets a
-  // replica rebuilt from this model's checkpoint.
-  const nn::Checkpoint ckpt = to_checkpoint();
-  std::vector<BellamyModel> replicas;
-  replicas.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) replicas.push_back(from_checkpoint(ckpt));
+  // model instance must never be shared across threads — every chunk checks
+  // a replica out of the pool.  The pool serves cached replicas while this
+  // model's state stamp is unchanged (steady-state serving pays the
+  // checkpoint deserialization once, not per call) and rebuilds them
+  // transparently after any mutation.
+  ReplicaPool& rp = replica_pool();
+  std::vector<ReplicaPool::Lease> leases;
+  leases.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) leases.push_back(rp.acquire(*this));
 
   const std::size_t chunk_size = (b + chunks - 1) / chunks;
   std::vector<double> out(b);
@@ -465,7 +539,7 @@ std::vector<double> BellamyModel::predict_batch_chunked(const std::vector<data::
         const std::size_t end = std::min(b, begin + chunk_size);
         const std::vector<data::JobRun> slice(runs.begin() + static_cast<std::ptrdiff_t>(begin),
                                               runs.begin() + static_cast<std::ptrdiff_t>(end));
-        const auto preds = replicas[c].predict_batch_serial(slice);
+        const auto preds = leases[c].model().predict_batch_serial(slice);
         std::copy(preds.begin(), preds.end(), out.begin() + static_cast<std::ptrdiff_t>(begin));
       },
       &p);
@@ -512,6 +586,13 @@ void BellamyModel::set_training(bool training) {
 void BellamyModel::set_dropout_rate(double rate) {
   g_dropout_->set_rate(rate);
   h_dropout_->set_rate(rate);
+}
+
+void BellamyModel::clear_forward_caches() {
+  f_.clear_forward_cache();
+  g_.clear_forward_cache();
+  h_.clear_forward_cache();
+  z_.clear_forward_cache();
 }
 
 nn::Checkpoint BellamyModel::to_checkpoint() const {

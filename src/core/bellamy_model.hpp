@@ -14,6 +14,7 @@
 // frozen into checkpoints; §IV-A) so a persisted model is self-contained.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@ class ThreadPool;
 
 namespace bellamy::core {
 
+class ReplicaPool;
+
 /// Extract the paper's essential property list from a run:
 /// node type, job parameters, dataset size, data characteristics.
 std::vector<encoding::PropertyValue> essential_properties(const data::JobRun& run);
@@ -51,6 +54,10 @@ struct BellamyEncodedRuns {
   nn::Matrix properties;    ///< (U x N) distinct property vectors, first-use order
   std::vector<std::size_t> prop_row;  ///< (R*(m+n)) stacked slot -> row in properties
   std::size_t num_runs = 0;
+  /// Process-unique id of this encoding (assigned by encode_runs).  The
+  /// gather cache keys on it, so re-populating the same object from a
+  /// different corpus can never serve a stale property block.
+  std::uint64_t encode_id = 0;
 };
 
 /// A vectorized mini-batch ready for the network.  Property rows are
@@ -70,6 +77,22 @@ struct BellamyBatch {
   std::size_t num_unique_properties() const { return properties.rows(); }
   /// Materialize the pre-dedup sample-major stacked matrix (B*(m+n) x N).
   nn::Matrix stacked_properties() const { return properties.gather_rows(prop_row); }
+};
+
+/// Optional cross-batch cache for gather_batch.  Small corpora routinely
+/// produce consecutive mini-batches whose samples touch the SAME unique
+/// property rows (every batch sees all contexts), so re-gathering the
+/// (U x N) property block per batch is wasted work.  The cache keys on the
+/// encoded set's property matrix identity plus a hash (and exact compare) of
+/// the batch's used-row list and reuses the previously gathered block on a
+/// match.  One cache serves one encoded set; gather_batch resets it when it
+/// sees a different set.
+struct BellamyGatherCache {
+  std::uint64_t encode_id = 0;  ///< BellamyEncodedRuns::encode_id the cache serves
+  std::uint64_t rows_hash = 0;
+  std::vector<std::size_t> used_rows;
+  nn::Matrix properties;
+  std::uint64_t reuses = 0;  ///< batches served from the cache (stats)
 };
 
 /// Result of one forward pass.  `codes` / `reconstruction` cover the UNIQUE
@@ -107,9 +130,11 @@ class BellamyModel {
 
   /// Assemble the mini-batch of the given run indices from an encoded set.
   /// The batch references only the property rows its samples use, with
-  /// per-batch multiplicities.
+  /// per-batch multiplicities.  With `cache`, consecutive batches that use
+  /// the same unique-row set skip re-gathering the property block.
   BellamyBatch gather_batch(const BellamyEncodedRuns& encoded,
-                            std::span<const std::size_t> indices) const;
+                            std::span<const std::size_t> indices,
+                            BellamyGatherCache* cache = nullptr) const;
 
   /// encode_runs + gather_batch over all runs (one-shot convenience).
   BellamyBatch make_batch(const std::vector<data::JobRun>& runs) const;
@@ -159,6 +184,19 @@ class BellamyModel {
     predict_chunk_threshold_ = threshold;
   }
 
+  /// Stamp of the serveable state: a stable hash over every parameter plus
+  /// the normalization state.  Any mutation (optimizer step, parameter
+  /// restore, checkpoint load) changes it; the ReplicaPool keys on it.
+  std::uint64_t state_stamp() const;
+
+  /// Replica pool used by predict_batch_chunked (lazily created).  Shared
+  /// across copies of a model; the stamp keying keeps a shared pool correct
+  /// even when copies diverge.
+  ReplicaPool& replica_pool();
+  /// Install a caller-owned pool (BellamyPredictor keeps one across fit()s
+  /// so a stream of large batches pays deserialization once per state).
+  void set_replica_pool(std::shared_ptr<ReplicaPool> pool);
+
   // ---- components (freeze policy, reuse variants) ---------------------------
   nn::Sequential& f() { return f_; }
   nn::Sequential& g() { return g_; }
@@ -176,6 +214,10 @@ class BellamyModel {
 
   void set_training(bool training);
   void set_dropout_rate(double rate);
+
+  /// Drop every component's forward-pass activation cache (the next forward
+  /// re-caches).  Bounds the steady-state memory of parked pool replicas.
+  void clear_forward_caches();
 
   // ---- persistence -----------------------------------------------------------
   nn::Checkpoint to_checkpoint() const;
@@ -214,6 +256,9 @@ class BellamyModel {
 
   // Auto-chunking floor for predict_batch (not persisted).
   std::size_t predict_chunk_threshold_ = 2048;
+
+  // Replica pool for chunked prediction (not persisted; lazily created).
+  std::shared_ptr<ReplicaPool> replica_pool_;
 
   // Normalization state (persisted).
   bool norm_fitted_ = false;

@@ -1,0 +1,114 @@
+#include "core/replica_pool.hpp"
+
+#include "core/bellamy_model.hpp"
+
+namespace bellamy::core {
+
+ReplicaPool::ReplicaPool() = default;
+ReplicaPool::~ReplicaPool() = default;
+
+ReplicaPool::Lease::Lease(ReplicaPool* pool, std::unique_ptr<BellamyModel> model,
+                          std::uint64_t stamp)
+    : pool_(pool), model_(std::move(model)), stamp_(stamp) {}
+
+ReplicaPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_), model_(std::move(other.model_)), stamp_(other.stamp_) {
+  other.pool_ = nullptr;
+}
+
+ReplicaPool::Lease& ReplicaPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ && model_) pool_->release(std::move(model_), stamp_);
+    pool_ = other.pool_;
+    model_ = std::move(other.model_);
+    stamp_ = other.stamp_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ReplicaPool::Lease::~Lease() {
+  if (pool_ && model_) pool_->release(std::move(model_), stamp_);
+}
+
+ReplicaPool::Lease ReplicaPool::acquire(const BellamyModel& source) {
+  const std::uint64_t stamp = source.state_stamp();
+  std::shared_ptr<const nn::Checkpoint> ckpt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (checkpoint_ && stamp_ == stamp) {
+      if (!free_.empty()) {
+        std::unique_ptr<BellamyModel> model = std::move(free_.back());
+        free_.pop_back();
+        ++hits_;
+        return Lease(this, std::move(model), stamp);
+      }
+      ++misses_;
+      ckpt = checkpoint_;  // snapshot — deserialization happens outside the lock
+    }
+  }
+  if (!ckpt) {
+    // Source mutated (fine-tune step, parameter restore, load) since the
+    // pool last served it.  Serialize OUTSIDE the lock — concurrent
+    // acquires/releases must not stall behind the rebuild — then install,
+    // re-checking in case another thread installed the same stamp first.
+    auto fresh = std::make_shared<const nn::Checkpoint>(source.to_checkpoint());
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!checkpoint_ || stamp_ != stamp) {
+      if (checkpoint_) ++invalidations_;
+      checkpoint_ = std::move(fresh);
+      stamp_ = stamp;
+      free_.clear();
+    }
+    if (!free_.empty()) {
+      std::unique_ptr<BellamyModel> model = std::move(free_.back());
+      free_.pop_back();
+      ++hits_;
+      return Lease(this, std::move(model), stamp);
+    }
+    ++misses_;
+    ckpt = checkpoint_;
+  }
+  auto model = std::make_unique<BellamyModel>(BellamyModel::from_checkpoint(*ckpt));
+  return Lease(this, std::move(model), stamp);
+}
+
+void ReplicaPool::release(std::unique_ptr<BellamyModel> model, std::uint64_t stamp) {
+  // Parked replicas would otherwise pin their last forward's activation
+  // caches (sized by the chunk they served) for the pool's lifetime — drop
+  // them before parking, outside the lock.
+  model->clear_forward_caches();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Only park replicas that still match the pool's current state; leases
+  // outstanding across an invalidation are dropped here.
+  if (checkpoint_ && stamp == stamp_) free_.push_back(std::move(model));
+}
+
+void ReplicaPool::invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_) ++invalidations_;
+  checkpoint_.reset();
+  free_.clear();
+}
+
+std::size_t ReplicaPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+std::uint64_t ReplicaPool::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ReplicaPool::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t ReplicaPool::invalidations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
+}
+
+}  // namespace bellamy::core

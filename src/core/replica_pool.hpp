@@ -1,0 +1,93 @@
+#pragma once
+// Thread-safe pool of BellamyModel replicas for the serving hot path.
+//
+// predict_batch_chunked needs one model replica per chunk because a forward
+// pass caches activations inside the network modules — a model instance must
+// never be shared across threads.  Before this pool, every call rebuilt its
+// replicas from a freshly serialized checkpoint, which dominates steady-state
+// latency for a service answering a stream of large batches.
+//
+// The pool keys its replicas by a stamp of the source model's state
+// (BellamyModel::state_stamp: a hash over every parameter plus the
+// normalization state).  acquire() compares the source's current stamp to the
+// cached one; any mutation — a fine-tune step, restore_parameters, a
+// checkpoint load — changes the stamp, so the pool transparently rebuilds its
+// cached checkpoint and discards stale replicas.  Replicas are checked out
+// via RAII leases and returned on destruction (dropped instead if the pool
+// was invalidated while they were out).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bellamy::nn {
+struct Checkpoint;
+}
+
+namespace bellamy::core {
+
+class BellamyModel;
+
+class ReplicaPool {
+ public:
+  ReplicaPool();
+  ~ReplicaPool();
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  /// RAII checkout: returns the replica to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    BellamyModel& model() { return *model_; }
+    explicit operator bool() const { return model_ != nullptr; }
+
+   private:
+    friend class ReplicaPool;
+    Lease(ReplicaPool* pool, std::unique_ptr<BellamyModel> model, std::uint64_t stamp);
+
+    ReplicaPool* pool_ = nullptr;
+    std::unique_ptr<BellamyModel> model_;
+    std::uint64_t stamp_ = 0;
+  };
+
+  /// Check out a replica equivalent to `source`'s current state: a cached
+  /// one when the state stamp matches, otherwise a fresh deserialization
+  /// (after which the pool serves the new state).  Thread-safe; safe to call
+  /// concurrently with leases outstanding.
+  Lease acquire(const BellamyModel& source);
+
+  /// Drop the cached checkpoint and all pooled replicas.  The next acquire
+  /// rebuilds from its source; outstanding leases are discarded on return.
+  void invalidate();
+
+  /// Replicas currently parked in the pool (checked-out leases excluded).
+  std::size_t size() const;
+
+  // Counters for benches/tests: a hit reuses a pooled replica, a miss
+  // deserializes one, an invalidation observed a changed source stamp (or an
+  // explicit invalidate()).
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t invalidations() const;
+
+ private:
+  void release(std::unique_ptr<BellamyModel> model, std::uint64_t stamp);
+
+  mutable std::mutex mutex_;
+  std::uint64_t stamp_ = 0;
+  std::shared_ptr<const nn::Checkpoint> checkpoint_;  ///< null until first acquire
+  std::vector<std::unique_ptr<BellamyModel>> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace bellamy::core

@@ -31,8 +31,11 @@ PreTrainResult pretrain(BellamyModel& model, const std::vector<data::JobRun>& ru
 
   // Encode the whole corpus once (scale-out features, targets, property
   // vectors deduplicated set-wide); every epoch's mini-batches are cheap
-  // index gathers instead of per-sample re-vectorization.
+  // index gathers instead of per-sample re-vectorization.  The gather cache
+  // additionally skips re-copying the unique property block when consecutive
+  // batches touch the same rows (the common case for small corpora).
   const BellamyEncodedRuns encoded = model.encode_runs(runs);
+  BellamyGatherCache gather_cache;
 
   PreTrainResult result;
   result.loss_history.reserve(config.epochs);
@@ -46,7 +49,7 @@ PreTrainResult pretrain(BellamyModel& model, const std::vector<data::JobRun>& ru
       const std::span<const std::size_t> indices(order.data() + begin, end - begin);
 
       optimizer.zero_grad();
-      const BellamyBatch batch = model.gather_batch(encoded, indices);
+      const BellamyBatch batch = model.gather_batch(encoded, indices, &gather_cache);
       const BellamyLoss loss = model.train_step(batch, config.reconstruction_weight);
       optimizer.step();
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/simd.hpp"
+
 namespace bellamy::nn {
 
 double selu(double x) {
@@ -13,22 +15,25 @@ double selu_derivative(double x) {
   return x > 0.0 ? kSeluScale : kSeluScale * kSeluAlpha * std::exp(x);
 }
 
-// Matrix::apply is a template, so the lambdas below are statically
-// dispatched (inlined) — the former per-element std::function indirection
-// was a measurable cost in the stacked forward/backward hot path.  The
-// backward loops read a second (cached) array per element, which apply
-// cannot express, so they run over flat pointers directly.
+// The per-element loops live in nn/simd.hpp (AVX2+FMA with a portable
+// fallback, dispatched once per process).  SELU dominates the stacked
+// forward/backward (the model is SELU everywhere but the decoder output) and
+// its exp is the single largest scalar cost in train_step, so the forward
+// and backward kernels vectorize the exponential as well.  Tanh/sigmoid
+// FORWARD stay scalar std:: calls: they only run on the decoder output (tiny)
+// and vectorizing tanh bit-stably near 0 isn't worth the cost — their
+// backward passes are pure arithmetic and do go through the SIMD layer.
 
 Matrix Selu::forward(const Matrix& input) {
   cached_input_ = input;
-  return input.apply([](double v) { return selu(v); });
+  Matrix out = input;
+  simd::selu_forward(out.data(), out.size());
+  return out;
 }
 
 Matrix Selu::backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
-  double* g = grad.data();
-  const double* x = cached_input_.data();
-  for (std::size_t i = 0, n = grad.size(); i < n; ++i) g[i] *= selu_derivative(x[i]);
+  simd::selu_backward(grad.data(), cached_input_.data(), grad.size());
   return grad;
 }
 
@@ -39,24 +44,20 @@ Matrix Tanh::forward(const Matrix& input) {
 
 Matrix Tanh::backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
-  double* g = grad.data();
-  const double* y = cached_output_.data();
-  for (std::size_t i = 0, n = grad.size(); i < n; ++i) g[i] *= 1.0 - y[i] * y[i];
+  simd::tanh_backward(grad.data(), cached_output_.data(), grad.size());
   return grad;
 }
 
 Matrix Relu::forward(const Matrix& input) {
   cached_input_ = input;
-  return input.apply([](double v) { return v > 0.0 ? v : 0.0; });
+  Matrix out = input;
+  simd::relu_forward(out.data(), out.size());
+  return out;
 }
 
 Matrix Relu::backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
-  double* g = grad.data();
-  const double* x = cached_input_.data();
-  for (std::size_t i = 0, n = grad.size(); i < n; ++i) {
-    if (x[i] <= 0.0) g[i] = 0.0;
-  }
+  simd::relu_backward(grad.data(), cached_input_.data(), grad.size());
   return grad;
 }
 
@@ -67,9 +68,7 @@ Matrix Sigmoid::forward(const Matrix& input) {
 
 Matrix Sigmoid::backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
-  double* g = grad.data();
-  const double* y = cached_output_.data();
-  for (std::size_t i = 0, n = grad.size(); i < n; ++i) g[i] *= y[i] * (1.0 - y[i]);
+  simd::sigmoid_backward(grad.data(), cached_output_.data(), grad.size());
   return grad;
 }
 

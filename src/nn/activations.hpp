@@ -17,6 +17,7 @@ class Selu : public Module {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void clear_forward_cache() override { cached_input_ = Matrix(); }
   std::string describe() const override { return "SELU"; }
 
  private:
@@ -27,6 +28,7 @@ class Tanh : public Module {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void clear_forward_cache() override { cached_output_ = Matrix(); }
   std::string describe() const override { return "Tanh"; }
 
  private:
@@ -37,6 +39,7 @@ class Relu : public Module {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void clear_forward_cache() override { cached_input_ = Matrix(); }
   std::string describe() const override { return "ReLU"; }
 
  private:
@@ -47,6 +50,7 @@ class Sigmoid : public Module {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void clear_forward_cache() override { cached_output_ = Matrix(); }
   std::string describe() const override { return "Sigmoid"; }
 
  private:

@@ -18,6 +18,7 @@ class AlphaDropout : public Module {
 
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  void clear_forward_cache() override { mask_ = Matrix(); }
   std::string describe() const override;
 
   double rate() const { return rate_; }

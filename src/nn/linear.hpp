@@ -24,6 +24,7 @@ class Linear : public Module {
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  void clear_forward_cache() override { cached_input_ = Matrix(); }
   std::string describe() const override;
 
   std::size_t in_features() const { return in_; }

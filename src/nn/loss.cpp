@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/simd.hpp"
+
 namespace bellamy::nn {
 
 namespace {
@@ -15,19 +17,19 @@ void check_shapes(const Matrix& pred, const Matrix& target, const char* name) {
 }
 }  // namespace
 
+// The per-element loss terms and gradients run as SIMD kernels
+// (nn/simd.hpp).  Gradients are bit-identical between the AVX2 and portable
+// paths; the summed loss VALUE accumulates in vector lanes, so it may differ
+// from a strictly sequential sum in the last ulps (well inside the 1e-9
+// equivalence budget of the batched-vs-per-sample tests).
+
 LossResult mse_loss(const Matrix& pred, const Matrix& target) {
   check_shapes(pred, target, "mse_loss");
   const double n = static_cast<double>(pred.size());
   LossResult res;
   res.grad = Matrix(pred.rows(), pred.cols());
-  double total = 0.0;
-  for (std::size_t r = 0; r < pred.rows(); ++r) {
-    for (std::size_t c = 0; c < pred.cols(); ++c) {
-      const double e = pred(r, c) - target(r, c);
-      total += e * e;
-      res.grad(r, c) = 2.0 * e / n;
-    }
-  }
+  const double total = simd::mse_loss_grad(pred.data(), target.data(), res.grad.data(),
+                                           pred.size(), 1.0 / n);
   res.value = total / n;
   return res;
 }
@@ -38,20 +40,8 @@ LossResult huber_loss(const Matrix& pred, const Matrix& target, double delta) {
   const double n = static_cast<double>(pred.size());
   LossResult res;
   res.grad = Matrix(pred.rows(), pred.cols());
-  double total = 0.0;
-  for (std::size_t r = 0; r < pred.rows(); ++r) {
-    for (std::size_t c = 0; c < pred.cols(); ++c) {
-      const double e = pred(r, c) - target(r, c);
-      const double abs_e = std::abs(e);
-      if (abs_e <= delta) {
-        total += 0.5 * e * e;
-        res.grad(r, c) = e / n;
-      } else {
-        total += delta * (abs_e - 0.5 * delta);
-        res.grad(r, c) = (e > 0.0 ? delta : -delta) / n;
-      }
-    }
-  }
+  const double total = simd::huber_loss_grad(pred.data(), target.data(), res.grad.data(),
+                                             pred.size(), delta, 1.0 / n);
   res.value = total / n;
   return res;
 }
@@ -61,14 +51,8 @@ LossResult mae_loss(const Matrix& pred, const Matrix& target) {
   const double n = static_cast<double>(pred.size());
   LossResult res;
   res.grad = Matrix(pred.rows(), pred.cols());
-  double total = 0.0;
-  for (std::size_t r = 0; r < pred.rows(); ++r) {
-    for (std::size_t c = 0; c < pred.cols(); ++c) {
-      const double e = pred(r, c) - target(r, c);
-      total += std::abs(e);
-      res.grad(r, c) = (e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0)) / n;
-    }
-  }
+  const double total = simd::mae_loss_grad(pred.data(), target.data(), res.grad.data(),
+                                           pred.size(), 1.0 / n);
   res.value = total / n;
   return res;
 }

@@ -1,7 +1,9 @@
 #include "nn/matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +12,9 @@
 #include <immintrin.h>
 #endif
 
+#include "nn/simd.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace bellamy::nn {
@@ -182,31 +187,31 @@ void Matrix::check_same_shape(const Matrix& other, const char* op) const {
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   check_same_shape(rhs, "operator+=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  simd::add(data_.data(), rhs.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
   check_same_shape(rhs, "operator-=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  simd::sub(data_.data(), rhs.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (double& v : data_) v *= s;
+  simd::scale(data_.data(), data_.size(), s);
   return *this;
 }
 
 Matrix Matrix::hadamard(const Matrix& rhs) const {
   check_same_shape(rhs, "hadamard");
   Matrix out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= rhs.data_[i];
+  simd::mul(out.data_.data(), rhs.data_.data(), out.data_.size());
   return out;
 }
 
 void Matrix::add_scaled(const Matrix& rhs, double alpha) {
   check_same_shape(rhs, "add_scaled");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * rhs.data_[i];
+  simd::axpy(data_.data(), rhs.data_.data(), data_.size(), alpha);
 }
 
 void Matrix::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
@@ -407,22 +412,27 @@ GemmTileFn pick_gemm_tile() {
   return gemm_tile_portable;
 }
 
-// Shared blocked kernel: C (m x n, zero-initialized) = A (m x k, row-major)
-// * op(B).  All three public matmul variants route here; matmul_tn first
-// materializes Aᵀ (O(mk) — negligible against the O(mkn) product).
-void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const double* a,
-                  std::size_t lda, const double* b, std::size_t ldb, bool b_trans,
-                  double* c, std::size_t ldc) {
-  if (m == 0 || n == 0 || k == 0) return;
+// Shared blocked kernel over the output range [i_begin, i_end) x
+// [j_begin, j_end): C (m x n, zero-initialized) = A (m x k, row-major) *
+// op(B).  Range bounds must lie on tile boundaries (or the matrix edge) so a
+// sub-range computes exactly the tiles — and the accumulation order — that
+// the full-range call would.  All three public matmul variants route here
+// via gemm_dispatch; matmul_tn first materializes Aᵀ (O(mk) — negligible
+// against the O(mkn) product).
+void gemm_blocked(std::size_t k, const double* a, std::size_t lda, const double* b,
+                  std::size_t ldb, bool b_trans, double* c, std::size_t ldc,
+                  std::size_t i_begin, std::size_t i_end, std::size_t j_begin,
+                  std::size_t j_end) {
+  if (i_begin >= i_end || j_begin >= j_end || k == 0) return;
   static const GemmTileFn tile = pick_gemm_tile();
   // Per-thread scratch so small products don't pay a malloc per call.
   thread_local std::vector<double> panel;
-  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
-    const std::size_t w = std::min(kTileJ, n - j0);
+  for (std::size_t j0 = j_begin; j0 < j_end; j0 += kTileJ) {
+    const std::size_t w = std::min(kTileJ, j_end - j0);
     if (panel.size() < k * w) panel.resize(k * w);
     pack_b_panel(b, ldb, b_trans, k, j0, w, panel.data());
-    for (std::size_t i0 = 0; i0 < m; i0 += kTileI) {
-      const std::size_t mi = std::min(kTileI, m - i0);
+    for (std::size_t i0 = i_begin; i0 < i_end; i0 += kTileI) {
+      const std::size_t mi = std::min(kTileI, i_end - i0);
       for (std::size_t k0 = 0; k0 < k; k0 += kTileK) {
         const std::size_t kk = std::min(kTileK, k - k0);
         tile(a + i0 * lda + k0, lda, panel.data() + k0 * w, w, mi, kk, c + i0 * ldc + j0,
@@ -432,7 +442,84 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const double* a,
   }
 }
 
+// ---- threading --------------------------------------------------------------
+//
+// The blocked kernel is split by whole output tiles across a ThreadPool:
+// column-panel groups when op(B) is wide enough (each task reuses its packed
+// panels), row groups for tall-skinny shapes.  Group boundaries always land
+// on tile boundaries and every C tile is written by exactly one task with
+// the k-accumulation order unchanged, so the threaded product is
+// bit-identical to the serial one.  Small products (under the flop
+// threshold) stay serial — the fork/join overhead would dominate.
+
+std::atomic<std::size_t> g_gemm_min_flops{std::size_t{1} << 23};  // 8M flops
+std::atomic<parallel::ThreadPool*> g_gemm_pool{nullptr};
+
+void gemm_dispatch(std::size_t m, std::size_t n, std::size_t k, const double* a,
+                   std::size_t lda, const double* b, std::size_t ldb, bool b_trans,
+                   double* c, std::size_t ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  parallel::ThreadPool* pool = g_gemm_pool.load(std::memory_order_relaxed);
+  if (!pool) pool = &parallel::ThreadPool::global();
+  const std::size_t workers = pool->size();
+  const std::size_t min_flops = g_gemm_min_flops.load(std::memory_order_relaxed);
+  // 2*m*n*k with saturation so absurd shapes can't wrap around the compare.
+  const auto sat_mul = [](std::size_t x, std::size_t y) {
+    return (y != 0 && x > std::numeric_limits<std::size_t>::max() / y)
+               ? std::numeric_limits<std::size_t>::max()
+               : x * y;
+  };
+  const std::size_t flops = sat_mul(2, sat_mul(m, sat_mul(n, k)));
+  if (workers <= 1 || flops < min_flops) {
+    gemm_blocked(k, a, lda, b, ldb, b_trans, c, ldc, 0, m, 0, n);
+    return;
+  }
+  const std::size_t jpanels = (n + kTileJ - 1) / kTileJ;
+  const std::size_t ipanels = (m + kTileI - 1) / kTileI;
+  // Prefer the column split (each task packs only its own panels); fall back
+  // to rows for tall-skinny products where there are too few column panels.
+  if (jpanels >= ipanels || jpanels >= workers) {
+    const std::size_t groups = std::min(workers, jpanels);
+    const std::size_t per = jpanels / groups;
+    const std::size_t rem = jpanels % groups;
+    parallel::parallel_for(
+        groups,
+        [&](std::size_t g) {
+          const std::size_t p0 = g * per + std::min(g, rem);
+          const std::size_t p1 = p0 + per + (g < rem ? 1 : 0);
+          gemm_blocked(k, a, lda, b, ldb, b_trans, c, ldc, 0, m, p0 * kTileJ,
+                       std::min(n, p1 * kTileJ));
+        },
+        pool);
+  } else {
+    const std::size_t groups = std::min(workers, ipanels);
+    const std::size_t per = ipanels / groups;
+    const std::size_t rem = ipanels % groups;
+    parallel::parallel_for(
+        groups,
+        [&](std::size_t g) {
+          const std::size_t p0 = g * per + std::min(g, rem);
+          const std::size_t p1 = p0 + per + (g < rem ? 1 : 0);
+          gemm_blocked(k, a, lda, b, ldb, b_trans, c, ldc, p0 * kTileI,
+                       std::min(m, p1 * kTileI), 0, n);
+        },
+        pool);
+  }
+}
+
 }  // namespace
+
+void Matrix::set_gemm_min_flops(std::size_t flops) {
+  g_gemm_min_flops.store(flops, std::memory_order_relaxed);
+}
+
+std::size_t Matrix::gemm_min_flops() {
+  return g_gemm_min_flops.load(std::memory_order_relaxed);
+}
+
+void Matrix::set_gemm_pool(parallel::ThreadPool* pool) {
+  g_gemm_pool.store(pool, std::memory_order_relaxed);
+}
 
 Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
   if (a.cols_ != b.rows_) {
@@ -440,8 +527,8 @@ Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
                                 " * " + b.shape_str());
   }
   Matrix out(a.rows_, b.cols_, 0.0);
-  gemm_blocked(a.rows_, b.cols_, a.cols_, a.data_.data(), a.cols_, b.data_.data(), b.cols_,
-               /*b_trans=*/false, out.data_.data(), out.cols_);
+  gemm_dispatch(a.rows_, b.cols_, a.cols_, a.data_.data(), a.cols_, b.data_.data(), b.cols_,
+                /*b_trans=*/false, out.data_.data(), out.cols_);
   return out;
 }
 
@@ -452,8 +539,8 @@ Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
   }
   const Matrix at = a.transposed();
   Matrix out(a.cols_, b.cols_, 0.0);
-  gemm_blocked(at.rows_, b.cols_, at.cols_, at.data_.data(), at.cols_, b.data_.data(),
-               b.cols_, /*b_trans=*/false, out.data_.data(), out.cols_);
+  gemm_dispatch(at.rows_, b.cols_, at.cols_, at.data_.data(), at.cols_, b.data_.data(),
+                b.cols_, /*b_trans=*/false, out.data_.data(), out.cols_);
   return out;
 }
 
@@ -463,8 +550,8 @@ Matrix Matrix::matmul_nt(const Matrix& a, const Matrix& b) {
                                 b.shape_str() + "ᵀ");
   }
   Matrix out(a.rows_, b.rows_, 0.0);
-  gemm_blocked(a.rows_, b.rows_, a.cols_, a.data_.data(), a.cols_, b.data_.data(), b.cols_,
-               /*b_trans=*/true, out.data_.data(), out.cols_);
+  gemm_dispatch(a.rows_, b.rows_, a.cols_, a.data_.data(), a.cols_, b.data_.data(), b.cols_,
+                /*b_trans=*/true, out.data_.data(), out.cols_);
   return out;
 }
 

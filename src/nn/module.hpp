@@ -49,6 +49,11 @@ class Module {
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
 
+  /// Drop whatever forward() cached for backward().  Forward/backward remain
+  /// valid afterwards (the next forward re-caches); callers use this to
+  /// bound the memory of parked model replicas between requests.
+  virtual void clear_forward_cache() {}
+
   /// Mark every owned parameter (non-)trainable.
   void set_trainable(bool trainable) {
     for (Parameter* p : parameters()) p->trainable = trainable;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/simd.hpp"
+
 namespace bellamy::nn {
 
 Optimizer::Optimizer(std::vector<Parameter*> params, double lr)
@@ -47,6 +49,9 @@ Adam::Adam(std::vector<Parameter*> params, Config config)
 }
 
 void Adam::step() {
+  // The whole moment/update loop is one fused element-wise kernel
+  // (nn/simd.hpp): weight decay folds into the effective gradient inside the
+  // kernel, so no per-step gradient copy is materialized.
   for (Parameter* p : params_) {
     if (!p->trainable) continue;
     auto [it, inserted] = state_.try_emplace(p);
@@ -56,23 +61,16 @@ void Adam::step() {
       s.v = Matrix::zeros(p->value.rows(), p->value.cols());
     }
     ++s.t;
-    Matrix g = p->grad;
-    if (config_.weight_decay != 0.0) g.add_scaled(p->value, config_.weight_decay);
-
-    const double b1 = config_.beta1;
-    const double b2 = config_.beta2;
-    const double bias1 = 1.0 - std::pow(b1, static_cast<double>(s.t));
-    const double bias2 = 1.0 - std::pow(b2, static_cast<double>(s.t));
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      const double gi = g.data()[i];
-      double& m = s.m.data()[i];
-      double& v = s.v.data()[i];
-      m = b1 * m + (1.0 - b1) * gi;
-      v = b2 * v + (1.0 - b2) * gi * gi;
-      const double m_hat = m / bias1;
-      const double v_hat = v / bias2;
-      p->value.data()[i] -= lr_ * m_hat / (std::sqrt(v_hat) + config_.eps);
-    }
+    simd::AdamStep step;
+    step.beta1 = config_.beta1;
+    step.beta2 = config_.beta2;
+    step.bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(s.t));
+    step.bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(s.t));
+    step.lr = lr_;
+    step.eps = config_.eps;
+    step.weight_decay = config_.weight_decay;
+    simd::adam_update(p->value.data(), p->grad.data(), s.m.data(), s.v.data(),
+                      p->value.size(), step);
   }
 }
 

@@ -1,0 +1,619 @@
+#include "nn/simd.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define BELLAMY_SIMD_X86_DISPATCH 1
+#endif
+
+#include "nn/activations.hpp"
+
+namespace bellamy::nn::simd {
+
+// ---- portable reference implementations ------------------------------------
+//
+// Fused multiply-adds are written explicitly (__builtin_fma) wherever the
+// AVX2 path fuses, so the two paths round identically per element and the
+// parity tests can demand exact equality for the arithmetic kernels.
+
+namespace ref {
+
+void scale(double* x, std::size_t n, double a) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+void axpy(double* y, const double* x, std::size_t n, double a) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = __builtin_fma(a, x[i], y[i]);
+}
+
+void add(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void sub(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= x[i];
+}
+
+void mul(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+void relu_forward(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+void relu_backward(double* g, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0.0) g[i] = 0.0;
+  }
+}
+
+void tanh_backward(double* g, const double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) g[i] *= __builtin_fma(-y[i], y[i], 1.0);
+}
+
+void sigmoid_backward(double* g, const double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) g[i] *= y[i] * (1.0 - y[i]);
+}
+
+void selu_forward(double* x, std::size_t n) {
+  const double sa = kSeluScale * kSeluAlpha;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = x[i] > 0.0 ? kSeluScale * x[i] : sa * (std::exp(x[i]) - 1.0);
+  }
+}
+
+void selu_backward(double* g, const double* x, std::size_t n) {
+  const double sa = kSeluScale * kSeluAlpha;
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] *= x[i] > 0.0 ? kSeluScale : sa * std::exp(x[i]);
+  }
+}
+
+void adam_update(double* w, const double* grad, double* m, double* v, std::size_t n,
+                 const AdamStep& s) {
+  const double c1 = 1.0 - s.beta1;
+  const double c2 = 1.0 - s.beta2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double geff = __builtin_fma(s.weight_decay, w[i], grad[i]);
+    m[i] = __builtin_fma(s.beta1, m[i], c1 * geff);
+    v[i] = __builtin_fma(s.beta2, v[i], (c2 * geff) * geff);
+    const double mh = m[i] / s.bias1;
+    const double vh = v[i] / s.bias2;
+    w[i] = w[i] - (s.lr * mh) / (std::sqrt(vh) + s.eps);
+  }
+}
+
+double mse_loss_grad(const double* pred, const double* target, double* grad,
+                     std::size_t n, double inv_n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = pred[i] - target[i];
+    acc += e * e;
+    grad[i] = (2.0 * e) * inv_n;
+  }
+  return acc;
+}
+
+double huber_loss_grad(const double* pred, const double* target, double* grad,
+                       std::size_t n, double delta, double inv_n) {
+  double acc = 0.0;
+  const double dn = delta * inv_n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = pred[i] - target[i];
+    const double ae = std::fabs(e);
+    if (ae <= delta) {
+      acc += (0.5 * e) * e;
+      grad[i] = e * inv_n;
+    } else {
+      acc += delta * (ae - 0.5 * delta);
+      grad[i] = e > 0.0 ? dn : -dn;
+    }
+  }
+  return acc;
+}
+
+double mae_loss_grad(const double* pred, const double* target, double* grad,
+                     std::size_t n, double inv_n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = pred[i] - target[i];
+    acc += std::fabs(e);
+    grad[i] = e > 0.0 ? inv_n : (e < 0.0 ? -inv_n : 0.0);
+  }
+  return acc;
+}
+
+}  // namespace ref
+
+// ---- AVX2 + FMA implementations --------------------------------------------
+
+#ifdef BELLAMY_SIMD_X86_DISPATCH
+
+namespace avx2 {
+
+// Lane-enable masks for the ragged tail (r = n % 4 live lanes).  Tail
+// elements are maskloaded into the SAME vector arithmetic as full blocks, so
+// a value's result never depends on its position in the array.
+alignas(32) static const std::int64_t kTailMask[4][4] = {
+    {0, 0, 0, 0}, {-1, 0, 0, 0}, {-1, -1, 0, 0}, {-1, -1, -1, 0}};
+
+__attribute__((target("avx2"))) static inline __m256i tail_mask(std::size_t r) {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(kTailMask[r]));
+}
+
+// Cephes-style vectorized exp: |error| ~1 ulp over the clamped domain
+// [-708, 709].  Inputs outside the domain are clamped (selu only consumes
+// exp(x) for x <= 0, where the clamp is far past saturation); NaN inputs are
+// not part of the kernel contract.
+__attribute__((target("avx2,fma"))) static inline __m256d exp_pd(__m256d x) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  x = _mm256_min_pd(x, _mm256_set1_pd(709.0));
+  x = _mm256_max_pd(x, _mm256_set1_pd(-708.0));
+
+  // n = floor(x * log2(e) + 0.5); r = x - n*ln2 with ln2 split hi/lo.
+  const __m256d px = _mm256_floor_pd(
+      _mm256_fmadd_pd(x, _mm256_set1_pd(1.4426950408889634073599), _mm256_set1_pd(0.5)));
+  __m256d r = _mm256_fnmadd_pd(px, _mm256_set1_pd(6.93145751953125e-1), x);
+  r = _mm256_fnmadd_pd(px, _mm256_set1_pd(1.42860682030941723212e-6), r);
+  const __m256d r2 = _mm256_mul_pd(r, r);
+
+  // exp(r) = 1 + 2r*P(r^2) / (Q(r^2) - r*P(r^2))   (Cephes expml rational)
+  __m256d p = _mm256_set1_pd(1.26177193074810590878e-4);
+  p = _mm256_fmadd_pd(p, r2, _mm256_set1_pd(3.02994407707441961300e-2));
+  p = _mm256_fmadd_pd(p, r2, _mm256_set1_pd(9.99999999999999999910e-1));
+  p = _mm256_mul_pd(p, r);
+  __m256d q = _mm256_set1_pd(3.00198505138664455042e-6);
+  q = _mm256_fmadd_pd(q, r2, _mm256_set1_pd(2.52448340349684104192e-3));
+  q = _mm256_fmadd_pd(q, r2, _mm256_set1_pd(2.27265548208155028766e-1));
+  q = _mm256_fmadd_pd(q, r2, _mm256_set1_pd(2.00000000000000000005e0));
+  __m256d e = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+  e = _mm256_fmadd_pd(_mm256_set1_pd(2.0), e, one);
+
+  // e *= 2^n via direct exponent construction (|n| <= 1021 after clamping).
+  const __m256i n64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(px));
+  const __m256i pow2 =
+      _mm256_slli_epi64(_mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_mul_pd(e, _mm256_castsi256_pd(pow2));
+}
+
+// One macro-free loop skeleton per arity keeps every kernel's tail handling
+// identical: process full 4-lane blocks, then maskload/maskstore the tail
+// through the same lane arithmetic.
+
+__attribute__((target("avx2,fma"))) void scale(double* x, std::size_t n, double a) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), va));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    const __m256d v = _mm256_maskload_pd(x + i, m);
+    _mm256_maskstore_pd(x + i, m, _mm256_mul_pd(v, va));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void axpy(double* y, const double* x, std::size_t n,
+                                              double a) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i,
+                     _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    const __m256d vx = _mm256_maskload_pd(x + i, m);
+    const __m256d vy = _mm256_maskload_pd(y + i, m);
+    _mm256_maskstore_pd(y + i, m, _mm256_fmadd_pd(va, vx, vy));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void add(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    _mm256_maskstore_pd(
+        y + i, m, _mm256_add_pd(_mm256_maskload_pd(y + i, m), _mm256_maskload_pd(x + i, m)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void sub(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_sub_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    _mm256_maskstore_pd(
+        y + i, m, _mm256_sub_pd(_mm256_maskload_pd(y + i, m), _mm256_maskload_pd(x + i, m)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void mul(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    _mm256_maskstore_pd(
+        y + i, m, _mm256_mul_pd(_mm256_maskload_pd(y + i, m), _mm256_maskload_pd(x + i, m)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void relu_forward(double* x, std::size_t n) {
+  // max(v, +0.0) matches the scalar "v > 0 ? v : 0" branch bit for bit
+  // (vmaxpd returns the second operand on equality and NaN).
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_max_pd(_mm256_loadu_pd(x + i), zero));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    _mm256_maskstore_pd(x + i, m, _mm256_max_pd(_mm256_maskload_pd(x + i, m), zero));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void relu_backward(double* g, const double* x,
+                                                       std::size_t n) {
+  // Zero g where x <= 0; the ordered LE compare leaves NaN inputs untouched,
+  // matching the scalar "if (x <= 0) g = 0".
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d le = _mm256_cmp_pd(_mm256_loadu_pd(x + i), zero, _CMP_LE_OQ);
+    _mm256_storeu_pd(g + i, _mm256_andnot_pd(le, _mm256_loadu_pd(g + i)));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    const __m256d le = _mm256_cmp_pd(_mm256_maskload_pd(x + i, m), zero, _CMP_LE_OQ);
+    _mm256_maskstore_pd(g + i, m, _mm256_andnot_pd(le, _mm256_maskload_pd(g + i, m)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void tanh_backward(double* g, const double* y,
+                                                       std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    const __m256d d = _mm256_fnmadd_pd(vy, vy, one);
+    _mm256_storeu_pd(g + i, _mm256_mul_pd(_mm256_loadu_pd(g + i), d));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    const __m256d vy = _mm256_maskload_pd(y + i, m);
+    const __m256d d = _mm256_fnmadd_pd(vy, vy, one);
+    _mm256_maskstore_pd(g + i, m, _mm256_mul_pd(_mm256_maskload_pd(g + i, m), d));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void sigmoid_backward(double* g, const double* y,
+                                                          std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    const __m256d d = _mm256_mul_pd(vy, _mm256_sub_pd(one, vy));
+    _mm256_storeu_pd(g + i, _mm256_mul_pd(_mm256_loadu_pd(g + i), d));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    const __m256d vy = _mm256_maskload_pd(y + i, m);
+    const __m256d d = _mm256_mul_pd(vy, _mm256_sub_pd(one, vy));
+    _mm256_maskstore_pd(g + i, m, _mm256_mul_pd(_mm256_maskload_pd(g + i, m), d));
+  }
+}
+
+__attribute__((target("avx2,fma"))) static inline __m256d selu_fwd_lane(__m256d v) {
+  const __m256d scale = _mm256_set1_pd(kSeluScale);
+  const __m256d sa = _mm256_set1_pd(kSeluScale * kSeluAlpha);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d pos = _mm256_mul_pd(scale, v);
+  const __m256d neg = _mm256_mul_pd(sa, _mm256_sub_pd(exp_pd(v), one));
+  const __m256d gt = _mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_GT_OQ);
+  return _mm256_blendv_pd(neg, pos, gt);
+}
+
+__attribute__((target("avx2,fma"))) void selu_forward(double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, selu_fwd_lane(_mm256_loadu_pd(x + i)));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    _mm256_maskstore_pd(x + i, m, selu_fwd_lane(_mm256_maskload_pd(x + i, m)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) static inline __m256d selu_bwd_lane(__m256d v) {
+  const __m256d scale = _mm256_set1_pd(kSeluScale);
+  const __m256d sa = _mm256_set1_pd(kSeluScale * kSeluAlpha);
+  const __m256d neg = _mm256_mul_pd(sa, exp_pd(v));
+  const __m256d gt = _mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_GT_OQ);
+  return _mm256_blendv_pd(neg, scale, gt);
+}
+
+__attribute__((target("avx2,fma"))) void selu_backward(double* g, const double* x,
+                                                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = selu_bwd_lane(_mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(g + i, _mm256_mul_pd(_mm256_loadu_pd(g + i), d));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    const __m256d d = selu_bwd_lane(_mm256_maskload_pd(x + i, m));
+    _mm256_maskstore_pd(g + i, m, _mm256_mul_pd(_mm256_maskload_pd(g + i, m), d));
+  }
+}
+
+// Per-lane Adam step: pre-broadcast constants arrive via this POD so the
+// helper stays a plain (target-attributed) function — lambdas inside a
+// target("avx2") function do not inherit the target and fail to inline.
+struct AdamLanes {
+  __m256d b1, b2, c1, c2, bias1, bias2, lr, eps, wd;
+};
+
+__attribute__((target("avx2,fma"))) static inline __m256d adam_lane(
+    const AdamLanes& s, __m256d vw, __m256d vg, __m256d vm, __m256d vv, __m256d* om,
+    __m256d* ov) {
+  const __m256d geff = _mm256_fmadd_pd(s.wd, vw, vg);
+  vm = _mm256_fmadd_pd(s.b1, vm, _mm256_mul_pd(s.c1, geff));
+  vv = _mm256_fmadd_pd(s.b2, vv, _mm256_mul_pd(_mm256_mul_pd(s.c2, geff), geff));
+  *om = vm;
+  *ov = vv;
+  const __m256d mh = _mm256_div_pd(vm, s.bias1);
+  const __m256d vh = _mm256_div_pd(vv, s.bias2);
+  const __m256d den = _mm256_add_pd(_mm256_sqrt_pd(vh), s.eps);
+  return _mm256_sub_pd(vw, _mm256_div_pd(_mm256_mul_pd(s.lr, mh), den));
+}
+
+__attribute__((target("avx2,fma"))) void adam_update(double* w, const double* grad,
+                                                     double* m, double* v, std::size_t n,
+                                                     const AdamStep& s) {
+  const AdamLanes lanes{_mm256_set1_pd(s.beta1),       _mm256_set1_pd(s.beta2),
+                        _mm256_set1_pd(1.0 - s.beta1), _mm256_set1_pd(1.0 - s.beta2),
+                        _mm256_set1_pd(s.bias1),       _mm256_set1_pd(s.bias2),
+                        _mm256_set1_pd(s.lr),          _mm256_set1_pd(s.eps),
+                        _mm256_set1_pd(s.weight_decay)};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d om, ov;
+    const __m256d nw =
+        adam_lane(lanes, _mm256_loadu_pd(w + i), _mm256_loadu_pd(grad + i),
+                  _mm256_loadu_pd(m + i), _mm256_loadu_pd(v + i), &om, &ov);
+    _mm256_storeu_pd(m + i, om);
+    _mm256_storeu_pd(v + i, ov);
+    _mm256_storeu_pd(w + i, nw);
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i msk = tail_mask(r);
+    __m256d om, ov;
+    const __m256d nw =
+        adam_lane(lanes, _mm256_maskload_pd(w + i, msk), _mm256_maskload_pd(grad + i, msk),
+                  _mm256_maskload_pd(m + i, msk), _mm256_maskload_pd(v + i, msk), &om, &ov);
+    _mm256_maskstore_pd(m + i, msk, om);
+    _mm256_maskstore_pd(v + i, msk, ov);
+    _mm256_maskstore_pd(w + i, msk, nw);
+  }
+}
+
+__attribute__((target("avx2,fma"))) static inline double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+__attribute__((target("avx2,fma"))) double mse_loss_grad(const double* pred,
+                                                         const double* target,
+                                                         double* grad, std::size_t n,
+                                                         double inv_n) {
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d vin = _mm256_set1_pd(inv_n);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d e = _mm256_sub_pd(_mm256_loadu_pd(pred + i), _mm256_loadu_pd(target + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(e, e));
+    _mm256_storeu_pd(grad + i, _mm256_mul_pd(_mm256_mul_pd(two, e), vin));
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    const __m256d e =
+        _mm256_sub_pd(_mm256_maskload_pd(pred + i, m), _mm256_maskload_pd(target + i, m));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(e, e));
+    _mm256_maskstore_pd(grad + i, m, _mm256_mul_pd(_mm256_mul_pd(two, e), vin));
+  }
+  return hsum(acc);
+}
+
+struct HuberLanes {
+  __m256d delta, half, vin, dn, halfdelta, sign_mask;
+};
+
+__attribute__((target("avx2,fma"))) static inline __m256d huber_lane(
+    const HuberLanes& s, __m256d p, __m256d t, __m256d* out_grad) {
+  const __m256d e = _mm256_sub_pd(p, t);
+  const __m256d ae = _mm256_andnot_pd(s.sign_mask, e);
+  const __m256d quad_term = _mm256_mul_pd(_mm256_mul_pd(s.half, e), e);
+  const __m256d lin_term = _mm256_mul_pd(s.delta, _mm256_sub_pd(ae, s.halfdelta));
+  const __m256d quad_grad = _mm256_mul_pd(e, s.vin);
+  // +-delta/n with e's sign bit (e == 0 always takes the quadratic branch).
+  const __m256d lin_grad = _mm256_or_pd(s.dn, _mm256_and_pd(s.sign_mask, e));
+  const __m256d is_quad = _mm256_cmp_pd(ae, s.delta, _CMP_LE_OQ);
+  *out_grad = _mm256_blendv_pd(lin_grad, quad_grad, is_quad);
+  return _mm256_blendv_pd(lin_term, quad_term, is_quad);
+}
+
+__attribute__((target("avx2,fma"))) double huber_loss_grad(const double* pred,
+                                                           const double* target,
+                                                           double* grad, std::size_t n,
+                                                           double delta, double inv_n) {
+  const HuberLanes lanes{_mm256_set1_pd(delta),          _mm256_set1_pd(0.5),
+                         _mm256_set1_pd(inv_n),          _mm256_set1_pd(delta * inv_n),
+                         _mm256_set1_pd(0.5 * delta),    _mm256_set1_pd(-0.0)};
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d g;
+    acc = _mm256_add_pd(
+        acc, huber_lane(lanes, _mm256_loadu_pd(pred + i), _mm256_loadu_pd(target + i), &g));
+    _mm256_storeu_pd(grad + i, g);
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    __m256d g;
+    acc = _mm256_add_pd(acc, huber_lane(lanes, _mm256_maskload_pd(pred + i, m),
+                                        _mm256_maskload_pd(target + i, m), &g));
+    _mm256_maskstore_pd(grad + i, m, g);
+  }
+  return hsum(acc);
+}
+
+struct MaeLanes {
+  __m256d vin, nvin, zero, sign_mask;
+};
+
+__attribute__((target("avx2,fma"))) static inline __m256d mae_lane(const MaeLanes& s,
+                                                                   __m256d p, __m256d t,
+                                                                   __m256d* out_grad) {
+  const __m256d e = _mm256_sub_pd(p, t);
+  const __m256d pos = _mm256_and_pd(_mm256_cmp_pd(e, s.zero, _CMP_GT_OQ), s.vin);
+  const __m256d neg = _mm256_and_pd(_mm256_cmp_pd(e, s.zero, _CMP_LT_OQ), s.nvin);
+  *out_grad = _mm256_or_pd(pos, neg);
+  return _mm256_andnot_pd(s.sign_mask, e);
+}
+
+__attribute__((target("avx2,fma"))) double mae_loss_grad(const double* pred,
+                                                         const double* target,
+                                                         double* grad, std::size_t n,
+                                                         double inv_n) {
+  const MaeLanes lanes{_mm256_set1_pd(inv_n), _mm256_set1_pd(-inv_n),
+                       _mm256_setzero_pd(), _mm256_set1_pd(-0.0)};
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d g;
+    acc = _mm256_add_pd(
+        acc, mae_lane(lanes, _mm256_loadu_pd(pred + i), _mm256_loadu_pd(target + i), &g));
+    _mm256_storeu_pd(grad + i, g);
+  }
+  if (const std::size_t r = n - i) {
+    const __m256i m = tail_mask(r);
+    __m256d g;
+    acc = _mm256_add_pd(acc, mae_lane(lanes, _mm256_maskload_pd(pred + i, m),
+                                      _mm256_maskload_pd(target + i, m), &g));
+    _mm256_maskstore_pd(grad + i, m, g);
+  }
+  return hsum(acc);
+}
+
+}  // namespace avx2
+
+#endif  // BELLAMY_SIMD_X86_DISPATCH
+
+// ---- dispatch ---------------------------------------------------------------
+
+namespace {
+
+struct Kernels {
+  void (*scale)(double*, std::size_t, double);
+  void (*axpy)(double*, const double*, std::size_t, double);
+  void (*add)(double*, const double*, std::size_t);
+  void (*sub)(double*, const double*, std::size_t);
+  void (*mul)(double*, const double*, std::size_t);
+  void (*relu_forward)(double*, std::size_t);
+  void (*relu_backward)(double*, const double*, std::size_t);
+  void (*tanh_backward)(double*, const double*, std::size_t);
+  void (*sigmoid_backward)(double*, const double*, std::size_t);
+  void (*selu_forward)(double*, std::size_t);
+  void (*selu_backward)(double*, const double*, std::size_t);
+  void (*adam_update)(double*, const double*, double*, double*, std::size_t,
+                      const AdamStep&);
+  double (*mse_loss_grad)(const double*, const double*, double*, std::size_t, double);
+  double (*huber_loss_grad)(const double*, const double*, double*, std::size_t, double,
+                            double);
+  double (*mae_loss_grad)(const double*, const double*, double*, std::size_t, double);
+  bool is_avx2;
+};
+
+Kernels pick_kernels() {
+#ifdef BELLAMY_SIMD_X86_DISPATCH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Kernels{avx2::scale,         avx2::axpy,
+                   avx2::add,           avx2::sub,
+                   avx2::mul,           avx2::relu_forward,
+                   avx2::relu_backward, avx2::tanh_backward,
+                   avx2::sigmoid_backward, avx2::selu_forward,
+                   avx2::selu_backward, avx2::adam_update,
+                   avx2::mse_loss_grad, avx2::huber_loss_grad,
+                   avx2::mae_loss_grad, true};
+  }
+#endif
+  return Kernels{ref::scale,         ref::axpy,
+                 ref::add,           ref::sub,
+                 ref::mul,           ref::relu_forward,
+                 ref::relu_backward, ref::tanh_backward,
+                 ref::sigmoid_backward, ref::selu_forward,
+                 ref::selu_backward, ref::adam_update,
+                 ref::mse_loss_grad, ref::huber_loss_grad,
+                 ref::mae_loss_grad, false};
+}
+
+const Kernels& active() {
+  static const Kernels k = pick_kernels();
+  return k;
+}
+
+}  // namespace
+
+void scale(double* x, std::size_t n, double a) { active().scale(x, n, a); }
+void axpy(double* y, const double* x, std::size_t n, double a) {
+  active().axpy(y, x, n, a);
+}
+void add(double* y, const double* x, std::size_t n) { active().add(y, x, n); }
+void sub(double* y, const double* x, std::size_t n) { active().sub(y, x, n); }
+void mul(double* y, const double* x, std::size_t n) { active().mul(y, x, n); }
+void relu_forward(double* x, std::size_t n) { active().relu_forward(x, n); }
+void relu_backward(double* g, const double* x, std::size_t n) {
+  active().relu_backward(g, x, n);
+}
+void tanh_backward(double* g, const double* y, std::size_t n) {
+  active().tanh_backward(g, y, n);
+}
+void sigmoid_backward(double* g, const double* y, std::size_t n) {
+  active().sigmoid_backward(g, y, n);
+}
+void selu_forward(double* x, std::size_t n) { active().selu_forward(x, n); }
+void selu_backward(double* g, const double* x, std::size_t n) {
+  active().selu_backward(g, x, n);
+}
+void adam_update(double* w, const double* grad, double* m, double* v, std::size_t n,
+                 const AdamStep& s) {
+  active().adam_update(w, grad, m, v, n, s);
+}
+double mse_loss_grad(const double* pred, const double* target, double* grad,
+                     std::size_t n, double inv_n) {
+  return active().mse_loss_grad(pred, target, grad, n, inv_n);
+}
+double huber_loss_grad(const double* pred, const double* target, double* grad,
+                       std::size_t n, double delta, double inv_n) {
+  return active().huber_loss_grad(pred, target, grad, n, delta, inv_n);
+}
+double mae_loss_grad(const double* pred, const double* target, double* grad,
+                     std::size_t n, double inv_n) {
+  return active().mae_loss_grad(pred, target, grad, n, inv_n);
+}
+bool avx2_active() { return active().is_avx2; }
+
+}  // namespace bellamy::nn::simd

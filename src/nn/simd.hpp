@@ -1,0 +1,105 @@
+#pragma once
+// Runtime-dispatched SIMD kernels for the element-wise hot loops.
+//
+// Same pattern as the blocked GEMM micro-kernel in matrix.cpp: an AVX2+FMA
+// implementation selected once per process via __builtin_cpu_supports, with a
+// portable scalar fallback.  The portable implementations double as the
+// ground truth for the SIMD-vs-scalar parity suite
+// (tests/nn/test_simd_kernels.cpp) and are exposed under simd::ref.
+//
+// Determinism contract:
+//  * Arithmetic kernels (scale/axpy/add/sub/mul, relu, tanh/sigmoid backward,
+//    adam_update, the loss gradients) use ONLY IEEE-exact operations, with
+//    fused multiply-adds written explicitly (__builtin_fma / vfmadd) in BOTH
+//    paths, so the AVX2 and portable variants are bit-identical element for
+//    element regardless of compiler contraction flags.
+//  * Transcendental kernels (selu forward/backward) use a vectorized
+//    Cephes-style exp on the AVX2 path and std::exp on the portable path;
+//    they agree to ~1 ulp, and the dispatch decision is per-process, so all
+//    results within a run are self-consistent.
+//  * Every kernel handles the ragged tail with masked loads feeding the SAME
+//    vector arithmetic as full lanes, so an element's result never depends on
+//    its position in the array — chunked and unchunked batches match bit for
+//    bit (the property predict_batch_chunked relies on).
+//  * Loss VALUES are sum-reductions; the AVX2 path accumulates in four lanes
+//    and reduces at the end, so the value may differ from the scalar sum in
+//    the last ulps (gradients stay exact).
+
+#include <cstddef>
+
+namespace bellamy::nn::simd {
+
+/// Adam update constants for one parameter tensor (bias corrections are
+/// passed pre-computed so the kernel is pure element-wise work).
+struct AdamStep {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double bias1 = 1.0;  ///< 1 - beta1^t
+  double bias2 = 1.0;  ///< 1 - beta2^t
+  double lr = 1e-3;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+// ---- dispatched entry points (AVX2+FMA when available) ----------------------
+
+void scale(double* x, std::size_t n, double a);                ///< x *= a
+void axpy(double* y, const double* x, std::size_t n, double a);///< y += a*x (fused)
+void add(double* y, const double* x, std::size_t n);           ///< y += x
+void sub(double* y, const double* x, std::size_t n);           ///< y -= x
+void mul(double* y, const double* x, std::size_t n);           ///< y *= x (hadamard)
+
+void relu_forward(double* x, std::size_t n);                       ///< x = max(x, 0)
+void relu_backward(double* g, const double* x, std::size_t n);     ///< g = x>0 ? g : 0
+void tanh_backward(double* g, const double* y, std::size_t n);     ///< g *= 1 - y^2
+void sigmoid_backward(double* g, const double* y, std::size_t n);  ///< g *= y(1-y)
+void selu_forward(double* x, std::size_t n);
+void selu_backward(double* g, const double* x, std::size_t n);
+
+/// In-place Adam moment/parameter update over one tensor:
+///   geff = grad + weight_decay * w
+///   m = beta1*m + (1-beta1)*geff ; v = beta2*v + (1-beta2)*geff^2
+///   w -= lr * (m/bias1) / (sqrt(v/bias2) + eps)
+void adam_update(double* w, const double* grad, double* m, double* v, std::size_t n,
+                 const AdamStep& s);
+
+/// Loss kernels: write the per-element gradient and return the UN-normalized
+/// sum of the per-element loss terms (caller divides by the element count).
+/// `inv_n` is 1/N where N is the gradient normalizer (pred.size()).
+double mse_loss_grad(const double* pred, const double* target, double* grad,
+                     std::size_t n, double inv_n);
+double huber_loss_grad(const double* pred, const double* target, double* grad,
+                       std::size_t n, double delta, double inv_n);
+double mae_loss_grad(const double* pred, const double* target, double* grad,
+                     std::size_t n, double inv_n);
+
+/// True when the AVX2+FMA kernels are active in this process.
+bool avx2_active();
+
+// ---- portable reference implementations ------------------------------------
+//
+// Always compiled; used as the dispatch fallback and as the ground truth for
+// the parity tests.
+namespace ref {
+void scale(double* x, std::size_t n, double a);
+void axpy(double* y, const double* x, std::size_t n, double a);
+void add(double* y, const double* x, std::size_t n);
+void sub(double* y, const double* x, std::size_t n);
+void mul(double* y, const double* x, std::size_t n);
+void relu_forward(double* x, std::size_t n);
+void relu_backward(double* g, const double* x, std::size_t n);
+void tanh_backward(double* g, const double* y, std::size_t n);
+void sigmoid_backward(double* g, const double* y, std::size_t n);
+void selu_forward(double* x, std::size_t n);
+void selu_backward(double* g, const double* x, std::size_t n);
+void adam_update(double* w, const double* grad, double* m, double* v, std::size_t n,
+                 const AdamStep& s);
+double mse_loss_grad(const double* pred, const double* target, double* grad,
+                     std::size_t n, double inv_n);
+double huber_loss_grad(const double* pred, const double* target, double* grad,
+                       std::size_t n, double delta, double inv_n);
+double mae_loss_grad(const double* pred, const double* target, double* grad,
+                     std::size_t n, double inv_n);
+}  // namespace ref
+
+}  // namespace bellamy::nn::simd

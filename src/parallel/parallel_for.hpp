@@ -7,7 +7,15 @@
 //
 // The first exception thrown by any body is rethrown on the calling thread
 // after all chunks complete.
+//
+// Nested use is supported: called from a worker of the SAME pool, the caller
+// helps drain the pool's queue while it waits (running its own share — and
+// anything else queued — inline), so nested fan-out can never deadlock and
+// still uses every worker.  The chunking still sees the pool's full worker
+// count, so callers that size work by pool.size() (e.g. the GEMM panel
+// split) behave identically at any nesting depth.
 
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <future>
@@ -16,6 +24,22 @@
 #include "parallel/thread_pool.hpp"
 
 namespace bellamy::parallel {
+
+namespace detail {
+/// Wait for `f`, draining `pool`'s queue from the calling thread when the
+/// caller is itself one of the pool's workers (help-based nested blocking).
+template <typename Future>
+void wait_helping(ThreadPool& pool, bool help, Future& f) {
+  using namespace std::chrono_literals;
+  if (!help) {
+    f.wait();
+    return;
+  }
+  while (f.wait_for(0s) != std::future_status::ready) {
+    if (!pool.try_run_pending_task()) f.wait_for(50us);
+  }
+}
+}  // namespace detail
 
 /// Runs body(i) for every i in [0, n) across the pool in contiguous chunks.
 template <typename Body>
@@ -30,6 +54,7 @@ void parallel_for(std::size_t n, Body&& body, ThreadPool* pool = nullptr,
   }
   const std::size_t chunks = std::min(n, workers * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  const bool help = p.owns_current_thread();
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -43,6 +68,7 @@ void parallel_for(std::size_t n, Body&& body, ThreadPool* pool = nullptr,
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {
+      detail::wait_helping(p, help, f);
       f.get();
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
@@ -76,6 +102,7 @@ Acc parallel_reduce(std::size_t n, Acc init, ValueFn&& value, CombineFn&& combin
   }
   const std::size_t chunks = std::min(n, workers * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  const bool help = p.owns_current_thread();
   std::vector<std::future<Acc>> futures;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunk_size;
@@ -88,7 +115,10 @@ Acc parallel_reduce(std::size_t n, Acc init, ValueFn&& value, CombineFn&& combin
     }));
   }
   Acc total = init;
-  for (auto& f : futures) total = combine(total, f.get());
+  for (auto& f : futures) {
+    detail::wait_helping(p, help, f);
+    total = combine(total, f.get());
+  }
   return total;
 }
 

@@ -53,6 +53,24 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_pending_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+    ++active_;
+  }
+  task();  // exceptions are captured by the packaged_task wrapper
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+    if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });

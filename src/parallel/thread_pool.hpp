@@ -54,10 +54,18 @@ class ThreadPool {
   void wait_idle();
 
   /// True when called from one of THIS pool's worker threads.  Code that
-  /// fans out over a pool and blocks on the results must not do so from
-  /// inside the same pool (every worker could end up waiting on tasks that
-  /// no free worker is left to run) — check this and run inline instead.
+  /// fans out over a pool and then blocks on the results from inside the
+  /// same pool must drain the queue while it waits (see
+  /// try_run_pending_task) — otherwise every worker could end up waiting on
+  /// tasks that no free worker is left to run.
   bool owns_current_thread() const;
+
+  /// Pop and execute one queued task on the calling thread, if any.  Returns
+  /// false when the queue was empty.  This is the helping primitive for
+  /// nested fan-out: a worker that blocks on futures of its own pool calls
+  /// this in its wait loop, so the caller runs its share of the nested work
+  /// inline and the pool can never deadlock on nested parallel_for.
+  bool try_run_pending_task();
 
   /// Process-wide default pool (lazily constructed, hardware concurrency).
   static ThreadPool& global();

@@ -1,0 +1,189 @@
+// ReplicaPool contract: chunked prediction stays bit-identical to the serial
+// pass, replicas are reused across calls while the model is unchanged (hits,
+// no fresh deserialization), and ANY weight mutation — a fine-tune step, a
+// parameter restore, an explicit invalidate — makes the pool serve the
+// updated weights on the next call.
+
+#include "core/replica_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/bellamy_model.hpp"
+#include "core/predictor.hpp"
+#include "core/trainer.hpp"
+#include "data/c3o_generator.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bellamy::core {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    data::C3OGeneratorConfig cfg;
+    cfg.seed = 61;
+    ds = data::C3OGenerator(cfg).generate_algorithm("sort", 5);
+    const auto groups = ds.contexts();
+    target_runs = groups.front().runs;
+    rest = ds.exclude_context(groups.front().key);
+    queries.reserve(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      data::JobRun q = target_runs.front();
+      q.scale_out = static_cast<int>(1 + i % 60);
+      queries.push_back(q);
+    }
+  }
+  data::Dataset ds;
+  std::vector<data::JobRun> target_runs;
+  data::Dataset rest;
+  std::vector<data::JobRun> queries;
+};
+
+BellamyModel quick_pretrained(const data::Dataset& corpus, std::uint64_t seed) {
+  BellamyModel model(BellamyConfig{}, seed);
+  PreTrainConfig pre;
+  pre.epochs = 60;
+  pretrain(model, corpus.runs(), pre);
+  return model;
+}
+
+TEST(ReplicaPool, ChunkedPredictionBitIdenticalAndReused) {
+  Fixture fx;
+  BellamyModel model = quick_pretrained(fx.rest, 3);
+  model.set_predict_chunk_threshold(0);  // serial reference stays single-pass
+  const auto serial = model.predict_batch(fx.queries);
+
+  parallel::ThreadPool pool(4);
+  const auto first = model.predict_batch_chunked(fx.queries, &pool, 4);
+  ASSERT_EQ(first.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(first[i], serial[i]);
+
+  ReplicaPool& rp = model.replica_pool();
+  EXPECT_EQ(rp.misses(), 4u);  // first call deserializes every chunk replica
+  EXPECT_EQ(rp.hits(), 0u);
+  EXPECT_EQ(rp.size(), 4u);  // all leases returned
+
+  const auto second = model.predict_batch_chunked(fx.queries, &pool, 4);
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(second[i], serial[i]);
+  EXPECT_EQ(rp.misses(), 4u);  // steady state: no new deserialization
+  EXPECT_EQ(rp.hits(), 4u);
+}
+
+TEST(ReplicaPool, FineTuneInvalidatesAndServesUpdatedWeights) {
+  Fixture fx;
+  BellamyModel model = quick_pretrained(fx.rest, 5);
+  model.set_predict_chunk_threshold(0);
+  parallel::ThreadPool pool(4);
+
+  const auto before = model.predict_batch_chunked(fx.queries, &pool, 4);
+  const std::uint64_t stamp_before = model.state_stamp();
+
+  FineTuneConfig ft;
+  ft.max_epochs = 30;
+  ft.patience = 30;
+  finetune(model, {fx.target_runs.begin(), fx.target_runs.begin() + 4}, ft);
+  EXPECT_NE(model.state_stamp(), stamp_before);
+
+  const auto serial_after = model.predict_batch(fx.queries);
+  const auto chunked_after = model.predict_batch_chunked(fx.queries, &pool, 4);
+  ASSERT_EQ(chunked_after.size(), serial_after.size());
+  bool any_changed = false;
+  for (std::size_t i = 0; i < serial_after.size(); ++i) {
+    EXPECT_EQ(chunked_after[i], serial_after[i]) << "stale replica at query " << i;
+    if (chunked_after[i] != before[i]) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed) << "fine-tune did not change any prediction";
+  EXPECT_GE(model.replica_pool().invalidations(), 1u);
+}
+
+TEST(ReplicaPool, ExplicitInvalidateRebuilds) {
+  Fixture fx;
+  BellamyModel model = quick_pretrained(fx.rest, 7);
+  model.set_predict_chunk_threshold(0);
+  parallel::ThreadPool pool(2);
+
+  const auto serial = model.predict_batch(fx.queries);
+  (void)model.predict_batch_chunked(fx.queries, &pool, 2);
+  ReplicaPool& rp = model.replica_pool();
+  const auto misses_before = rp.misses();
+  rp.invalidate();
+  EXPECT_EQ(rp.size(), 0u);
+  const auto preds = model.predict_batch_chunked(fx.queries, &pool, 2);
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(preds[i], serial[i]);
+  EXPECT_GT(rp.misses(), misses_before);
+}
+
+TEST(ReplicaPool, LeaseRoundTrip) {
+  Fixture fx;
+  BellamyModel model = quick_pretrained(fx.rest, 9);
+  ReplicaPool pool;
+  {
+    ReplicaPool::Lease lease = pool.acquire(model);
+    ASSERT_TRUE(lease);
+    // The replica predicts exactly like its source.
+    model.set_predict_chunk_threshold(0);
+    lease.model().set_predict_chunk_threshold(0);
+    EXPECT_EQ(lease.model().predict_batch(fx.queries), model.predict_batch(fx.queries));
+    EXPECT_EQ(pool.size(), 0u);  // checked out
+  }
+  EXPECT_EQ(pool.size(), 1u);  // returned on lease destruction
+  EXPECT_EQ(pool.misses(), 1u);
+  {
+    ReplicaPool::Lease lease = pool.acquire(model);
+    EXPECT_EQ(pool.hits(), 1u);
+  }
+}
+
+TEST(ReplicaPool, ConcurrentAcquiresAreSafe) {
+  Fixture fx;
+  BellamyModel model = quick_pretrained(fx.rest, 11);
+  model.set_predict_chunk_threshold(0);
+  const auto serial = model.predict_batch(fx.queries);
+
+  ReplicaPool pool;
+  parallel::ThreadPool workers(8);
+  std::vector<std::future<std::vector<double>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(workers.submit([&] {
+      ReplicaPool::Lease lease = pool.acquire(model);
+      lease.model().set_predict_chunk_threshold(0);
+      return lease.model().predict_batch(fx.queries);
+    }));
+  }
+  for (auto& f : futures) {
+    const auto preds = f.get();
+    ASSERT_EQ(preds.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(preds[i], serial[i]);
+  }
+  EXPECT_EQ(pool.hits() + pool.misses(), 16u);
+}
+
+// BellamyPredictor keeps one pool across fits: after a re-fit the pool serves
+// the NEW model's weights (stamp invalidation), never the old ones.
+TEST(ReplicaPool, PredictorPoolSurvivesRefit) {
+  Fixture fx;
+  const BellamyModel pretrained = quick_pretrained(fx.rest, 13);
+  FineTuneConfig ft;
+  ft.max_epochs = 40;
+  ft.patience = 40;
+  BellamyPredictor pred(pretrained, ft);
+
+  parallel::ThreadPool pool(2);
+  pred.fit({fx.target_runs.begin(), fx.target_runs.begin() + 3});
+  pred.model().set_predict_chunk_threshold(0);
+  const auto first = pred.model().predict_batch_chunked(fx.queries, &pool, 2);
+  const std::uint64_t misses_after_first = pred.model().replica_pool().misses();
+  EXPECT_GT(misses_after_first, 0u);
+
+  pred.fit({fx.target_runs.begin(), fx.target_runs.begin() + 5});
+  pred.model().set_predict_chunk_threshold(0);
+  const auto serial = pred.model().predict_batch(fx.queries);
+  const auto chunked = pred.model().predict_batch_chunked(fx.queries, &pool, 2);
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(chunked[i], serial[i]);
+  (void)first;
+}
+
+}  // namespace
+}  // namespace bellamy::core

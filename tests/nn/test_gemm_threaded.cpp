@@ -1,0 +1,132 @@
+// Threaded-GEMM == serial-GEMM bit-identity.  The threaded driver splits the
+// blocked kernel by whole output tiles (column panels, or row groups for
+// tall-skinny shapes) with the k-accumulation order unchanged, so its output
+// must equal the serial kernel EXACTLY — not just to a tolerance — at any
+// thread count, for all three matmul variants, including ragged tile edges
+// and from inside a pool worker (nested fan-out).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <future>
+
+#include "nn/matrix.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace bellamy::nn {
+namespace {
+
+constexpr std::size_t kForceSerial = static_cast<std::size_t>(-1);
+
+// Restores the process-wide GEMM knobs even when an assertion fails.
+struct GemmConfigGuard {
+  std::size_t saved_flops = Matrix::gemm_min_flops();
+  ~GemmConfigGuard() {
+    Matrix::set_gemm_min_flops(saved_flops);
+    Matrix::set_gemm_pool(nullptr);
+  }
+};
+
+struct Shapes {
+  std::size_t m, n, k;
+};
+
+void expect_threaded_matches_serial(parallel::ThreadPool& pool, const Shapes& s,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  const Matrix a = Matrix::randn(s.m, s.k, rng);
+  const Matrix b = Matrix::randn(s.k, s.n, rng);
+  const Matrix at = a.transposed();
+  const Matrix bt = b.transposed();
+
+  GemmConfigGuard guard;
+  Matrix::set_gemm_pool(&pool);
+  Matrix::set_gemm_min_flops(kForceSerial);
+  const Matrix serial = Matrix::matmul(a, b);
+  const Matrix serial_tn = Matrix::matmul_tn(at, b);
+  const Matrix serial_nt = Matrix::matmul_nt(a, bt);
+
+  Matrix::set_gemm_min_flops(0);  // thread everything, even tiny products
+  EXPECT_TRUE(Matrix::matmul(a, b) == serial)
+      << "matmul " << s.m << "x" << s.n << "x" << s.k;
+  EXPECT_TRUE(Matrix::matmul_tn(at, b) == serial_tn)
+      << "matmul_tn " << s.m << "x" << s.n << "x" << s.k;
+  EXPECT_TRUE(Matrix::matmul_nt(a, bt) == serial_nt)
+      << "matmul_nt " << s.m << "x" << s.n << "x" << s.k;
+}
+
+TEST(GemmThreaded, BitIdenticalAcrossShapes) {
+  parallel::ThreadPool pool(8);
+  // Square multi-panel, ragged tile edges, tall-skinny (row split), wide
+  // (column split), single-tile, and sub-tile shapes.
+  const Shapes shapes[] = {{256, 256, 256}, {130, 67, 45},  {1000, 8, 16},
+                           {8, 1024, 64},   {64, 64, 64},   {3, 5, 2},
+                           {65, 129, 64},   {128, 64, 130}};
+  std::uint64_t seed = 100;
+  for (const auto& s : shapes) expect_threaded_matches_serial(pool, s, seed++);
+}
+
+TEST(GemmThreaded, BitIdenticalAtDifferentThreadCounts) {
+  util::Rng rng(7);
+  const Matrix a = Matrix::randn(192, 160, rng);
+  const Matrix b = Matrix::randn(160, 224, rng);
+
+  GemmConfigGuard guard;
+  Matrix::set_gemm_min_flops(kForceSerial);
+  const Matrix serial = Matrix::matmul(a, b);
+
+  Matrix::set_gemm_min_flops(0);
+  for (const std::size_t threads : {2, 3, 5, 8}) {
+    parallel::ThreadPool pool(threads);
+    Matrix::set_gemm_pool(&pool);
+    EXPECT_TRUE(Matrix::matmul(a, b) == serial) << threads << " threads";
+  }
+}
+
+TEST(GemmThreaded, RandomizedFuzzAgainstSerial) {
+  parallel::ThreadPool pool(4);
+  util::Rng shape_rng(99);
+  GemmConfigGuard guard;
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto dim = [&](std::size_t lo, std::size_t hi) {
+      return lo + static_cast<std::size_t>(shape_rng.uniform(0.0, 1.0) *
+                                           static_cast<double>(hi - lo));
+    };
+    const Shapes s{dim(1, 150), dim(1, 150), dim(1, 150)};
+    expect_threaded_matches_serial(pool, s, 1000 + static_cast<std::uint64_t>(iter));
+  }
+}
+
+// A GEMM issued from inside a worker of the same pool must still complete
+// (parallel_for's helping wait) and still be bit-identical.
+TEST(GemmThreaded, NestedCallFromPoolWorker) {
+  parallel::ThreadPool pool(4);
+  util::Rng rng(17);
+  const Matrix a = Matrix::randn(150, 150, rng);
+  const Matrix b = Matrix::randn(150, 150, rng);
+
+  GemmConfigGuard guard;
+  Matrix::set_gemm_pool(&pool);
+  Matrix::set_gemm_min_flops(kForceSerial);
+  const Matrix serial = Matrix::matmul(a, b);
+
+  Matrix::set_gemm_min_flops(0);
+  auto fut = pool.submit([&] { return Matrix::matmul(a, b); });
+  EXPECT_TRUE(fut.get() == serial);
+}
+
+TEST(GemmThreaded, EmptyDimensionsStaySafe) {
+  parallel::ThreadPool pool(4);
+  GemmConfigGuard guard;
+  Matrix::set_gemm_pool(&pool);
+  Matrix::set_gemm_min_flops(0);
+  const Matrix empty_a(0, 5);
+  const Matrix b(5, 3, 1.0);
+  const Matrix out = Matrix::matmul(empty_a, b);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+}  // namespace
+}  // namespace bellamy::nn

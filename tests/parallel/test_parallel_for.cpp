@@ -90,5 +90,82 @@ TEST(ParallelFor, LargeWorkStress) {
   EXPECT_EQ(sum.load(), 100000LL * 99999 / 2);
 }
 
+// Nested fan-out: a parallel_for issued from inside a worker of the same
+// pool must complete (the caller helps drain the queue instead of blocking a
+// worker forever) and still visit every index exactly once.
+TEST(ParallelFor, NestedFromPoolWorkerCompletes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4 * 200);
+  parallel_for(
+      4,
+      [&](std::size_t outer) {
+        parallel_for(
+            200, [&](std::size_t inner) { hits[outer * 200 + inner].fetch_add(1); }, &pool);
+      },
+      &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Even when EVERY worker blocks on a nested fan-out simultaneously, helping
+// guarantees progress — this deadlocked (or serialised wrongly) with a
+// plain future wait.
+TEST(ParallelFor, AllWorkersNestingSimultaneously) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        const long long local = parallel_reduce(
+            1000, 0LL, [](std::size_t i) { return static_cast<long long>(i); },
+            [](long long a, long long b) { return a + b; }, &pool);
+        sum.fetch_add(local);
+      },
+      &pool);
+  EXPECT_EQ(sum.load(), 8LL * (1000LL * 999 / 2));
+}
+
+TEST(ParallelFor, NestedExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(
+          2,
+          [&](std::size_t) {
+            parallel_for(
+                50,
+                [](std::size_t i) {
+                  if (i == 31) throw std::runtime_error("nested failure");
+                },
+                &pool);
+          },
+          &pool),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, TryRunPendingTaskDrainsQueue) {
+  ThreadPool pool(1);
+  // Park the single worker so submitted tasks stay queued.  Wait until the
+  // worker has actually STARTED the parking task — otherwise this thread
+  // could pop it out of the queue itself and block on its own promise.
+  std::promise<void> started;
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  auto parked = pool.submit([&started, released] {
+    started.set_value();
+    released.wait();
+  });
+  started.get_future().wait();
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> tasks;
+  for (int i = 0; i < 3; ++i) tasks.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  // Drain from THIS thread while the worker is blocked.
+  while (pool.try_run_pending_task()) {
+  }
+  EXPECT_EQ(ran.load(), 3);
+  release.set_value();
+  parked.get();
+  for (auto& t : tasks) t.get();
+  EXPECT_FALSE(pool.try_run_pending_task());
+}
+
 }  // namespace
 }  // namespace bellamy::parallel
