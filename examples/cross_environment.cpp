@@ -2,8 +2,16 @@
 // cloud traces is reused after "migrating" to a private cluster — different
 // hardware, software stack and noise profile.  Compares the four reuse
 // strategies and a from-scratch local model on the new environment.
+//
+// The reuse strategies run through the serve facade: ONE published base
+// handle, one derive()d handle per strategy — all five share the same
+// pretrained checkpoint object — each refit with a different strategy and
+// queried through the shared PredictionService.  The local model keeps the
+// legacy BellamyPredictor path, showing both worlds answer through the same
+// data::RuntimeModel interface.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/predictor.hpp"
 #include "core/trainer.hpp"
@@ -11,6 +19,7 @@
 #include "data/bell_generator.hpp"
 #include "data/c3o_generator.hpp"
 #include "eval/metrics.hpp"
+#include "serve/serve.hpp"
 
 using namespace bellamy;
 
@@ -43,6 +52,10 @@ int main() {
   fine.max_epochs = 600;
   fine.patience = 300;
 
+  serve::ModelRegistry registry;
+  serve::PredictionService service(registry);
+  const serve::ModelHandle base = registry.publish({"grep", "cloud"}, pretrained).unwrap();
+
   struct Row {
     std::string name;
     double mae;
@@ -51,30 +64,38 @@ int main() {
   };
   std::vector<Row> rows;
 
-  auto evaluate = [&](const std::string& name, core::BellamyPredictor& pred) {
-    pred.fit(observed);
-    std::vector<data::JobRun> queries;
-    for (const auto& r : target.runs) {
-      if (r.scale_out > 16) queries.push_back(r);
-    }
-    const auto predicted = pred.predict_batch(queries);  // one forward pass
+  std::vector<data::JobRun> queries;
+  for (const auto& r : target.runs) {
+    if (r.scale_out > 16) queries.push_back(r);
+  }
+
+  auto evaluate = [&](const std::string& name, data::RuntimeModel& pred, double fit_seconds,
+                      std::size_t epochs) {
+    const auto predicted = pred.predict_batch(queries);  // one micro-batched pass
     eval::ErrorAccumulator acc;
     for (std::size_t i = 0; i < queries.size(); ++i) {
       acc.add(predicted[i], queries[i].runtime_s);
     }
-    rows.push_back({name, acc.stats().mae, pred.last_fit().fit_seconds,
-                    pred.last_fit().epochs_run});
+    rows.push_back({name, acc.stats().mae, fit_seconds, epochs});
   };
 
   {
     core::BellamyPredictor local(core::BellamyConfig{}, fine, 6, "local");
-    evaluate("local (from scratch)", local);
+    local.fit(observed);
+    evaluate("local (from scratch)", local, local.last_fit().fit_seconds,
+             local.last_fit().epochs_run);
   }
   for (const auto strategy :
        {core::ReuseStrategy::kPartialUnfreeze, core::ReuseStrategy::kFullUnfreeze,
         core::ReuseStrategy::kPartialReset, core::ReuseStrategy::kFullReset}) {
-    core::BellamyPredictor pred(pretrained, fine, strategy, core::strategy_name(strategy));
-    evaluate(core::strategy_name(strategy), pred);
+    // A handle per strategy, all sharing the base checkpoint object.
+    const serve::ModelHandle handle =
+        registry.derive(base, {"grep", core::strategy_name(strategy)}).unwrap();
+    serve::ServingModel pred(registry, service, handle, fine, strategy,
+                             core::strategy_name(strategy));
+    pred.fit(observed);
+    evaluate(core::strategy_name(strategy), pred, pred.last_fit().fit_seconds,
+             pred.last_fit().epochs_run);
   }
 
   std::printf("strategy\t\tMAE_on_large_scaleouts_s\tfit_s\tepochs\n");

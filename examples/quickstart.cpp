@@ -1,17 +1,21 @@
-// Quickstart: the smallest end-to-end Bellamy workflow.
+// Quickstart: the smallest end-to-end Bellamy workflow, through the
+// bellamy::serve facade.
 //
 //   1. Load (here: synthesize) historical dataflow job executions.
-//   2. Pre-train a Bellamy model on all contexts of one algorithm.
-//   3. Fine-tune it on a handful of runs from a brand-new context.
-//   4. Predict runtimes for unseen scale-outs.
+//   2. Pre-train a Bellamy model on all contexts of one algorithm and
+//      publish it in a ModelRegistry under (job, context).
+//   3. Refit the handle on a handful of runs from a brand-new context
+//      (a hot-swap: serving continues on the old weights until it lands).
+//   4. Predict runtimes for unseen scale-outs through the micro-batching
+//      PredictionService.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/bellamy_model.hpp"
 #include "core/trainer.hpp"
 #include "data/c3o_generator.hpp"
+#include "serve/serve.hpp"
 
 using namespace bellamy;
 
@@ -29,7 +33,7 @@ int main() {
   const auto& new_context = groups.back();
   const data::Dataset pretrain_corpus = history.exclude_context(new_context.key);
 
-  // 2. Pre-train on every other context.
+  // 2. Pre-train on every other context, then publish the model.
   core::BellamyModel model(core::BellamyConfig{}, /*seed=*/42);
   core::PreTrainConfig pre;
   pre.epochs = 300;
@@ -37,23 +41,41 @@ int main() {
   std::printf("pre-trained on %zu runs from %zu contexts\n", pretrain_corpus.size(),
               pretrain_corpus.num_contexts());
 
-  // 3. Fine-tune on the first three observed runs of the new context.
+  serve::ModelRegistry registry;
+  serve::PredictionService service(registry);
+  const serve::ModelHandle handle =
+      registry.publish({"sgd", new_context.key}, model).unwrap();
+
+  // 3. Refit on the first three observed runs of the new context.  The
+  //    handle keeps serving throughout; the new weights swap in atomically.
   std::vector<data::JobRun> observed(new_context.runs.begin(), new_context.runs.begin() + 3);
   core::FineTuneConfig fine;  // paper defaults: cyclical LR, MAE <= 5 s target
   fine.max_epochs = 800;
   fine.patience = 400;
-  const auto result = core::finetune(model, observed, fine);
-  std::printf("fine-tuned for %zu epochs (best MAE %.1f s, %s)\n", result.epochs_run,
+  const core::FineTuneResult result = registry.refit(handle, observed, fine).unwrap();
+  std::printf("refit for %zu epochs (best MAE %.1f s, %s)\n", result.epochs_run,
               result.best_mae_seconds,
               result.reached_target ? "target reached" : "stopped by patience/cap");
 
-  // 4. Predict the full scale-out range of the new context.
-  std::printf("\nscale_out\tpredicted_s\tactual_s (mean of repetitions)\n");
+  // 4. Predict the full scale-out range of the new context.  The queries
+  //    coalesce into one micro-batch inside the service.
+  std::vector<data::JobRun> queries;
   for (int x : new_context.scale_outs()) {
     data::JobRun query = new_context.runs.front();
     query.scale_out = x;
-    const double predicted = model.predict_one(query);
-    std::printf("%d\t\t%8.1f\t%8.1f\n", x, predicted, new_context.mean_runtime_at(x));
+    queries.push_back(query);
   }
+  const std::vector<double> predicted = service.predict_many(handle, queries).unwrap();
+
+  std::printf("\nscale_out\tpredicted_s\tactual_s (mean of repetitions)\n");
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    std::printf("%d\t\t%8.1f\t%8.1f\n", queries[i].scale_out, predicted[i],
+                new_context.mean_runtime_at(queries[i].scale_out));
+  }
+
+  const serve::ServeMetrics metrics = service.metrics(handle).unwrap();
+  std::printf("\nserved %llu requests in %llu micro-batch(es), mean fill %.1f\n",
+              static_cast<unsigned long long>(metrics.responses),
+              static_cast<unsigned long long>(metrics.batches), metrics.mean_batch_fill());
   return 0;
 }

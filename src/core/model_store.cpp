@@ -36,15 +36,32 @@ std::string ModelStore::path_for(const std::string& algorithm, const std::string
 
 void ModelStore::save(const BellamyModel& model, const std::string& algorithm,
                       const std::string& tag) {
-  model.save(path_for(algorithm, tag));
+  const std::string path = path_for(algorithm, tag);
+  try {
+    model.save(path);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("ModelStore::save: cannot write '" + algorithm + "/" + tag +
+                             "' to " + path + ": " + e.what());
+  }
 }
 
 BellamyModel ModelStore::load(const std::string& algorithm, const std::string& tag) const {
+  return BellamyModel::from_checkpoint(load_checkpoint(algorithm, tag));
+}
+
+nn::Checkpoint ModelStore::load_checkpoint(const std::string& algorithm,
+                                           const std::string& tag) const {
   const std::string path = path_for(algorithm, tag);
   if (!fs::exists(path)) {
-    throw std::runtime_error("ModelStore::load: no model for '" + algorithm + "/" + tag + "'");
+    throw std::runtime_error("ModelStore::load: no model for '" + algorithm + "/" + tag +
+                             "' (expected " + path + ")");
   }
-  return BellamyModel::load(path);
+  try {
+    return nn::Checkpoint::load_file(path);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("ModelStore::load: cannot read '" + algorithm + "/" + tag +
+                             "' from " + path + ": " + e.what());
+  }
 }
 
 bool ModelStore::contains(const std::string& algorithm, const std::string& tag) const {

@@ -19,8 +19,15 @@ class ModelStore {
   /// File path a given key maps to.
   std::string path_for(const std::string& algorithm, const std::string& tag) const;
 
+  /// save/load wrap any I/O or parse failure in a std::runtime_error that
+  /// names the key, the file path AND the underlying reason — a missing
+  /// model, an unwritable directory and a corrupt checkpoint must be
+  /// distinguishable from the message alone.
   void save(const BellamyModel& model, const std::string& algorithm, const std::string& tag);
   BellamyModel load(const std::string& algorithm, const std::string& tag) const;
+  /// The raw checkpoint for a key (same error contract as load).  Serving
+  /// layers share one loaded checkpoint across many model instances.
+  nn::Checkpoint load_checkpoint(const std::string& algorithm, const std::string& tag) const;
   bool contains(const std::string& algorithm, const std::string& tag) const;
   void remove(const std::string& algorithm, const std::string& tag);
 

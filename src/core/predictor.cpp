@@ -1,6 +1,7 @@
 #include "core/predictor.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/timer.hpp"
 
@@ -77,7 +78,17 @@ std::vector<double> BellamyPredictor::predict_batch(const std::vector<data::JobR
 
 BellamyModel& BellamyPredictor::model() { return fitted_model("model"); }
 
-BellamyModel& BellamyPredictor::fitted_model(const char* caller) {
+const BellamyModel& BellamyPredictor::model() const { return fitted_model("model"); }
+
+std::uint64_t BellamyPredictor::state_stamp() const noexcept {
+  try {
+    return model_ ? model_->state_stamp() : 0;
+  } catch (...) {
+    return 0;  // state_stamp never throws in practice; keep the noexcept honest
+  }
+}
+
+const BellamyModel& BellamyPredictor::fitted_model(const char* caller) const {
   if (!model_) {
     // Dereferencing the empty optional here would be UB; fail loudly with
     // enough context to identify the offending predictor.
@@ -85,6 +96,10 @@ BellamyModel& BellamyPredictor::fitted_model(const char* caller) {
                              "' has no fitted model — call fit() first");
   }
   return *model_;
+}
+
+BellamyModel& BellamyPredictor::fitted_model(const char* caller) {
+  return const_cast<BellamyModel&>(std::as_const(*this).fitted_model(caller));
 }
 
 }  // namespace bellamy::core

@@ -14,6 +14,7 @@
 #include "eval/splits.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/runtime_adapter.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -97,11 +98,10 @@ void evaluate_split(const std::vector<data::JobRun>& runs, const Split& split,
   for (auto& c : contenders) {
     if (train.size() < c.model->min_training_points()) continue;
     util::Timer fit_timer;
-    try {
-      c.model->fit(train);
-    } catch (const std::exception&) {
-      continue;  // split unusable for this model (e.g. degenerate NNLS)
-    }
+    // The serve-layer wrappers fold the RuntimeModel exception contract into
+    // typed results, so an unusable split (e.g. degenerate NNLS) is a status
+    // branch here, not a catch block.
+    if (!serve::try_fit(*c.model, train).ok()) continue;
 
     FitRecord fit;
     fit.algorithm = algorithm;
@@ -113,16 +113,16 @@ void evaluate_split(const std::vector<data::JobRun>& runs, const Split& split,
 
     std::vector<double> predicted;
     std::vector<bool> answered(queries.size(), true);
-    try {
-      predicted = c.model->predict_batch(queries);
-    } catch (const std::exception&) {
+    if (auto batch = serve::try_predict_batch(*c.model, queries); batch.ok()) {
+      predicted = batch.take();
+    } else {
       // Batch failed as a whole — fall back per query so one unanswerable
       // query does not drop the records of its sibling.
       predicted.assign(queries.size(), 0.0);
       for (std::size_t i = 0; i < queries.size(); ++i) {
-        try {
-          predicted[i] = c.model->predict(queries[i]);
-        } catch (const std::exception&) {
+        if (auto one = serve::try_predict(*c.model, queries[i]); one.ok()) {
+          predicted[i] = one.value();
+        } else {
           answered[i] = false;
         }
       }

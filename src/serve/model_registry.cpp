@@ -1,0 +1,318 @@
+#include "serve/model_registry.hpp"
+
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace bellamy::serve {
+
+namespace {
+
+ServeResult<ModelHandle> validate_key(const ModelKey& key) {
+  if (key.job.empty() || key.context.empty()) {
+    return ServeResult<ModelHandle>::failure(
+        ServeStatus::kInvalidArgument, "model key needs a job and a context, got '" +
+                                           key.str() + "'");
+  }
+  return ModelHandle{};
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::shared_ptr<core::ModelStore> store)
+    : store_(std::move(store)) {}
+
+std::pair<ModelHandle, std::shared_ptr<detail::RegistryEntry>>
+ModelRegistry::entry_for_key_locked(const ModelKey& key) {
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    return {ModelHandle(it->second), entries_.at(it->second)};
+  }
+  const std::uint64_t id = next_id_++;
+  auto entry = std::make_shared<detail::RegistryEntry>();
+  entry->key = key;
+  entries_.emplace(id, entry);
+  by_key_.emplace(key, id);
+  return {ModelHandle(id), std::move(entry)};
+}
+
+ServeResult<ModelHandle> ModelRegistry::publish(const ModelKey& key,
+                                                const core::BellamyModel& model) {
+  if (auto bad = validate_key(key); !bad.ok()) return bad;
+  try {
+    // Snapshot the caller's model: the checkpoint becomes both the entry's
+    // refit base and the source of the serveable copy, so base and serving
+    // weights agree at publish time.
+    auto ckpt = std::make_shared<const nn::Checkpoint>(model.to_checkpoint());
+    auto serving = core::BellamyModel::from_checkpoint(*ckpt);
+
+    ModelHandle handle;
+    std::shared_ptr<detail::RegistryEntry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::tie(handle, entry) = entry_for_key_locked(key);
+    }
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    entry->base = std::move(ckpt);
+    entry->model.emplace(std::move(serving));
+    entry->model->set_replica_pool(entry->pool);
+    return handle;
+  } catch (const std::exception& e) {
+    return ServeResult<ModelHandle>::failure(
+        ServeStatus::kInternalError, "publish '" + key.str() + "': " + e.what());
+  }
+}
+
+ServeResult<ModelHandle> ModelRegistry::open(const ModelKey& key) {
+  if (auto bad = validate_key(key); !bad.ok()) return bad;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = by_key_.find(key); it != by_key_.end()) {
+      const auto& entry = entries_.at(it->second);
+      std::lock_guard<std::mutex> entry_lock(entry->mutex);
+      if (entry->model) {
+        return ModelHandle(it->second);  // already materialized; share it
+      }
+      // A reserve()d route: fall through and materialize it from the store.
+    }
+  }
+  if (!store_) {
+    return ServeResult<ModelHandle>::failure(
+        ServeStatus::kInvalidArgument,
+        "open '" + key.str() + "': registry has no backing ModelStore");
+  }
+  try {
+    if (!store_->contains(key.job, key.context)) {
+      return ServeResult<ModelHandle>::failure(
+          ServeStatus::kUnknownModel, "open '" + key.str() + "': nothing stored at " +
+                                          store_->path_for(key.job, key.context));
+    }
+    auto ckpt = std::make_shared<const nn::Checkpoint>(
+        store_->load_checkpoint(key.job, key.context));
+    auto serving = core::BellamyModel::from_checkpoint(*ckpt);
+
+    ModelHandle handle;
+    std::shared_ptr<detail::RegistryEntry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::tie(handle, entry) = entry_for_key_locked(key);
+    }
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    if (!entry->model) {  // lost a publish/open race: keep the winner's state
+      entry->base = std::move(ckpt);
+      entry->model.emplace(std::move(serving));
+      entry->model->set_replica_pool(entry->pool);
+    }
+    return handle;
+  } catch (const std::invalid_argument& e) {
+    return ServeResult<ModelHandle>::failure(ServeStatus::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    return ServeResult<ModelHandle>::failure(ServeStatus::kStoreError,
+                                             "open '" + key.str() + "': " + e.what());
+  }
+}
+
+ServeResult<ModelHandle> ModelRegistry::reserve(const ModelKey& key) {
+  if (auto bad = validate_key(key); !bad.ok()) return bad;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entry_for_key_locked(key).first;
+}
+
+ServeResult<ModelHandle> ModelRegistry::derive(const ModelHandle& base, const ModelKey& key) {
+  if (auto bad = validate_key(key); !bad.ok()) return bad;
+  const auto source = resolve(base);
+  if (!source) {
+    return ServeResult<ModelHandle>::failure(ServeStatus::kUnknownModel,
+                                             "derive: unknown base handle");
+  }
+  std::shared_ptr<const nn::Checkpoint> ckpt;
+  {
+    std::lock_guard<std::mutex> lock(source->mutex);
+    ckpt = source->base;
+  }
+  if (!ckpt) {
+    return ServeResult<ModelHandle>::failure(
+        ServeStatus::kNotFitted,
+        "derive from '" + source->key.str() + "': base handle has no checkpoint yet");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (by_key_.count(key)) {  // fast-fail before the checkpoint materialization
+      return ServeResult<ModelHandle>::failure(
+          ServeStatus::kInvalidArgument, "derive: key '" + key.str() + "' already registered");
+    }
+  }
+  try {
+    // Build the entry fully populated BEFORE it becomes visible, then insert
+    // or reject under one lock — a publish/reserve racing onto the same key
+    // must never be clobbered silently.
+    auto entry = std::make_shared<detail::RegistryEntry>();
+    entry->key = key;
+    entry->model.emplace(core::BellamyModel::from_checkpoint(*ckpt));
+    entry->model->set_replica_pool(entry->pool);
+    entry->base = std::move(ckpt);  // the SAME checkpoint object as the base handle
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (by_key_.count(key)) {
+      return ServeResult<ModelHandle>::failure(
+          ServeStatus::kConflict,
+          "derive: key '" + key.str() + "' was registered concurrently");
+    }
+    const std::uint64_t id = next_id_++;
+    entries_.emplace(id, std::move(entry));
+    by_key_.emplace(key, id);
+    return ModelHandle(id);
+  } catch (const std::exception& e) {
+    return ServeResult<ModelHandle>::failure(
+        ServeStatus::kInternalError, "derive '" + key.str() + "': " + e.what());
+  }
+}
+
+ServeResult<ModelHandle> ModelRegistry::find(const ModelKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) return ModelHandle(it->second);
+  return ServeResult<ModelHandle>::failure(ServeStatus::kUnknownModel,
+                                           "no model registered for '" + key.str() + "'");
+}
+
+ServeResult<core::FineTuneResult> ModelRegistry::refit(const ModelHandle& handle,
+                                                       const std::vector<data::JobRun>& runs,
+                                                       const core::FineTuneConfig& config,
+                                                       core::ReuseStrategy strategy) {
+  const auto entry = resolve(handle);
+  if (!entry) {
+    return ServeResult<core::FineTuneResult>::failure(ServeStatus::kUnknownModel,
+                                                      "refit: unknown handle");
+  }
+  std::shared_ptr<const nn::Checkpoint> base;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    base = entry->base;
+  }
+  if (!base) {
+    return ServeResult<core::FineTuneResult>::failure(
+        ServeStatus::kNotFitted,
+        "refit '" + entry->key.str() + "': no base checkpoint — publish or open first");
+  }
+  try {
+    // Fine-tune a fresh copy off to the side; the entry keeps serving its
+    // current weights until the swap below.  Same recipe as
+    // BellamyPredictor::fit, so refit results are bit-identical to the
+    // legacy path given the same config.
+    auto fresh = core::BellamyModel::from_checkpoint(*base);
+    const core::FineTuneConfig cfg = core::apply_reuse_strategy(strategy, fresh, config);
+    core::FineTuneResult result;
+    util::Timer timer;
+    if (!runs.empty()) result = core::finetune(fresh, runs, cfg);
+    result.fit_seconds = timer.seconds();
+
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->base != base) {
+      // A publish replaced the base while we fine-tuned: swapping in weights
+      // derived from the OLD base would leave base and served model
+      // disagreeing for every later refit/derive.  Surface the race instead.
+      return ServeResult<core::FineTuneResult>::failure(
+          ServeStatus::kConflict,
+          "refit '" + entry->key.str() + "': base checkpoint changed during the fine-tune");
+    }
+    entry->model.emplace(std::move(fresh));
+    entry->model->set_replica_pool(entry->pool);
+    return result;
+  } catch (const std::invalid_argument& e) {
+    return ServeResult<core::FineTuneResult>::failure(
+        ServeStatus::kInvalidArgument, "refit '" + entry->key.str() + "': " + e.what());
+  } catch (const std::exception& e) {
+    return ServeResult<core::FineTuneResult>::failure(
+        ServeStatus::kInternalError, "refit '" + entry->key.str() + "': " + e.what());
+  }
+}
+
+ServeResult<Unit> ModelRegistry::persist(const ModelHandle& handle) {
+  const auto entry = resolve(handle);
+  if (!entry) {
+    return ServeResult<Unit>::failure(ServeStatus::kUnknownModel, "persist: unknown handle");
+  }
+  if (!store_) {
+    return ServeResult<Unit>::failure(
+        ServeStatus::kInvalidArgument,
+        "persist '" + entry->key.str() + "': registry has no backing ModelStore");
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (!entry->model) {
+    return ServeResult<Unit>::failure(
+        ServeStatus::kNotFitted, "persist '" + entry->key.str() + "': no model to save");
+  }
+  try {
+    store_->save(*entry->model, entry->key.job, entry->key.context);
+    return ok();
+  } catch (const std::invalid_argument& e) {
+    return ServeResult<Unit>::failure(ServeStatus::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    return ServeResult<Unit>::failure(ServeStatus::kStoreError, e.what());
+  }
+}
+
+ServeResult<Unit> ModelRegistry::erase(const ModelHandle& handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(handle.id());
+  if (it == entries_.end()) {
+    return ServeResult<Unit>::failure(ServeStatus::kUnknownModel, "erase: unknown handle");
+  }
+  by_key_.erase(it->second->key);
+  entries_.erase(it);
+  return ok();
+}
+
+bool ModelRegistry::fitted(const ModelHandle& handle) const noexcept {
+  try {
+    const auto entry = resolve(handle);
+    if (!entry) return false;
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return entry->model.has_value();
+  } catch (...) {
+    return false;  // a throwing lock must not escalate to std::terminate
+  }
+}
+
+std::uint64_t ModelRegistry::state_stamp(const ModelHandle& handle) const noexcept {
+  try {
+    const auto entry = resolve(handle);
+    if (!entry) return 0;
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return entry->model ? entry->model->state_stamp() : 0;
+  } catch (...) {
+    return 0;
+  }
+}
+
+std::shared_ptr<const nn::Checkpoint> ModelRegistry::base_checkpoint(
+    const ModelHandle& handle) const {
+  const auto entry = resolve(handle);
+  if (!entry) return nullptr;
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  return entry->base;
+}
+
+std::vector<ModelKey> ModelRegistry::keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelKey> out;
+  out.reserve(by_key_.size());
+  for (const auto& [key, id] : by_key_) out.push_back(key);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::shared_ptr<detail::RegistryEntry> ModelRegistry::resolve(const ModelHandle& handle) const {
+  return resolve_id(handle.id());
+}
+
+std::shared_ptr<detail::RegistryEntry> ModelRegistry::resolve_id(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+}  // namespace bellamy::serve

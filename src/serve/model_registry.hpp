@@ -1,0 +1,163 @@
+#pragma once
+// ModelRegistry: the serve layer's model directory, layered over
+// core::ModelStore.
+//
+// The paper's deployment story is a shared, always-on service keyed by
+// (job, context): providers publish pre-trained per-algorithm models once,
+// consumers open them, fine-tune on their own few runs, and query.  The
+// registry gives that shape a stable in-process identity:
+//
+//   * publish(key, model)  — install a fitted model; publishing to an
+//     existing key hot-swaps the weights behind the SAME handle.
+//   * open(key)            — materialize a model from the backing ModelStore
+//     (job -> algorithm, context -> tag).  Checkpoints loaded from the same
+//     stored file are shared, not re-read.
+//   * derive(handle, key)  — a new handle for a new context that SHARES the
+//     base checkpoint of an existing one (direct reuse until refit).
+//   * refit(handle, runs)  — fine-tune a fresh copy of the base checkpoint
+//     off to the side and swap it in atomically.  In-flight predictions keep
+//     serving the old weights; the state-stamp change invalidates the
+//     handle's ReplicaPool so the next micro-batch serves the new ones.
+//
+// Handles stay valid across hot-swaps and refits; erase() retires one.
+// All operations are thread-safe.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bellamy_model.hpp"
+#include "core/model_store.hpp"
+#include "core/replica_pool.hpp"
+#include "core/trainer.hpp"
+#include "core/variants.hpp"
+#include "serve/serve_result.hpp"
+
+namespace bellamy::serve {
+
+/// Identity of a served model: the dataflow job (algorithm) plus the context
+/// tag it was trained or specialized for.
+struct ModelKey {
+  std::string job;
+  std::string context;
+
+  bool operator==(const ModelKey& other) const {
+    return job == other.job && context == other.context;
+  }
+  bool operator<(const ModelKey& other) const {
+    return job != other.job ? job < other.job : context < other.context;
+  }
+  std::string str() const { return job + "/" + context; }
+};
+
+/// Opaque, copyable reference to a registry entry.  Default-constructed
+/// handles are invalid; handles stay stable across publish/refit hot-swaps.
+class ModelHandle {
+ public:
+  ModelHandle() = default;
+  std::uint64_t id() const { return id_; }
+  explicit operator bool() const { return id_ != 0; }
+  bool operator==(const ModelHandle& other) const { return id_ == other.id_; }
+
+ private:
+  friend class ModelRegistry;
+  explicit ModelHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+namespace detail {
+
+/// One served model.  `mutex` guards `base` and `model`; the PredictionService
+/// holds it only for the (cheap, stamp-keyed) replica acquire, never across a
+/// forward pass.  `pool` is shared with the model so chunked prediction and
+/// the service lease from the same replica cache.
+struct RegistryEntry {
+  ModelKey key;
+  mutable std::mutex mutex;
+  std::shared_ptr<const nn::Checkpoint> base;  ///< pretrained base for refits
+  std::optional<core::BellamyModel> model;     ///< current serveable weights
+  std::shared_ptr<core::ReplicaPool> pool = std::make_shared<core::ReplicaPool>();
+};
+
+}  // namespace detail
+
+class ModelRegistry {
+ public:
+  /// In-memory registry (publish/derive/refit only; open/persist need a store).
+  ModelRegistry() = default;
+  /// Store-backed registry: open() loads from and persist() saves to `store`.
+  explicit ModelRegistry(std::shared_ptr<core::ModelStore> store);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Install a fitted model under `key` (snapshot — the caller keeps its
+  /// instance).  An existing key keeps its handle and hot-swaps its weights;
+  /// the model's checkpoint becomes the entry's refit base.
+  ServeResult<ModelHandle> publish(const ModelKey& key, const core::BellamyModel& model);
+
+  /// Load the stored model for `key` from the backing store.  Re-opening a
+  /// key returns its existing handle without touching the store.
+  ServeResult<ModelHandle> open(const ModelKey& key);
+
+  /// Pre-register `key` with no model yet (requests answer kNotFitted until
+  /// a publish).  Useful to reserve routes before models arrive.
+  ServeResult<ModelHandle> reserve(const ModelKey& key);
+
+  /// New handle for `key` sharing `base`'s pretrained checkpoint (the
+  /// checkpoint object itself, not a copy); starts as a direct-reuse model.
+  ServeResult<ModelHandle> derive(const ModelHandle& base, const ModelKey& key);
+
+  /// Handle registered for `key`, if any.
+  ServeResult<ModelHandle> find(const ModelKey& key) const;
+
+  /// Fine-tune a fresh copy of the entry's base checkpoint on `runs` under
+  /// `strategy` and hot-swap it in.  Empty `runs` = direct reuse (reset to
+  /// the base weights).  Serving continues on the old weights until the swap.
+  ServeResult<core::FineTuneResult> refit(
+      const ModelHandle& handle, const std::vector<data::JobRun>& runs,
+      const core::FineTuneConfig& config,
+      core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze);
+
+  /// Save the entry's current weights to the backing store under its key.
+  ServeResult<Unit> persist(const ModelHandle& handle);
+
+  /// Retire a handle: subsequent resolves (and service requests) fail with
+  /// kUnknownModel.  Outstanding replica leases finish their batch.
+  ServeResult<Unit> erase(const ModelHandle& handle);
+
+  /// Introspection without catch-as-control-flow: unknown handles and
+  /// unfitted entries report false / 0 instead of throwing.
+  bool fitted(const ModelHandle& handle) const noexcept;
+  std::uint64_t state_stamp(const ModelHandle& handle) const noexcept;
+
+  /// The entry's shared pretrained checkpoint (null when reserve()d).
+  /// Exposed so tests can certify checkpoint sharing across handles.
+  std::shared_ptr<const nn::Checkpoint> base_checkpoint(const ModelHandle& handle) const;
+
+  /// All registered keys, sorted.
+  std::vector<ModelKey> keys() const;
+  std::size_t size() const;
+
+  /// Entry lookup for the PredictionService (null when unknown/erased).
+  std::shared_ptr<detail::RegistryEntry> resolve(const ModelHandle& handle) const;
+  /// Same, by raw handle id (the service queues ids, not handles).
+  std::shared_ptr<detail::RegistryEntry> resolve_id(std::uint64_t id) const;
+
+ private:
+  /// Insert-or-get the entry for `key`; returns its handle.
+  std::pair<ModelHandle, std::shared_ptr<detail::RegistryEntry>> entry_for_key_locked(
+      const ModelKey& key);
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<core::ModelStore> store_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<detail::RegistryEntry>> entries_;
+  std::map<ModelKey, std::uint64_t> by_key_;
+};
+
+}  // namespace bellamy::serve

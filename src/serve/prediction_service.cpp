@@ -1,0 +1,270 @@
+#include "serve/prediction_service.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace bellamy::serve {
+
+namespace {
+/// Lane garbage collection only kicks in past this many lanes — below it,
+/// probing the registry per drained lane per wake costs more than the map.
+constexpr std::size_t kGcMinLanes = 64;
+}  // namespace
+
+PredictionService::PredictionService(ModelRegistry& registry, ServiceConfig config)
+    : registry_(registry), config_(config) {
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  config_.max_queue = std::max<std::size_t>(1, config_.max_queue);
+  // A batch can never fill past the queue bound — clamp so the size-based
+  // flush stays reachable instead of silently degrading to deadline flushes.
+  config_.max_batch = std::min(config_.max_batch, config_.max_queue);
+  config_.workers = std::max<std::size_t>(1, config_.workers);
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PredictionService::~PredictionService() { stop(); }
+
+ServeResult<double> PredictionService::predict(const ModelHandle& handle,
+                                               const data::JobRun& query) {
+  return predict_async(handle, query).get();
+}
+
+std::future<ServeResult<double>> PredictionService::predict_async(const ModelHandle& handle,
+                                                                  const data::JobRun& query) {
+  std::promise<ServeResult<double>> promise;
+  std::future<ServeResult<double>> future = promise.get_future();
+  if (!registry_.resolve(handle)) {
+    promise.set_value(ServeResult<double>::failure(ServeStatus::kUnknownModel,
+                                                   "predict: unknown model handle"));
+    return future;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Bounded queue: block the producer until the dispatcher makes room.  The
+  // lane is re-looked-up on every predicate evaluation — a drained lane may
+  // be garbage-collected (and recreated by operator[]) while we wait, so a
+  // held reference could dangle.
+  space_cv_.wait(lock, [&] {
+    return stopping_ || lanes_[handle.id()].queue.size() < config_.max_queue;
+  });
+  if (stopping_) {
+    lock.unlock();
+    promise.set_value(
+        ServeResult<double>::failure(ServeStatus::kShutdown, "service is stopping"));
+    return future;
+  }
+  Lane& lane = lanes_[handle.id()];
+  lane.queue.push_back(Request{query, std::move(promise), Clock::now()});
+  lane.metrics.requests += 1;
+  lane.metrics.queue_depth = lane.queue.size();
+  lane.metrics.max_queue_depth =
+      std::max<std::uint64_t>(lane.metrics.max_queue_depth, lane.queue.size());
+  lock.unlock();
+  work_cv_.notify_one();
+  return future;
+}
+
+ServeResult<std::vector<double>> PredictionService::predict_many(
+    const ModelHandle& handle, const std::vector<data::JobRun>& queries) {
+  std::vector<std::future<ServeResult<double>>> futures;
+  futures.reserve(queries.size());
+  for (const data::JobRun& query : queries) {
+    futures.push_back(predict_async(handle, query));
+  }
+  std::vector<double> out(queries.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ServeResult<double> r = futures[i].get();
+    if (!r.ok()) {
+      // Drain the siblings before reporting — their promises resolve anyway,
+      // and abandoning futures mid-batch would hide secondary errors.
+      for (std::size_t j = i + 1; j < futures.size(); ++j) futures[j].wait();
+      return ServeResult<std::vector<double>>::failure(r.status(), r.message());
+    }
+    out[i] = r.value();
+  }
+  return out;
+}
+
+ServeResult<ServeMetrics> PredictionService::metrics(const ModelHandle& handle) const {
+  const auto entry = registry_.resolve(handle);
+  if (!entry) {
+    return ServeResult<ServeMetrics>::failure(ServeStatus::kUnknownModel,
+                                              "metrics: unknown model handle");
+  }
+  ServeMetrics out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = lanes_.find(handle.id()); it != lanes_.end()) {
+      out = it->second.metrics;
+      out.queue_depth = it->second.queue.size();
+    }
+  }
+  out.replica_hits = entry->pool->hits();
+  out.replica_misses = entry->pool->misses();
+  out.replica_invalidations = entry->pool->invalidations();
+  return out;
+}
+
+void PredictionService::stop() {
+  // One stopper at a time: join() from two threads on the same worker is UB.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // The workers drained every queue before exiting; anything still pending
+  // (a producer raced stop() past the registry check) fails loudly here.
+  // These rejections do NOT count as responses — `responses` means "answered
+  // through a micro-batch", which keeps mean_batch_fill() honest.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, lane] : lanes_) {
+    for (Request& request : lane.queue) {
+      request.promise.set_value(
+          ServeResult<double>::failure(ServeStatus::kShutdown, "service stopped"));
+    }
+    lane.queue.clear();
+  }
+}
+
+void PredictionService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    std::optional<Clock::time_point> nearest_deadline;
+    std::uint64_t ready_id = 0;
+    Lane* ready_lane = nullptr;
+    bool by_deadline = false;
+    for (auto it = lanes_.begin(); it != lanes_.end();) {
+      Lane& lane = it->second;
+      if (lane.queue.empty()) {
+        // Garbage-collect lanes of erased handles so lanes_ does not grow
+        // (and get scanned) forever under handle churn.  The registry probe
+        // runs with the service mutex held, so only bother once the map is
+        // big enough for unbounded growth to matter; drained lanes of live
+        // handles keep their metrics.
+        if (lanes_.size() >= kGcMinLanes && !registry_.resolve_id(it->first)) {
+          it = lanes_.erase(it);
+        } else {
+          ++it;
+        }
+        continue;
+      }
+      const Clock::time_point deadline = lane.queue.front().enqueued + config_.flush_deadline;
+      if (lane.queue.size() >= config_.max_batch || stopping_ || now >= deadline) {
+        ready_id = it->first;
+        ready_lane = &lane;
+        by_deadline = lane.queue.size() < config_.max_batch && !stopping_;
+        break;
+      }
+      if (!nearest_deadline || deadline < *nearest_deadline) nearest_deadline = deadline;
+      ++it;
+    }
+
+    if (ready_lane) {
+      const std::size_t take = std::min(ready_lane->queue.size(), config_.max_batch);
+      std::vector<Request> batch;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(ready_lane->queue.front()));
+        ready_lane->queue.pop_front();
+      }
+      ready_lane->metrics.batches += 1;
+      if (take > 1) ready_lane->metrics.coalesced += take;
+      if (by_deadline) ready_lane->metrics.deadline_flushes += 1;
+      ready_lane->metrics.queue_depth = ready_lane->queue.size();
+      lock.unlock();
+      space_cv_.notify_all();
+      std::vector<ServeResult<double>> results = run_batch(ready_id, batch);
+      // Count the responses BEFORE resolving the futures: a client that
+      // reads metrics right after .get() must see its own response.  find(),
+      // not operator[] — the lane may have been garbage-collected while the
+      // batch ran, and resurrecting it would leave inconsistent metrics.
+      lock.lock();
+      if (const auto it = lanes_.find(ready_id); it != lanes_.end()) {
+        it->second.metrics.responses += take;
+      }
+      lock.unlock();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(std::move(results[i]));
+      }
+      lock.lock();
+      continue;
+    }
+
+    if (stopping_) return;  // every queue is empty
+    if (nearest_deadline) {
+      work_cv_.wait_until(lock, *nearest_deadline);
+    } else {
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+std::vector<ServeResult<double>> PredictionService::fail_batch(std::size_t size,
+                                                               ServeStatus status,
+                                                               const std::string& message) {
+  std::vector<ServeResult<double>> results;
+  results.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    results.push_back(ServeResult<double>::failure(status, message));
+  }
+  return results;
+}
+
+std::vector<ServeResult<double>> PredictionService::run_batch(
+    std::uint64_t handle_id, const std::vector<Request>& batch) {
+  const auto entry = registry_.resolve_id(handle_id);
+  if (!entry) {
+    return fail_batch(batch.size(), ServeStatus::kUnknownModel,
+                      "model was erased while the request was queued");
+  }
+
+  // Check a replica out of the handle's pool.  The entry mutex covers the
+  // acquire so a concurrent refit cannot swap the model mid-serialization;
+  // on the steady-state hit path this is a stamp compare + vector pop.
+  core::ReplicaPool::Lease lease;
+  {
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    if (!entry->model) {
+      return fail_batch(
+          batch.size(), ServeStatus::kNotFitted,
+          "'" + entry->key.str() + "' has no serveable model — publish or refit first");
+    }
+    try {
+      lease = entry->pool->acquire(*entry->model);
+    } catch (const std::exception& e) {
+      return fail_batch(batch.size(), ServeStatus::kInternalError,
+                        "'" + entry->key.str() + "': replica acquire failed: " + e.what());
+    }
+  }
+
+  std::vector<data::JobRun> queries;
+  queries.reserve(batch.size());
+  for (const Request& request : batch) queries.push_back(request.query);
+
+  try {
+    // One stacked forward pass for the whole micro-batch — bit-identical to
+    // a per-request predict loop by the predict_batch contract.
+    const std::vector<double> predictions = lease.model().predict_batch(queries);
+    std::vector<ServeResult<double>> results;
+    results.reserve(batch.size());
+    for (const double prediction : predictions) results.push_back(prediction);
+    return results;
+  } catch (const std::exception& e) {
+    return fail_batch(batch.size(), ServeStatus::kInternalError,
+                      "'" + entry->key.str() + "': batch forward failed: " + e.what());
+  }
+}
+
+}  // namespace bellamy::serve

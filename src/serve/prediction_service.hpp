@@ -1,0 +1,143 @@
+#pragma once
+// PredictionService: the concurrent front door of the serve layer.
+//
+// N client threads call predict(handle, query) (or predict_async for a
+// future).  Requests land in a bounded per-handle queue; dispatcher workers
+// coalesce whatever is pending into a micro-batch and flush it when either
+// the batch is full (max_batch) or the oldest request has waited
+// flush_deadline.  A micro-batch executes ONE stacked forward pass on a
+// replica checked out of the handle's stamp-keyed ReplicaPool, so
+//
+//   * concurrent callers share forward passes instead of serializing on a
+//     model mutex (a batch of k requests costs ~1 forward, not k), and
+//   * a registry refit hot-swaps weights between micro-batches: the stamp
+//     change makes the next acquire rebuild the replicas, while in-flight
+//     batches finish on the old weights.
+//
+// Coalescing is bit-transparent: predict_batch is certified bit-identical to
+// the per-sample loop, and a replica built from a checkpoint predicts
+// bit-identically to its source — so the value a request receives does not
+// depend on which micro-batch it rode in (tests/serve/
+// test_prediction_service.cpp soaks this under 8+ client threads).
+//
+// When the queue is full, producers block (backpressure) rather than drop;
+// stop() drains every queue before joining the workers, so no accepted
+// request is ever lost.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/record.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/serve_result.hpp"
+
+namespace bellamy::serve {
+
+struct ServiceConfig {
+  /// Flush a micro-batch at this many pending requests.  1 disables
+  /// coalescing (every request runs its own forward pass).
+  std::size_t max_batch = 64;
+  /// Bounded queue capacity per handle; producers block when it is full.
+  std::size_t max_queue = 1024;
+  /// Flush a partial batch once its oldest request has waited this long.
+  std::chrono::microseconds flush_deadline{500};
+  /// Dispatcher threads executing micro-batches (>= 1).
+  std::size_t workers = 1;
+};
+
+/// Per-handle serving counters.  A snapshot; not synchronized with in-flight
+/// requests beyond the service mutex.
+struct ServeMetrics {
+  std::uint64_t requests = 0;          ///< accepted into the queue
+  std::uint64_t responses = 0;         ///< futures fulfilled (ok or error)
+  std::uint64_t batches = 0;           ///< micro-batches executed
+  std::uint64_t coalesced = 0;         ///< requests that shared a batch with others
+  std::uint64_t deadline_flushes = 0;  ///< partial batches flushed by deadline
+  std::uint64_t max_queue_depth = 0;   ///< high-water mark of the pending queue
+  std::uint64_t queue_depth = 0;       ///< pending requests right now
+  std::uint64_t replica_hits = 0;      ///< handle pool counters (see ReplicaPool)
+  std::uint64_t replica_misses = 0;
+  std::uint64_t replica_invalidations = 0;
+
+  /// Mean requests per executed micro-batch (0 before the first batch).
+  double mean_batch_fill() const {
+    return batches == 0 ? 0.0 : static_cast<double>(responses) / static_cast<double>(batches);
+  }
+};
+
+class PredictionService {
+ public:
+  /// The registry must outlive the service.
+  explicit PredictionService(ModelRegistry& registry, ServiceConfig config = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Blocking predict: enqueue, wait for the micro-batch carrying it.
+  ServeResult<double> predict(const ModelHandle& handle, const data::JobRun& query);
+
+  /// Enqueue and return immediately; the future resolves when the request's
+  /// micro-batch executes.  Always returns a valid future (errors travel
+  /// through it).
+  std::future<ServeResult<double>> predict_async(const ModelHandle& handle,
+                                                 const data::JobRun& query);
+
+  /// Enqueue all queries (they coalesce like any other traffic) and wait.
+  /// Fails with the first per-request error if any; an empty batch is ok.
+  ServeResult<std::vector<double>> predict_many(const ModelHandle& handle,
+                                                const std::vector<data::JobRun>& queries);
+
+  /// Serving counters for one handle (zeroed until its first request).
+  ServeResult<ServeMetrics> metrics(const ModelHandle& handle) const;
+
+  /// Drain every queue, then stop the workers.  Requests arriving after
+  /// stop() fail with kShutdown.  Idempotent; the destructor calls it.
+  void stop();
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    data::JobRun query;
+    std::promise<ServeResult<double>> promise;
+    Clock::time_point enqueued;
+  };
+
+  /// Pending traffic of one handle.
+  struct Lane {
+    std::deque<Request> queue;
+    ServeMetrics metrics;
+  };
+
+  void worker_loop();
+  /// Execute one micro-batch outside the service mutex; returns one result
+  /// per request (the caller resolves the promises after counting them).
+  std::vector<ServeResult<double>> run_batch(std::uint64_t handle_id,
+                                             const std::vector<Request>& batch);
+  static std::vector<ServeResult<double>> fail_batch(std::size_t size, ServeStatus status,
+                                                     const std::string& message);
+
+  ModelRegistry& registry_;
+  ServiceConfig config_;
+
+  mutable std::mutex mutex_;
+  std::mutex stop_mutex_;             ///< serializes stop() (join is not reentrant)
+  std::condition_variable work_cv_;   ///< signals workers: traffic or stop
+  std::condition_variable space_cv_;  ///< signals producers: queue has room
+  std::map<std::uint64_t, Lane> lanes_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bellamy::serve

@@ -1,0 +1,22 @@
+#pragma once
+// Legacy-boundary wrappers: drive any data::RuntimeModel (NNLS, Bell,
+// Bellamy, ServingModel) with typed outcomes instead of
+// catch-as-control-flow — a fit rejected as degenerate or a query outside a
+// model's domain comes back as a ServeStatus, not a std::exception.  The
+// eval harness runs its contenders through these; deliberately a leaf
+// header (no registry/service includes) so that dependency stays cheap.
+
+#include <vector>
+
+#include "data/record.hpp"
+#include "data/runtime_model.hpp"
+#include "serve/serve_result.hpp"
+
+namespace bellamy::serve {
+
+ServeResult<Unit> try_fit(data::RuntimeModel& model, const std::vector<data::JobRun>& runs);
+ServeResult<double> try_predict(data::RuntimeModel& model, const data::JobRun& query);
+ServeResult<std::vector<double>> try_predict_batch(data::RuntimeModel& model,
+                                                   const std::vector<data::JobRun>& queries);
+
+}  // namespace bellamy::serve

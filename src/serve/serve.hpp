@@ -1,0 +1,28 @@
+#pragma once
+// bellamy::serve — the repo's serving front door.
+//
+//   ModelStore (disk)  ->  ModelRegistry (handles, hot-swap)  ->
+//   PredictionService (micro-batching)  ->  ReplicaPool (per-handle replicas)
+//
+// Typical wiring:
+//
+//   auto store = std::make_shared<core::ModelStore>("/models");
+//   serve::ModelRegistry registry(store);
+//   serve::PredictionService service(registry);          // default config
+//
+//   auto handle = registry.open({"sgd", "c3o-v1"}).unwrap();   // or publish()
+//   registry.refit(handle, observed_runs, fine).expect();      // hot-swap
+//   double seconds = service.predict(handle, query).unwrap();  // any thread
+//
+// Every operation returns a ServeResult instead of throwing; ServingModel
+// adapts a handle back to the exception-based data::RuntimeModel interface
+// for the evaluation harness and the resource selector.
+//
+// The service must be stopped/destroyed before the registry, and the
+// registry before the store.
+
+#include "serve/model_registry.hpp"      // IWYU pragma: export
+#include "serve/prediction_service.hpp"  // IWYU pragma: export
+#include "serve/runtime_adapter.hpp"     // IWYU pragma: export
+#include "serve/serve_result.hpp"        // IWYU pragma: export
+#include "serve/serving_model.hpp"       // IWYU pragma: export

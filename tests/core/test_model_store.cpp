@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "data/c3o_generator.hpp"
 
@@ -55,6 +56,60 @@ TEST_F(ModelStoreTest, ContainsFalseForMissing) {
 TEST_F(ModelStoreTest, LoadMissingThrows) {
   ModelStore store(dir_);
   EXPECT_THROW(store.load("sgd", "nope"), std::runtime_error);
+}
+
+TEST_F(ModelStoreTest, LoadMissingNamesKeyAndPath) {
+  ModelStore store(dir_);
+  try {
+    store.load("sgd", "nope");
+    FAIL() << "load of a missing model must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sgd/nope"), std::string::npos) << what;
+    EXPECT_NE(what.find(store.path_for("sgd", "nope")), std::string::npos) << what;
+  }
+}
+
+TEST_F(ModelStoreTest, LoadCorruptFileNamesPathAndReason) {
+  ModelStore store(dir_);
+  {
+    std::ofstream out(store.path_for("sgd", "bad"));
+    out << "this is not a checkpoint\n";
+  }
+  try {
+    store.load("sgd", "bad");
+    FAIL() << "load of a corrupt model must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // A corrupt file must be distinguishable from a missing one: the message
+    // carries the path AND the parser's reason.
+    EXPECT_NE(what.find(store.path_for("sgd", "bad")), std::string::npos) << what;
+    EXPECT_NE(what.find("magic"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ModelStoreTest, SaveFailureNamesKeyPathAndReason) {
+  ModelStore store(dir_);
+  // A directory squatting on the target path makes the write fail.
+  std::filesystem::create_directories(store.path_for("sgd", "blocked"));
+  try {
+    store.save(make_model(), "sgd", "blocked");
+    FAIL() << "save over a directory must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sgd/blocked"), std::string::npos) << what;
+    EXPECT_NE(what.find(store.path_for("sgd", "blocked")), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ModelStoreTest, LoadCheckpointSharesTheStoredState) {
+  ModelStore store(dir_);
+  BellamyModel model = make_model(5);
+  store.save(model, "sgd", "ck");
+  const nn::Checkpoint ckpt = store.load_checkpoint("sgd", "ck");
+  BellamyModel restored = BellamyModel::from_checkpoint(ckpt);
+  EXPECT_EQ(restored.state_stamp(), model.state_stamp());
 }
 
 TEST_F(ModelStoreTest, ListSortedKeys) {

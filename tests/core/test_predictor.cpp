@@ -141,6 +141,29 @@ TEST(BellamyPredictor, ModelAccessorThrowsBeforeFit) {
   }
 }
 
+TEST(BellamyPredictor, NoexceptIntrospectionAndConstAccess) {
+  // The serve layer introspects predictors without exceptions as control
+  // flow: fitted()/state_stamp() are noexcept and answer honestly before
+  // AND after fit; model() has a const overload with the same throw contract.
+  Fixture fx;
+  BellamyPredictor pred(BellamyConfig{}, quick_finetune(), 11);
+  EXPECT_FALSE(pred.fitted());
+  EXPECT_EQ(pred.state_stamp(), 0u);
+  static_assert(noexcept(pred.fitted()));
+  static_assert(noexcept(pred.state_stamp()));
+
+  const BellamyPredictor& const_unfitted = pred;
+  EXPECT_THROW(const_unfitted.model(), std::runtime_error);
+
+  pred.fit({fx.target_runs.begin(), fx.target_runs.begin() + 4});
+  EXPECT_TRUE(pred.fitted());
+  EXPECT_NE(pred.state_stamp(), 0u);
+
+  const BellamyPredictor& const_fitted = pred;
+  EXPECT_EQ(const_fitted.model().state_stamp(), pred.state_stamp());
+  EXPECT_EQ(&const_fitted.model(), &pred.model());
+}
+
 TEST(BellamyPredictor, FitTimeIsRecorded) {
   Fixture fx;
   BellamyPredictor pred(BellamyConfig{}, quick_finetune(), 10);

@@ -1,0 +1,250 @@
+#include "serve/model_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/predictor.hpp"
+#include "core/trainer.hpp"
+#include "data/c3o_generator.hpp"
+#include "serve/serve.hpp"
+
+namespace bellamy::serve {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    data::C3OGeneratorConfig cfg;
+    cfg.seed = 61;
+    ds = data::C3OGenerator(cfg).generate_algorithm("sgd", 4);
+    const auto groups = ds.contexts();
+    target_runs = groups.front().runs;
+    rest = ds.exclude_context(groups.front().key);
+  }
+
+  core::BellamyModel pretrained(std::uint64_t seed) const {
+    core::BellamyModel model(core::BellamyConfig{}, seed);
+    core::PreTrainConfig pre;
+    pre.epochs = 100;
+    core::pretrain(model, rest.runs(), pre);
+    return model;
+  }
+
+  data::Dataset ds;
+  std::vector<data::JobRun> target_runs;
+  data::Dataset rest;
+};
+
+core::FineTuneConfig quick_finetune() {
+  core::FineTuneConfig cfg;
+  cfg.max_epochs = 120;
+  cfg.patience = 60;
+  return cfg;
+}
+
+TEST(ModelRegistry, PublishFindAndIntrospect) {
+  Fixture fx;
+  ModelRegistry registry;
+  const core::BellamyModel model = fx.pretrained(1);
+
+  const auto published = registry.publish({"sgd", "ctx-a"}, model);
+  ASSERT_TRUE(published.ok()) << published.error_text();
+  const ModelHandle handle = published.value();
+  EXPECT_TRUE(static_cast<bool>(handle));
+
+  const auto found = registry.find({"sgd", "ctx-a"});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), handle);
+
+  EXPECT_TRUE(registry.fitted(handle));
+  EXPECT_EQ(registry.state_stamp(handle), model.state_stamp());
+  EXPECT_EQ(registry.size(), 1u);
+  ASSERT_EQ(registry.keys().size(), 1u);
+  EXPECT_EQ(registry.keys()[0].str(), "sgd/ctx-a");
+}
+
+TEST(ModelRegistry, PublishToExistingKeyHotSwapsSameHandle) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle h1 = registry.publish({"sgd", "ctx"}, fx.pretrained(1)).unwrap();
+  const std::uint64_t stamp1 = registry.state_stamp(h1);
+
+  const ModelHandle h2 = registry.publish({"sgd", "ctx"}, fx.pretrained(2)).unwrap();
+  EXPECT_EQ(h1, h2);  // stable handle across the weight swap
+  EXPECT_NE(registry.state_stamp(h1), stamp1);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ModelRegistry, FindUnknownKeyIsTyped) {
+  ModelRegistry registry;
+  const auto missing = registry.find({"sgd", "nope"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status(), ServeStatus::kUnknownModel);
+}
+
+TEST(ModelRegistry, EmptyKeyPartsRejected) {
+  Fixture fx;
+  ModelRegistry registry;
+  EXPECT_EQ(registry.publish({"", "ctx"}, fx.pretrained(1)).status(),
+            ServeStatus::kInvalidArgument);
+  EXPECT_EQ(registry.reserve({"sgd", ""}).status(), ServeStatus::kInvalidArgument);
+}
+
+TEST(ModelRegistry, DeriveSharesTheBaseCheckpointObject) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle base = registry.publish({"sgd", "cloud"}, fx.pretrained(3)).unwrap();
+  const ModelHandle derived = registry.derive(base, {"sgd", "cluster"}).unwrap();
+
+  // The checkpoint is shared, not copied: both handles point at the SAME
+  // object, and both start serving the same weights.
+  EXPECT_EQ(registry.base_checkpoint(base).get(), registry.base_checkpoint(derived).get());
+  EXPECT_EQ(registry.state_stamp(base), registry.state_stamp(derived));
+  EXPECT_TRUE(registry.fitted(derived));
+
+  // Deriving onto a taken key or from an unknown base is a typed error.
+  EXPECT_EQ(registry.derive(base, {"sgd", "cloud"}).status(), ServeStatus::kInvalidArgument);
+  EXPECT_EQ(registry.derive(ModelHandle{}, {"sgd", "x"}).status(),
+            ServeStatus::kUnknownModel);
+}
+
+TEST(ModelRegistry, RefitMatchesTheLegacyPredictorBitExactly) {
+  Fixture fx;
+  ModelRegistry registry;
+  const core::BellamyModel model = fx.pretrained(4);
+  const ModelHandle handle = registry.publish({"sgd", "ctx"}, model).unwrap();
+
+  const std::vector<data::JobRun> observed(fx.target_runs.begin(), fx.target_runs.begin() + 3);
+  const auto refit = registry.refit(handle, observed, quick_finetune());
+  ASSERT_TRUE(refit.ok()) << refit.error_text();
+  EXPECT_GT(refit.value().epochs_run, 0u);
+
+  // Same recipe, legacy path: restart from the checkpoint, same strategy,
+  // same config.  Predictions must agree bit-for-bit.
+  core::BellamyPredictor legacy(model, quick_finetune());
+  legacy.fit(observed);
+
+  PredictionService service(registry);
+  for (std::size_t i = 4; i < 8; ++i) {
+    const auto served = service.predict(handle, fx.target_runs[i]);
+    ASSERT_TRUE(served.ok()) << served.error_text();
+    EXPECT_EQ(served.value(), legacy.predict(fx.target_runs[i]));
+  }
+}
+
+TEST(ModelRegistry, RefitWithoutRunsResetsToTheBaseWeights) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "ctx"}, fx.pretrained(5)).unwrap();
+  const std::uint64_t base_stamp = registry.state_stamp(handle);
+
+  const std::vector<data::JobRun> observed(fx.target_runs.begin(), fx.target_runs.begin() + 3);
+  registry.refit(handle, observed, quick_finetune()).expect();
+  EXPECT_NE(registry.state_stamp(handle), base_stamp);
+
+  registry.refit(handle, {}, quick_finetune()).expect();  // direct reuse
+  EXPECT_EQ(registry.state_stamp(handle), base_stamp);
+}
+
+TEST(ModelRegistry, ReserveIsUnfittedUntilPublish) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.reserve({"sgd", "pending"}).unwrap();
+  EXPECT_FALSE(registry.fitted(handle));
+  EXPECT_EQ(registry.state_stamp(handle), 0u);
+  EXPECT_EQ(registry.base_checkpoint(handle), nullptr);
+  EXPECT_EQ(registry.refit(handle, {}, quick_finetune()).status(), ServeStatus::kNotFitted);
+
+  // publish onto the reserved key keeps the handle and makes it serveable.
+  const ModelHandle same = registry.publish({"sgd", "pending"}, fx.pretrained(6)).unwrap();
+  EXPECT_EQ(same, handle);
+  EXPECT_TRUE(registry.fitted(handle));
+}
+
+TEST(ModelRegistry, EraseRetiresTheHandle) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "ctx"}, fx.pretrained(7)).unwrap();
+  registry.erase(handle).expect();
+
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.fitted(handle));
+  EXPECT_EQ(registry.resolve(handle), nullptr);
+  EXPECT_EQ(registry.find({"sgd", "ctx"}).status(), ServeStatus::kUnknownModel);
+  EXPECT_EQ(registry.erase(handle).status(), ServeStatus::kUnknownModel);
+}
+
+TEST(ModelRegistry, StoreBackedOpenPersistAndSharing) {
+  Fixture fx;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bellamy_registry_" + std::to_string(::getpid())))
+          .string();
+  auto store = std::make_shared<core::ModelStore>(dir);
+
+  const core::BellamyModel model = fx.pretrained(8);
+  std::vector<double> expected;
+  {
+    ModelRegistry provider(store);
+    const ModelHandle handle = provider.publish({"sgd", "v1"}, model).unwrap();
+    provider.persist(handle).expect();
+    // persisting an unfitted entry is a typed error
+    const ModelHandle empty = provider.reserve({"sgd", "empty"}).unwrap();
+    EXPECT_EQ(provider.persist(empty).status(), ServeStatus::kNotFitted);
+  }
+
+  ModelRegistry consumer(store);
+  // A route reserved before the open must still be materialized from the
+  // store (regression: the early-return used to hand back the empty entry).
+  const ModelHandle reserved = consumer.reserve({"sgd", "v1"}).unwrap();
+  EXPECT_FALSE(consumer.fitted(reserved));
+  const auto opened = consumer.open({"sgd", "v1"});
+  ASSERT_TRUE(opened.ok()) << opened.error_text();
+  EXPECT_EQ(opened.value(), reserved);  // same handle, now serveable
+  EXPECT_EQ(consumer.state_stamp(opened.value()), model.state_stamp());
+  // Re-opening the key reuses the materialized entry (same handle).
+  EXPECT_EQ(consumer.open({"sgd", "v1"}).unwrap(), opened.value());
+
+  const auto missing = consumer.open({"sgd", "v2"});
+  ASSERT_EQ(missing.status(), ServeStatus::kUnknownModel);
+  EXPECT_NE(missing.message().find(store->path_for("sgd", "v2")), std::string::npos)
+      << missing.message();
+
+  ModelRegistry storeless;
+  EXPECT_EQ(storeless.open({"sgd", "v1"}).status(), ServeStatus::kInvalidArgument);
+  EXPECT_EQ(storeless.persist(storeless.reserve({"a", "b"}).unwrap()).status(),
+            ServeStatus::kInvalidArgument);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelRegistry, ServingModelAdapterDrivesTheFacade) {
+  Fixture fx;
+  ModelRegistry registry;
+  const core::BellamyModel model = fx.pretrained(9);
+  const ModelHandle handle = registry.publish({"sgd", "ctx"}, model).unwrap();
+  PredictionService service(registry);
+
+  ServingModel adapter(registry, service, handle, quick_finetune(),
+                       core::ReuseStrategy::kPartialUnfreeze, "Bellamy(serve)");
+  EXPECT_EQ(adapter.name(), "Bellamy(serve)");
+  EXPECT_EQ(adapter.min_training_points(), 0u);
+
+  const std::vector<data::JobRun> observed(fx.target_runs.begin(), fx.target_runs.begin() + 3);
+  adapter.fit(observed);
+  EXPECT_GT(adapter.last_fit().epochs_run, 0u);
+
+  core::BellamyPredictor legacy(model, quick_finetune());
+  legacy.fit(observed);
+  const std::vector<data::JobRun> queries(fx.target_runs.begin() + 4,
+                                          fx.target_runs.begin() + 8);
+  const auto via_adapter = adapter.predict_batch(queries);
+  const auto via_legacy = legacy.predict_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(via_adapter[i], via_legacy[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bellamy::serve

@@ -1,0 +1,270 @@
+#include "serve/prediction_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "core/variants.hpp"
+#include "data/c3o_generator.hpp"
+#include "serve/serve.hpp"
+
+namespace bellamy::serve {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    data::C3OGeneratorConfig cfg;
+    cfg.seed = 83;
+    ds = data::C3OGenerator(cfg).generate_algorithm("sgd", 4);
+    model.emplace(core::BellamyConfig{}, 17);
+    core::PreTrainConfig pre;
+    pre.epochs = 80;
+    core::pretrain(*model, ds.runs(), pre);
+  }
+
+  /// A deterministic query stream: the context template with scale-outs
+  /// swept 1..60.
+  std::vector<data::JobRun> make_queries(std::size_t n) const {
+    std::vector<data::JobRun> queries;
+    queries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data::JobRun q = ds.runs().front();
+      q.scale_out = static_cast<int>(1 + i % 60);
+      queries.push_back(std::move(q));
+    }
+    return queries;
+  }
+
+  data::Dataset ds;
+  std::optional<core::BellamyModel> model;
+};
+
+core::FineTuneConfig quick_finetune() {
+  core::FineTuneConfig cfg;
+  cfg.max_epochs = 100;
+  cfg.patience = 50;
+  return cfg;
+}
+
+// The acceptance-criteria soak: >= 8 concurrent client threads with
+// randomized arrival, every response bit-identical to a serial
+// predict-one-by-one loop over the same stream, and exactly one response per
+// request (nothing lost, nothing duplicated, nothing cross-wired — a value
+// landing on the wrong request would break bit-identity, because every
+// scale-out predicts differently).
+TEST(PredictionService, ConcurrentSoakIsBitIdenticalToSerialLoop) {
+  Fixture fx;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 48;
+
+  const std::vector<data::JobRun> queries = fx.make_queries(kThreads * kPerThread);
+  // Serial reference BEFORE publishing: the per-sample loop on the source.
+  std::vector<double> expected(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expected[i] = fx.model->predict_one(queries[i]);
+  }
+
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "soak"}, *fx.model).unwrap();
+
+  ServiceConfig cfg;
+  cfg.max_batch = 16;
+  cfg.max_queue = 64;
+  cfg.flush_deadline = std::chrono::microseconds(200);
+  cfg.workers = 2;
+  PredictionService service(registry, cfg);
+
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> responses{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(1234 + t));
+      std::uniform_int_distribution<int> jitter_us(0, 120);
+      std::uniform_int_distribution<int> coin(0, 3);
+      // A small async window per client so micro-batches actually fill.
+      std::vector<std::pair<std::size_t, std::future<ServeResult<double>>>> window;
+      auto drain_one = [&] {
+        auto [index, future] = std::move(window.front());
+        window.erase(window.begin());
+        ServeResult<double> r = future.get();
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        responses.fetch_add(1);
+        if (r.value() != expected[index]) mismatches.fetch_add(1);
+      };
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t index = t * kPerThread + i;
+        window.emplace_back(index, service.predict_async(handle, queries[index]));
+        if (window.size() >= 8) drain_one();
+        if (coin(rng) == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(jitter_us(rng)));
+        }
+      }
+      while (!window.empty()) drain_one();
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(responses.load(), queries.size());  // one response per request
+
+  const ServeMetrics m = service.metrics(handle).unwrap();
+  EXPECT_EQ(m.requests, queries.size());
+  EXPECT_EQ(m.responses, queries.size());
+  EXPECT_EQ(m.queue_depth, 0u);
+  EXPECT_GE(m.batches, 1u);
+  EXPECT_LE(m.batches, m.responses);
+  EXPECT_LE(m.max_queue_depth, cfg.max_queue);
+}
+
+TEST(PredictionService, CoalescesBurstsIntoFullBatches) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "burst"}, *fx.model).unwrap();
+
+  ServiceConfig cfg;
+  cfg.max_batch = 16;
+  cfg.flush_deadline = std::chrono::seconds(10);  // only full batches may flush
+  cfg.workers = 1;
+  PredictionService service(registry, cfg);
+
+  const std::vector<data::JobRun> queries = fx.make_queries(64);
+  std::vector<std::future<ServeResult<double>>> futures;
+  futures.reserve(queries.size());
+  for (const auto& q : queries) futures.push_back(service.predict_async(handle, q));
+  for (auto& f : futures) {
+    const auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.error_text();
+  }
+
+  const ServeMetrics m = service.metrics(handle).unwrap();
+  EXPECT_EQ(m.responses, 64u);
+  EXPECT_EQ(m.batches, 4u);  // 64 requests / full batches of 16
+  EXPECT_EQ(m.coalesced, 64u);
+  EXPECT_EQ(m.deadline_flushes, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_batch_fill(), 16.0);
+}
+
+TEST(PredictionService, DeadlineFlushesAPartialBatch) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "deadline"}, *fx.model).unwrap();
+
+  ServiceConfig cfg;
+  cfg.max_batch = 1000;  // a single request can never fill a batch
+  cfg.flush_deadline = std::chrono::milliseconds(5);
+  PredictionService service(registry, cfg);
+
+  const data::JobRun query = fx.make_queries(1)[0];
+  const auto r = service.predict(handle, query);
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.value(), fx.model->predict_one(query));
+
+  const ServeMetrics m = service.metrics(handle).unwrap();
+  EXPECT_EQ(m.batches, 1u);
+  EXPECT_EQ(m.deadline_flushes, 1u);
+  EXPECT_EQ(m.coalesced, 0u);  // a batch of one shared nothing
+}
+
+TEST(PredictionService, TypedErrorsForUnknownAndUnfittedHandles) {
+  Fixture fx;
+  ModelRegistry registry;
+  PredictionService service(registry);
+
+  const data::JobRun query = fx.make_queries(1)[0];
+  EXPECT_EQ(service.predict(ModelHandle{}, query).status(), ServeStatus::kUnknownModel);
+  EXPECT_EQ(service.metrics(ModelHandle{}).status(), ServeStatus::kUnknownModel);
+
+  const ModelHandle reserved = registry.reserve({"sgd", "pending"}).unwrap();
+  const auto r = service.predict(reserved, query);
+  ASSERT_EQ(r.status(), ServeStatus::kNotFitted);
+  EXPECT_NE(r.message().find("sgd/pending"), std::string::npos) << r.message();
+
+  // predict_many surfaces the first per-request error.
+  const auto many = service.predict_many(reserved, fx.make_queries(3));
+  EXPECT_EQ(many.status(), ServeStatus::kNotFitted);
+  // ...and an empty batch succeeds trivially.
+  EXPECT_TRUE(service.predict_many(reserved, {}).ok());
+}
+
+TEST(PredictionService, StopDrainsAcceptedRequestsAndRejectsNewOnes) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "stop"}, *fx.model).unwrap();
+
+  ServiceConfig cfg;
+  cfg.max_batch = 1000;
+  cfg.flush_deadline = std::chrono::seconds(10);  // parked until stop() drains
+  PredictionService service(registry, cfg);
+
+  const std::vector<data::JobRun> queries = fx.make_queries(12);
+  std::vector<std::future<ServeResult<double>>> futures;
+  for (const auto& q : queries) futures.push_back(service.predict_async(handle, q));
+  service.stop();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.error_text();  // accepted requests are never lost
+    EXPECT_EQ(r.value(), fx.model->predict_one(queries[i]));
+  }
+  EXPECT_EQ(service.predict(handle, queries[0]).status(), ServeStatus::kShutdown);
+}
+
+TEST(PredictionService, RefitHotSwapsBetweenMicroBatches) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "swap"}, *fx.model).unwrap();
+  PredictionService service(registry);
+
+  const data::JobRun query = fx.make_queries(1)[0];
+  EXPECT_EQ(service.predict(handle, query).unwrap(), fx.model->predict_one(query));
+
+  // Refit on a few target-context runs; the service must serve the NEW
+  // weights afterwards, bit-identically to the legacy fine-tune recipe.
+  const auto groups = fx.ds.contexts();
+  const std::vector<data::JobRun> observed(groups.front().runs.begin(),
+                                           groups.front().runs.begin() + 3);
+  registry.refit(handle, observed, quick_finetune()).expect();
+
+  auto reference = core::BellamyModel::from_checkpoint(*registry.base_checkpoint(handle));
+  const core::FineTuneConfig cfg = core::apply_reuse_strategy(
+      core::ReuseStrategy::kPartialUnfreeze, reference, quick_finetune());
+  core::finetune(reference, observed, cfg);
+
+  EXPECT_EQ(service.predict(handle, query).unwrap(), reference.predict_one(query));
+
+  const ServeMetrics m = service.metrics(handle).unwrap();
+  // Two distinct weight states were served: the pool deserialized a replica
+  // for each, and the second acquire observed the stamp change.
+  EXPECT_GE(m.replica_misses, 2u);
+  EXPECT_GE(m.replica_invalidations, 1u);
+}
+
+TEST(PredictionService, ManyQueriesMatchLegacyBatchPredictions) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "many"}, *fx.model).unwrap();
+  PredictionService service(registry);
+
+  const std::vector<data::JobRun> queries = fx.make_queries(100);
+  const auto served = service.predict_many(handle, queries);
+  ASSERT_TRUE(served.ok()) << served.error_text();
+  const std::vector<double> direct = fx.model->predict_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(served.value()[i], direct[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bellamy::serve

@@ -1,0 +1,74 @@
+#include "serve/serve_result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bellamy::serve {
+namespace {
+
+TEST(ServeResult, SuccessCarriesValue) {
+  ServeResult<double> r(3.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.status(), ServeStatus::kOk);
+  EXPECT_TRUE(r.message().empty());
+  EXPECT_DOUBLE_EQ(r.value(), 3.5);
+  EXPECT_DOUBLE_EQ(r.value_or(-1.0), 3.5);
+}
+
+TEST(ServeResult, FailureCarriesStatusAndMessage) {
+  auto r = ServeResult<double>::failure(ServeStatus::kNotFitted, "no model yet");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), ServeStatus::kNotFitted);
+  EXPECT_EQ(r.message(), "no model yet");
+  EXPECT_DOUBLE_EQ(r.value_or(-1.0), -1.0);
+  EXPECT_EQ(r.error_text(), "not fitted: no model yet");
+}
+
+TEST(ServeResult, ValueOnFailureIsALogicError) {
+  auto r = ServeResult<int>::failure(ServeStatus::kUnknownModel, "gone");
+  EXPECT_THROW(r.value(), std::logic_error);
+  EXPECT_THROW(r.take(), std::logic_error);
+}
+
+TEST(ServeResult, UnwrapConvertsToLegacyException) {
+  ServeResult<int> good(7);
+  EXPECT_EQ(good.unwrap(), 7);
+
+  auto bad = ServeResult<int>::failure(ServeStatus::kStoreError, "disk on fire");
+  try {
+    bad.unwrap();
+    FAIL() << "unwrap on failure must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("store error"), std::string::npos) << what;
+    EXPECT_NE(what.find("disk on fire"), std::string::npos) << what;
+  }
+}
+
+TEST(ServeResult, ExpectOnUnitResults) {
+  EXPECT_NO_THROW(ok().expect());
+  auto bad = ServeResult<Unit>::failure(ServeStatus::kShutdown, "");
+  EXPECT_THROW(bad.expect(), std::runtime_error);
+  EXPECT_EQ(bad.error_text(), "shutdown");  // no message -> status name alone
+}
+
+TEST(ServeResult, TakeMovesThePayload) {
+  ServeResult<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  const std::vector<int> taken = r.take();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ServeResult, EveryStatusHasAName) {
+  for (const ServeStatus s :
+       {ServeStatus::kOk, ServeStatus::kUnknownModel, ServeStatus::kNotFitted,
+        ServeStatus::kInvalidArgument, ServeStatus::kStoreError, ServeStatus::kShutdown,
+        ServeStatus::kConflict, ServeStatus::kInternalError}) {
+    EXPECT_STRNE(to_string(s), "unknown status");
+  }
+}
+
+}  // namespace
+}  // namespace bellamy::serve
