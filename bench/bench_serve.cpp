@@ -13,12 +13,26 @@
 // requests looks like — and what gives the dispatcher something to coalesce.
 // ALL human-readable progress goes to stderr; --json writes the
 // machine-parseable document ("-" = stdout).
+//
+// Beyond the throughput grid (PR 4) the bench exercises the adaptive
+// scheduler (PR 5):
+//   * an "adaptive" cell runs the 4-client workload with the flush band
+//     enabled and reports the per-handle scheduler metrics (effective flush
+//     deadline, inter-arrival EWMA, flush-reason counters, dispatch lag /
+//     starvation counters) in the JSON document, and
+//   * a "qos" scenario saturates a kBulk handle while probing a
+//     kInteractive one, reporting the interactive lane's p50/p99 latency
+//     loaded vs unloaded plus both lanes' starvation counters — the
+//     measured form of the starvation acceptance test.
+// See docs/BENCHMARKS.md for the full --json schema.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <future>
 #include <string>
 #include <thread>
@@ -185,6 +199,127 @@ int main(int argc, char** argv) {
     rows.push_back(std::move(row));
   }
 
+  // ---- adaptive flush cell: the 4-client workload with the band enabled,
+  // plus the per-handle scheduler metrics the static grid cannot show.
+  serve::ServeMetrics adaptive_metrics;
+  CellResult adaptive_cell;
+  {
+    serve::ServeOptions cfg;
+    cfg.max_batch = 64;
+    cfg.flush_deadline = std::chrono::microseconds(500);
+    cfg.flush_deadline_min = std::chrono::microseconds(50);
+    cfg.flush_deadline_max = std::chrono::microseconds(2000);
+    cfg.workers = workers;
+    cfg.max_queue = kWindow * 4 + 64;
+    serve::PredictionService service(registry, cfg);
+    adaptive_cell =
+        run_cell(service, handle, context_template, 4, requests, expected_by_scaleout);
+    all_identical = all_identical && adaptive_cell.identical;
+    adaptive_metrics = service.metrics(handle).unwrap();
+    std::fprintf(stderr,
+                 "adaptive band [50, 2000]us @ 4 clients: %.0f p/s, effective deadline "
+                 "%llu us (ewma %.1f us), %llu batches (%llu full / %llu deadline), "
+                 "%llu starved, max dispatch lag %llu us\n",
+                 adaptive_cell.per_s,
+                 static_cast<unsigned long long>(adaptive_metrics.effective_flush_deadline_us),
+                 adaptive_metrics.interarrival_ewma_us,
+                 static_cast<unsigned long long>(adaptive_metrics.batches),
+                 static_cast<unsigned long long>(adaptive_metrics.coalesced),
+                 static_cast<unsigned long long>(adaptive_metrics.deadline_flushes),
+                 static_cast<unsigned long long>(adaptive_metrics.starved_flushes),
+                 static_cast<unsigned long long>(adaptive_metrics.max_dispatch_lag_us));
+  }
+
+  // ---- QoS scenario: a saturated kBulk handle next to a probed
+  // kInteractive handle — the measured form of the starvation test.
+  struct QosResult {
+    double unloaded_p50_us = 0, unloaded_p99_us = 0;
+    double loaded_p50_us = 0, loaded_p99_us = 0;
+    std::uint64_t bulk_responses = 0;
+    serve::ServeMetrics interactive;
+    serve::ServeMetrics bulk;
+  } qos;
+  {
+    const serve::ModelHandle bulk =
+        registry.publish({"sgd", "bench-bulk"}, model).unwrap();
+    const serve::ModelHandle interactive =
+        registry.publish({"sgd", "bench-interactive"}, model).unwrap();
+    serve::ServeOptions cfg;
+    cfg.max_batch = 16;
+    cfg.max_queue = 256;
+    cfg.flush_deadline = std::chrono::microseconds(500);
+    cfg.workers = 1;  // one dispatcher makes cross-handle ordering decisive
+    serve::PredictionService service(registry, cfg);
+    service.set_qos(bulk, serve::HandleQos{serve::QosClass::kBulk, 1.0}).expect();
+    service.set_qos(interactive, serve::HandleQos{serve::QosClass::kInteractive, 4.0})
+        .expect();
+
+    const std::size_t probes = std::min<std::size_t>(200, requests);
+    auto probe_us = [&](std::vector<double>& out) {
+      out.clear();
+      out.reserve(probes);
+      for (std::size_t i = 0; i < probes; ++i) {
+        data::JobRun q = context_template;
+        q.scale_out = static_cast<int>(1 + i % 60);
+        const auto start = std::chrono::steady_clock::now();
+        const auto r = service.predict(interactive, q);
+        const auto end = std::chrono::steady_clock::now();
+        if (!r.ok() || r.value() != expected_by_scaleout[q.scale_out]) {
+          all_identical = false;
+        }
+        out.push_back(std::chrono::duration<double, std::micro>(end - start).count());
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      std::sort(out.begin(), out.end());
+    };
+    std::vector<double> lat;
+    probe_us(lat);
+    qos.unloaded_p50_us = lat[probes / 2];
+    qos.unloaded_p99_us = lat[(probes * 99) / 100];
+
+    std::atomic<bool> stop_flood{false};
+    std::atomic<std::uint64_t> bulk_ok{0};
+    std::vector<std::thread> flood;
+    for (int t = 0; t < 3; ++t) {
+      flood.emplace_back([&, t] {
+        std::deque<std::future<serve::ServeResult<double>>> window;
+        std::size_t i = static_cast<std::size_t>(t) * 1000;
+        while (!stop_flood.load(std::memory_order_relaxed)) {
+          data::JobRun q = context_template;
+          q.scale_out = static_cast<int>(1 + i++ % 60);
+          window.push_back(service.predict_async(bulk, q));
+          if (window.size() >= 48) {
+            if (window.front().get().ok()) bulk_ok.fetch_add(1, std::memory_order_relaxed);
+            window.pop_front();
+          }
+        }
+        while (!window.empty()) {
+          if (window.front().get().ok()) bulk_ok.fetch_add(1, std::memory_order_relaxed);
+          window.pop_front();
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    probe_us(lat);
+    stop_flood.store(true);
+    for (std::thread& t : flood) t.join();
+    qos.loaded_p50_us = lat[probes / 2];
+    qos.loaded_p99_us = lat[(probes * 99) / 100];
+    qos.bulk_responses = bulk_ok.load();
+    qos.interactive = service.metrics(interactive).unwrap();
+    qos.bulk = service.metrics(bulk).unwrap();
+    std::fprintf(stderr,
+                 "qos: %s p50/p99 %0.f/%.0f us unloaded -> %.0f/%.0f us under "
+                 "%s saturation (%llu bulk responses; interactive starved %llu, max "
+                 "dispatch lag %llu us)\n",
+                 serve::to_string(service.qos(interactive).unwrap().qos),
+                 qos.unloaded_p50_us, qos.unloaded_p99_us, qos.loaded_p50_us,
+                 qos.loaded_p99_us, serve::to_string(service.qos(bulk).unwrap().qos),
+                 static_cast<unsigned long long>(qos.bulk_responses),
+                 static_cast<unsigned long long>(qos.interactive.starved_flushes),
+                 static_cast<unsigned long long>(qos.interactive.max_dispatch_lag_us));
+  }
+
   std::fprintf(stderr, "predictions identical to the serial loop: %s\n",
                all_identical ? "yes" : "NO");
   std::fprintf(stderr,
@@ -210,7 +345,43 @@ int main(int argc, char** argv) {
         std::fprintf(f, ", \"coalesce_speedup\": %.2f}%s\n", r.speedup,
                      i + 1 < rows.size() ? "," : "");
       }
-      std::fprintf(f, "  ]\n}\n");
+      std::fprintf(f, "  ],\n");
+      const serve::ServeMetrics& am = adaptive_metrics;
+      std::fprintf(
+          f,
+          "  \"adaptive\": {\"clients\": 4, \"adaptive_per_s\": %.0f,\n"
+          "    \"metrics\": {\"effective_flush_deadline_us\": %llu, "
+          "\"interarrival_ewma_us\": %.1f,\n"
+          "      \"batches\": %llu, \"coalesced\": %llu, \"deadline_flushes\": %llu, "
+          "\"drain_flushes\": %llu,\n"
+          "      \"coalesced_requests\": %llu, \"starved_flushes\": %llu, "
+          "\"max_dispatch_lag_us\": %llu}},\n",
+          adaptive_cell.per_s,
+          static_cast<unsigned long long>(am.effective_flush_deadline_us),
+          am.interarrival_ewma_us, static_cast<unsigned long long>(am.batches),
+          static_cast<unsigned long long>(am.coalesced),
+          static_cast<unsigned long long>(am.deadline_flushes),
+          static_cast<unsigned long long>(am.drain_flushes),
+          static_cast<unsigned long long>(am.coalesced_requests),
+          static_cast<unsigned long long>(am.starved_flushes),
+          static_cast<unsigned long long>(am.max_dispatch_lag_us));
+      std::fprintf(
+          f,
+          "  \"qos\": {\"interactive_unloaded_p50_us\": %.1f, "
+          "\"interactive_unloaded_p99_us\": %.1f,\n"
+          "    \"interactive_loaded_p50_us\": %.1f, \"interactive_loaded_p99_us\": %.1f,\n"
+          "    \"p99_load_factor\": %.2f, \"bulk_responses\": %llu,\n"
+          "    \"interactive_starved_flushes\": %llu, \"bulk_starved_flushes\": %llu,\n"
+          "    \"interactive_max_dispatch_lag_us\": %llu, "
+          "\"bulk_max_dispatch_lag_us\": %llu}\n",
+          qos.unloaded_p50_us, qos.unloaded_p99_us, qos.loaded_p50_us, qos.loaded_p99_us,
+          qos.unloaded_p99_us > 0 ? qos.loaded_p99_us / qos.unloaded_p99_us : 0.0,
+          static_cast<unsigned long long>(qos.bulk_responses),
+          static_cast<unsigned long long>(qos.interactive.starved_flushes),
+          static_cast<unsigned long long>(qos.bulk.starved_flushes),
+          static_cast<unsigned long long>(qos.interactive.max_dispatch_lag_us),
+          static_cast<unsigned long long>(qos.bulk.max_dispatch_lag_us));
+      std::fprintf(f, "}\n");
       if (f != stdout) {
         std::fclose(f);
         std::fprintf(stderr, "wrote %s\n", json_path.c_str());

@@ -4,13 +4,15 @@
 //   1. Load (here: synthesize) historical dataflow job executions.
 //   2. Pre-train a Bellamy model on all contexts of one algorithm and
 //      publish it in a ModelRegistry under (job, context).
-//   3. Refit the handle on a handful of runs from a brand-new context
-//      (a hot-swap: serving continues on the old weights until it lands).
+//   3. Refit the handle on a handful of runs from a brand-new context —
+//      in the BACKGROUND (refit_async): the caller keeps serving on the old
+//      weights until the fine-tune lands and hot-swaps atomically.
 //   4. Predict runtimes for unseen scale-outs through the micro-batching
-//      PredictionService.
+//      PredictionService (interactive QoS, adaptive flush deadline).
 //
 // Build & run:  ./build/examples/quickstart
 
+#include <chrono>
 #include <cstdio>
 
 #include "core/trainer.hpp"
@@ -42,17 +44,29 @@ int main() {
               pretrain_corpus.num_contexts());
 
   serve::ModelRegistry registry;
-  serve::PredictionService service(registry);
+  serve::ServeOptions options;  // adaptive flush: coalesce bursts, answer trickles fast
+  options.flush_deadline_min = std::chrono::microseconds(50);
+  options.flush_deadline_max = std::chrono::microseconds(2000);
+  serve::PredictionService service(registry, options);
   const serve::ModelHandle handle =
       registry.publish({"sgd", new_context.key}, model).unwrap();
+  // This handle carries user-facing traffic: interactive class, high weight.
+  service.set_qos(handle, serve::HandleQos{serve::QosClass::kInteractive, 4.0}).expect();
 
-  // 3. Refit on the first three observed runs of the new context.  The
-  //    handle keeps serving throughout; the new weights swap in atomically.
+  // 3. Refit on the first three observed runs of the new context — queued on
+  //    the shared thread pool, so this thread (and every serving thread)
+  //    keeps going while the fine-tune runs.  The handle serves the OLD
+  //    weights until the swap; duplicate requests filed while the job is
+  //    still queued coalesce into one fine-tune.
   std::vector<data::JobRun> observed(new_context.runs.begin(), new_context.runs.begin() + 3);
   core::FineTuneConfig fine;  // paper defaults: cyclical LR, MAE <= 5 s target
   fine.max_epochs = 800;
   fine.patience = 400;
-  const core::FineTuneResult result = registry.refit(handle, observed, fine).unwrap();
+  auto refit = registry.refit_async(handle, observed, fine);
+  std::printf("refit queued in the background (pending: %s)...\n",
+              registry.refit_pending(handle) ? "yes" : "no");
+  serve::ServeResult<core::FineTuneResult> refit_result = refit.get();  // demo: block here
+  const core::FineTuneResult result = refit_result.unwrap();
   std::printf("refit for %zu epochs (best MAE %.1f s, %s)\n", result.epochs_run,
               result.best_mae_seconds,
               result.reached_target ? "target reached" : "stopped by patience/cap");
@@ -74,8 +88,10 @@ int main() {
   }
 
   const serve::ServeMetrics metrics = service.metrics(handle).unwrap();
-  std::printf("\nserved %llu requests in %llu micro-batch(es), mean fill %.1f\n",
+  std::printf("\nserved %llu requests in %llu micro-batch(es), mean fill %.1f, "
+              "effective flush deadline %llu us\n",
               static_cast<unsigned long long>(metrics.responses),
-              static_cast<unsigned long long>(metrics.batches), metrics.mean_batch_fill());
+              static_cast<unsigned long long>(metrics.batches), metrics.mean_batch_fill(),
+              static_cast<unsigned long long>(metrics.effective_flush_deadline_us));
   return 0;
 }

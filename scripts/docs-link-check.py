@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Sweep the repo's markdown files for dead relative links.
+
+Usage: docs-link-check.py [ROOT]   (default: the repo root containing this script)
+
+Checks every inline markdown link `[text](target)` in every *.md file under
+ROOT (skipping .git/ and build*/):
+
+  * http(s)/mailto targets are ignored (no network in CI),
+  * pure-anchor targets (#section) are ignored,
+  * anything else must resolve — relative to the file's directory, or to
+    ROOT when the target starts with '/' — to an existing file or directory
+    (an #anchor suffix is stripped first).
+
+Exit status: 0 = all links resolve, 1 = at least one dead link (each is
+reported as file:line), 2 = usage error.  Run by the format CI job, and
+cheap enough to run locally before committing docs.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    dead = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                if target.startswith("/"):
+                    resolved = os.path.join(root, target.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target)
+                if not os.path.exists(resolved):
+                    dead.append((lineno, match.group(1)))
+    return dead
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    root = os.path.abspath(
+        argv[1] if len(argv) == 2 else os.path.join(os.path.dirname(__file__), "..")
+    )
+
+    checked = 0
+    failures = 0
+    for path in md_files(root):
+        checked += 1
+        for lineno, target in check_file(path, root):
+            failures += 1
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: dead link -> {target}")
+    print(f"docs-link-check: {checked} markdown file(s), {failures} dead link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

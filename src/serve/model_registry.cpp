@@ -17,6 +17,55 @@ ServeResult<ModelHandle> validate_key(const ModelKey& key) {
   return ModelHandle{};
 }
 
+/// The refit recipe shared by refit() and refit_async(): fine-tune a fresh
+/// copy of the entry's CURRENT base checkpoint off to the side (no lock held
+/// across the fine-tune — serving and other registry operations proceed),
+/// then swap atomically under the entry mutex.  kConflict when a publish
+/// replaced the base mid-fine-tune: swapping in weights derived from the OLD
+/// base would leave base and served model disagreeing for every later
+/// refit/derive.
+ServeResult<core::FineTuneResult> run_refit(
+    const std::shared_ptr<detail::RegistryEntry>& entry,
+    const std::vector<data::JobRun>& runs, const core::FineTuneConfig& config,
+    core::ReuseStrategy strategy) {
+  std::shared_ptr<const nn::Checkpoint> base;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    base = entry->base;
+  }
+  if (!base) {
+    return ServeResult<core::FineTuneResult>::failure(
+        ServeStatus::kNotFitted,
+        "refit '" + entry->key.str() + "': no base checkpoint — publish or open first");
+  }
+  try {
+    // Same recipe as BellamyPredictor::fit, so refit results are
+    // bit-identical to the legacy path given the same config.
+    auto fresh = core::BellamyModel::from_checkpoint(*base);
+    const core::FineTuneConfig cfg = core::apply_reuse_strategy(strategy, fresh, config);
+    core::FineTuneResult result;
+    util::Timer timer;
+    if (!runs.empty()) result = core::finetune(fresh, runs, cfg);
+    result.fit_seconds = timer.seconds();
+
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->base != base) {
+      return ServeResult<core::FineTuneResult>::failure(
+          ServeStatus::kConflict,
+          "refit '" + entry->key.str() + "': base checkpoint changed during the fine-tune");
+    }
+    entry->model.emplace(std::move(fresh));
+    entry->model->set_replica_pool(entry->pool);
+    return result;
+  } catch (const std::invalid_argument& e) {
+    return ServeResult<core::FineTuneResult>::failure(
+        ServeStatus::kInvalidArgument, "refit '" + entry->key.str() + "': " + e.what());
+  } catch (const std::exception& e) {
+    return ServeResult<core::FineTuneResult>::failure(
+        ServeStatus::kInternalError, "refit '" + entry->key.str() + "': " + e.what());
+  }
+}
+
 }  // namespace
 
 ModelRegistry::ModelRegistry(std::shared_ptr<core::ModelStore> store)
@@ -183,46 +232,74 @@ ServeResult<core::FineTuneResult> ModelRegistry::refit(const ModelHandle& handle
     return ServeResult<core::FineTuneResult>::failure(ServeStatus::kUnknownModel,
                                                       "refit: unknown handle");
   }
-  std::shared_ptr<const nn::Checkpoint> base;
+  return run_refit(entry, runs, config, strategy);
+}
+
+std::shared_future<ServeResult<core::FineTuneResult>> ModelRegistry::refit_async(
+    const ModelHandle& handle, std::vector<data::JobRun> runs,
+    const core::FineTuneConfig& config, core::ReuseStrategy strategy) {
+  const auto entry = resolve(handle);
+  if (!entry) {
+    std::promise<ServeResult<core::FineTuneResult>> failed;
+    failed.set_value(ServeResult<core::FineTuneResult>::failure(
+        ServeStatus::kUnknownModel, "refit_async: unknown handle"));
+    return failed.get_future().share();
+  }
+
+  std::shared_future<ServeResult<core::FineTuneResult>> future;
   {
     std::lock_guard<std::mutex> lock(entry->mutex);
-    base = entry->base;
-  }
-  if (!base) {
-    return ServeResult<core::FineTuneResult>::failure(
-        ServeStatus::kNotFitted,
-        "refit '" + entry->key.str() + "': no base checkpoint — publish or open first");
-  }
-  try {
-    // Fine-tune a fresh copy off to the side; the entry keeps serving its
-    // current weights until the swap below.  Same recipe as
-    // BellamyPredictor::fit, so refit results are bit-identical to the
-    // legacy path given the same config.
-    auto fresh = core::BellamyModel::from_checkpoint(*base);
-    const core::FineTuneConfig cfg = core::apply_reuse_strategy(strategy, fresh, config);
-    core::FineTuneResult result;
-    util::Timer timer;
-    if (!runs.empty()) result = core::finetune(fresh, runs, cfg);
-    result.fit_seconds = timer.seconds();
-
-    std::lock_guard<std::mutex> lock(entry->mutex);
-    if (entry->base != base) {
-      // A publish replaced the base while we fine-tuned: swapping in weights
-      // derived from the OLD base would leave base and served model
-      // disagreeing for every later refit/derive.  Surface the race instead.
-      return ServeResult<core::FineTuneResult>::failure(
-          ServeStatus::kConflict,
-          "refit '" + entry->key.str() + "': base checkpoint changed during the fine-tune");
+    if (entry->pending_refit) {
+      // Coalesce: the queued job has not started, so replace its payload and
+      // share its future — every caller observes the LATEST request's result
+      // and only one fine-tune runs.
+      entry->pending_refit->runs = std::move(runs);
+      entry->pending_refit->config = config;
+      entry->pending_refit->strategy = strategy;
+      return entry->pending_refit->future;
     }
-    entry->model.emplace(std::move(fresh));
-    entry->model->set_replica_pool(entry->pool);
-    return result;
-  } catch (const std::invalid_argument& e) {
-    return ServeResult<core::FineTuneResult>::failure(
-        ServeStatus::kInvalidArgument, "refit '" + entry->key.str() + "': " + e.what());
-  } catch (const std::exception& e) {
-    return ServeResult<core::FineTuneResult>::failure(
-        ServeStatus::kInternalError, "refit '" + entry->key.str() + "': " + e.what());
+    detail::RefitJob job;
+    job.runs = std::move(runs);
+    job.config = config;
+    job.strategy = strategy;
+    job.promise =
+        std::make_shared<std::promise<ServeResult<core::FineTuneResult>>>();
+    job.future = job.promise->get_future().share();
+    future = job.future;
+    entry->pending_refit = std::move(job);
+  }
+  // One strand task per queued job: the strand serializes this entry's
+  // refits, so a task posted while another runs simply waits its turn.  The
+  // task captures the entry's shared_ptr — it survives erase() and registry
+  // teardown (the entry's Strand destructor drains before the entry dies).
+  entry->refit_strand.post([entry] {
+    detail::RefitJob job;
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      if (!entry->pending_refit) return;  // defensive; the job rode an earlier task
+      job = std::move(*entry->pending_refit);
+      entry->pending_refit.reset();
+      entry->refit_running = true;
+    }
+    ServeResult<core::FineTuneResult> result =
+        run_refit(entry, job.runs, job.config, job.strategy);
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->refit_running = false;
+    }
+    job.promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+bool ModelRegistry::refit_pending(const ModelHandle& handle) const noexcept {
+  try {
+    const auto entry = resolve(handle);
+    if (!entry) return false;
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return entry->pending_refit.has_value() || entry->refit_running;
+  } catch (...) {
+    return false;  // a throwing lock must not escalate to std::terminate
   }
 }
 

@@ -18,11 +18,18 @@
 //     off to the side and swap it in atomically.  In-flight predictions keep
 //     serving the old weights; the state-stamp change invalidates the
 //     handle's ReplicaPool so the next micro-batch serves the new ones.
+//   * refit_async(...)     — the same recipe, scheduled on the global
+//     ThreadPool instead of the caller's thread.  One Strand per entry
+//     serializes refits of the SAME handle; refits of different handles run
+//     in parallel; a request arriving while one is still QUEUED replaces its
+//     payload and shares its future (duplicate-coalescing).  The caller —
+//     and serving — never block on the fine-tune.
 //
 // Handles stay valid across hot-swaps and refits; erase() retires one.
 // All operations are thread-safe.
 
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,6 +42,7 @@
 #include "core/replica_pool.hpp"
 #include "core/trainer.hpp"
 #include "core/variants.hpp"
+#include "parallel/strand.hpp"
 #include "serve/serve_result.hpp"
 
 namespace bellamy::serve {
@@ -71,16 +79,34 @@ class ModelHandle {
 
 namespace detail {
 
-/// One served model.  `mutex` guards `base` and `model`; the PredictionService
-/// holds it only for the (cheap, stamp-keyed) replica acquire, never across a
-/// forward pass.  `pool` is shared with the model so chunked prediction and
-/// the service lease from the same replica cache.
+/// A queued background refit: the latest requested payload plus the promise
+/// every coalesced caller shares.
+struct RefitJob {
+  std::vector<data::JobRun> runs;
+  core::FineTuneConfig config;
+  core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze;
+  std::shared_ptr<std::promise<ServeResult<core::FineTuneResult>>> promise;
+  std::shared_future<ServeResult<core::FineTuneResult>> future;
+};
+
+/// One served model.  `mutex` guards `base`, `model`, and the refit
+/// bookkeeping (`pending_refit`, `refit_running`); the PredictionService
+/// holds it only for the (cheap, stamp-keyed) replica acquire, never across
+/// a forward pass, and background refits hold it only to pick up their job
+/// and to swap — never across the fine-tune itself.  `pool` is shared with
+/// the model so chunked prediction and the service lease from the same
+/// replica cache.  `refit_strand` serializes this entry's background refits
+/// on the process-wide ThreadPool; tasks capture the entry's shared_ptr, so
+/// an erase()d entry finishes its in-flight refit harmlessly off-registry.
 struct RegistryEntry {
   ModelKey key;
   mutable std::mutex mutex;
   std::shared_ptr<const nn::Checkpoint> base;  ///< pretrained base for refits
   std::optional<core::BellamyModel> model;     ///< current serveable weights
   std::shared_ptr<core::ReplicaPool> pool = std::make_shared<core::ReplicaPool>();
+  std::optional<RefitJob> pending_refit;  ///< queued, not started (coalescing point)
+  bool refit_running = false;             ///< a background refit is executing
+  parallel::Strand refit_strand{parallel::ThreadPool::global()};
 };
 
 }  // namespace detail
@@ -117,11 +143,35 @@ class ModelRegistry {
 
   /// Fine-tune a fresh copy of the entry's base checkpoint on `runs` under
   /// `strategy` and hot-swap it in.  Empty `runs` = direct reuse (reset to
-  /// the base weights).  Serving continues on the old weights until the swap.
+  /// the base weights).  Serving continues on the old weights until the
+  /// swap.  BLOCKS the caller for the full fine-tune; prefer refit_async()
+  /// inside serving loops.  Fails with kConflict when a publish replaced the
+  /// base checkpoint mid-fine-tune (retry against the new base if desired).
   ServeResult<core::FineTuneResult> refit(
       const ModelHandle& handle, const std::vector<data::JobRun>& runs,
       const core::FineTuneConfig& config,
       core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze);
+
+  /// Queue the same refit as a background job on the process-wide
+  /// parallel::ThreadPool and return immediately; the shared_future resolves
+  /// with exactly what refit() would have returned (same recipe, bit-
+  /// identical weights, same kConflict stamp check).  Serving continues on
+  /// the old weights until the atomic swap.
+  ///
+  /// Scheduling: refits of the same handle are serialized in request order
+  /// (per-entry Strand); refits of different handles run concurrently.
+  /// DUPLICATE-COALESCING: while a job is still queued (not yet started), a
+  /// new refit_async() on the same handle replaces the queued payload and
+  /// returns the SAME future — both callers observe the result of the
+  /// latest request.  A job already running is never disturbed; the new
+  /// request queues behind it.
+  std::shared_future<ServeResult<core::FineTuneResult>> refit_async(
+      const ModelHandle& handle, std::vector<data::JobRun> runs,
+      const core::FineTuneConfig& config,
+      core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze);
+
+  /// True while the handle has a background refit queued or running.
+  bool refit_pending(const ModelHandle& handle) const noexcept;
 
   /// Save the entry's current weights to the backing store under its key.
   ServeResult<Unit> persist(const ModelHandle& handle);

@@ -2,17 +2,37 @@
 // PredictionService: the concurrent front door of the serve layer.
 //
 // N client threads call predict(handle, query) (or predict_async for a
-// future).  Requests land in a bounded per-handle queue; dispatcher workers
+// future).  Requests land in a bounded per-handle lane; dispatcher workers
 // coalesce whatever is pending into a micro-batch and flush it when either
-// the batch is full (max_batch) or the oldest request has waited
-// flush_deadline.  A micro-batch executes ONE stacked forward pass on a
-// replica checked out of the handle's stamp-keyed ReplicaPool, so
+// the batch is full (max_batch) or the lane's flush deadline expires.  A
+// micro-batch executes ONE stacked forward pass on a replica checked out of
+// the handle's stamp-keyed ReplicaPool, so
 //
 //   * concurrent callers share forward passes instead of serializing on a
 //     model mutex (a batch of k requests costs ~1 forward, not k), and
 //   * a registry refit hot-swaps weights between micro-batches: the stamp
 //     change makes the next acquire rebuild the replicas, while in-flight
 //     batches finish on the old weights.
+//
+// Scheduling (this is the adaptive, fair core — see docs/ARCHITECTURE.md):
+//
+//   * ADAPTIVE FLUSH: each lane tracks an EWMA of request inter-arrival
+//     time.  When the adaptive band [flush_deadline_min, flush_deadline_max]
+//     is enabled, the flush deadline is the expected time to fill a batch at
+//     the observed rate, clamped to the band — a bursty lane waits long
+//     enough to coalesce aggressively, a trickle lane (which could never
+//     fill a batch inside the band) answers near-immediately at the band
+//     floor.  The effective deadline is exposed through ServeMetrics.
+//   * QoS LANES: every lane carries a HandleQos (kInteractive/kBulk class +
+//     weight).  The weight divides the flush deadline, so urgent lanes flush
+//     sooner and rank earlier.
+//   * CROSS-HANDLE DISPATCH: ready lanes enter a central deadline-ordered
+//     min-heap (earliest-virtual-deadline-first; class breaks ties) instead
+//     of the old id-order lane scan.  A lane's virtual deadline grows from
+//     its OLDEST request's arrival time, so a saturated hot lane — whose
+//     front is always recent — can never starve a cold lane whose deadline
+//     has expired.  Dispatch lag past the virtual deadline is metered
+//     (max_dispatch_lag_us / starved_flushes).
 //
 // Coalescing is bit-transparent: predict_batch is certified bit-identical to
 // the per-sample loop, and a replica built from a checkpoint predicts
@@ -32,6 +52,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -41,31 +63,104 @@
 
 namespace bellamy::serve {
 
-struct ServiceConfig {
+/// QoS class of a lane.  The class picks the tie-break between two lanes
+/// whose virtual deadlines collide and documents intent; the weight does the
+/// quantitative work (see HandleQos::weight).
+enum class QosClass : std::uint8_t {
+  kInteractive = 0,  ///< latency-sensitive traffic; wins deadline ties
+  kBulk = 1,         ///< throughput traffic; happy to coalesce
+};
+
+/// Returns a stable lowercase name ("interactive" / "bulk") for logs and
+/// bench output.
+const char* to_string(QosClass qos);
+
+/// Per-handle scheduling policy, set via PredictionService::set_qos().
+struct HandleQos {
+  /// Scheduling class; defaults to interactive (the pre-QoS behavior).
+  QosClass qos = QosClass::kInteractive;
+  /// Urgency multiplier, > 0.  The lane's flush deadline is DIVIDED by the
+  /// weight, so weight 4 flushes (and ranks) 4x sooner and weight 0.5 is
+  /// content to wait twice as long.  1.0 = neutral.
+  double weight = 1.0;
+};
+
+/// Tunables of a PredictionService, fixed at construction.
+/// (Historically named ServiceConfig; the alias below keeps old call sites
+/// compiling.)
+struct ServeOptions {
   /// Flush a micro-batch at this many pending requests.  1 disables
   /// coalescing (every request runs its own forward pass).
   std::size_t max_batch = 64;
   /// Bounded queue capacity per handle; producers block when it is full.
   std::size_t max_queue = 1024;
-  /// Flush a partial batch once its oldest request has waited this long.
+  /// Static flush deadline: flush a partial batch once its oldest request
+  /// has waited this long.  Used verbatim while the adaptive band is
+  /// disabled, and as the effective deadline of a lane that has not seen
+  /// two requests yet (no inter-arrival sample).
   std::chrono::microseconds flush_deadline{500};
+  /// Adaptive flush band.  When flush_deadline_max > 0, each lane's
+  /// effective deadline adapts inside [flush_deadline_min,
+  /// flush_deadline_max]: the expected time to fill max_batch at the lane's
+  /// EWMA arrival rate, clamped to the band — except that a lane too slow to
+  /// fill a batch within the band at all drops to the band FLOOR (waiting
+  /// would add latency without adding fill).  flush_deadline_max == 0 (the
+  /// default) keeps the static deadline above.
+  std::chrono::microseconds flush_deadline_min{50};
+  std::chrono::microseconds flush_deadline_max{0};
+  /// Smoothing factor of the per-lane inter-arrival EWMA in (0, 1]; higher
+  /// adapts faster, lower rides out bursts.
+  double ewma_alpha = 0.2;
+  /// A batch dispatched more than this far past its virtual deadline counts
+  /// as starved (ServeMetrics::starved_flushes).  Purely diagnostic.
+  std::chrono::microseconds starvation_lag{10000};
+  /// Scheduling policy for lanes that never called set_qos().
+  HandleQos default_qos{};
   /// Dispatcher threads executing micro-batches (>= 1).
   std::size_t workers = 1;
 };
 
+/// Pre-PR-5 name of ServeOptions.
+using ServiceConfig = ServeOptions;
+
 /// Per-handle serving counters.  A snapshot; not synchronized with in-flight
 /// requests beyond the service mutex.
+///
+/// Accounting invariants (held whenever the lane is drained, certified by
+/// tests/serve/test_prediction_service.cpp):
+///
+///   requests  == responses                       (nothing lost or invented)
+///   coalesced + deadline_flushes + drain_flushes == batches
+///
+/// `coalesced` counts SIZE-triggered flushes (the batch filled to
+/// max_batch), `deadline_flushes` counts deadline-triggered partial flushes,
+/// `drain_flushes` counts batches pushed out by stop().  Requests that
+/// shared a batch with others are tallied separately in coalesced_requests.
 struct ServeMetrics {
-  std::uint64_t requests = 0;          ///< accepted into the queue
-  std::uint64_t responses = 0;         ///< futures fulfilled (ok or error)
-  std::uint64_t batches = 0;           ///< micro-batches executed
-  std::uint64_t coalesced = 0;         ///< requests that shared a batch with others
-  std::uint64_t deadline_flushes = 0;  ///< partial batches flushed by deadline
-  std::uint64_t max_queue_depth = 0;   ///< high-water mark of the pending queue
-  std::uint64_t queue_depth = 0;       ///< pending requests right now
-  std::uint64_t replica_hits = 0;      ///< handle pool counters (see ReplicaPool)
+  std::uint64_t requests = 0;            ///< accepted into the queue
+  std::uint64_t responses = 0;           ///< futures fulfilled (ok or error)
+  std::uint64_t batches = 0;             ///< micro-batches executed
+  std::uint64_t coalesced = 0;           ///< batches flushed full (size-triggered)
+  std::uint64_t deadline_flushes = 0;    ///< partial batches flushed by deadline
+  std::uint64_t drain_flushes = 0;       ///< batches flushed by stop() drain
+  std::uint64_t coalesced_requests = 0;  ///< requests that shared a batch with others
+  std::uint64_t max_queue_depth = 0;     ///< high-water mark of the pending queue
+  std::uint64_t queue_depth = 0;         ///< pending requests right now
+  std::uint64_t replica_hits = 0;        ///< handle pool counters (see ReplicaPool)
   std::uint64_t replica_misses = 0;
   std::uint64_t replica_invalidations = 0;
+
+  // -- scheduler introspection (PR 5) --
+  /// Flush deadline the lane's NEXT batch will get (static, or adaptive from
+  /// the EWMA below, divided by the QoS weight).
+  std::uint64_t effective_flush_deadline_us = 0;
+  /// EWMA of request inter-arrival time (0 until two requests arrived).
+  double interarrival_ewma_us = 0.0;
+  /// Worst observed dispatch lag: how far past its virtual deadline a batch
+  /// of this lane started executing.  Bounded lag == no starvation.
+  std::uint64_t max_dispatch_lag_us = 0;
+  /// Batches whose dispatch lag exceeded ServeOptions::starvation_lag.
+  std::uint64_t starved_flushes = 0;
 
   /// Mean requests per executed micro-batch (0 before the first batch).
   double mean_batch_fill() const {
@@ -73,10 +168,17 @@ struct ServeMetrics {
   }
 };
 
+/// Thread-safe micro-batching prediction front end over a ModelRegistry.
+///
+/// Thread-safety contract: every public member may be called concurrently
+/// from any thread.  predict()/predict_many() block (on the micro-batch, and
+/// on backpressure when the lane is full); predict_async() blocks only on
+/// backpressure.  stop() is idempotent and drains accepted requests before
+/// joining the workers; the destructor calls it.
 class PredictionService {
  public:
   /// The registry must outlive the service.
-  explicit PredictionService(ModelRegistry& registry, ServiceConfig config = {});
+  explicit PredictionService(ModelRegistry& registry, ServeOptions options = {});
   ~PredictionService();
 
   PredictionService(const PredictionService&) = delete;
@@ -96,6 +198,14 @@ class PredictionService {
   ServeResult<std::vector<double>> predict_many(const ModelHandle& handle,
                                                 const std::vector<data::JobRun>& queries);
 
+  /// Set the handle's scheduling policy (class + weight); takes effect from
+  /// the next batch the lane opens.  Fails with kUnknownModel for a retired
+  /// handle and kInvalidArgument for a non-positive/non-finite weight.
+  ServeResult<Unit> set_qos(const ModelHandle& handle, HandleQos qos);
+
+  /// The handle's current scheduling policy (default_qos until set_qos).
+  ServeResult<HandleQos> qos(const ModelHandle& handle) const;
+
   /// Serving counters for one handle (zeroed until its first request).
   ServeResult<ServeMetrics> metrics(const ModelHandle& handle) const;
 
@@ -103,7 +213,9 @@ class PredictionService {
   /// stop() fail with kShutdown.  Idempotent; the destructor calls it.
   void stop();
 
-  const ServiceConfig& config() const { return config_; }
+  const ServeOptions& options() const { return options_; }
+  /// Pre-PR-5 spelling of options().
+  const ServeOptions& config() const { return options_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -114,13 +226,61 @@ class PredictionService {
     Clock::time_point enqueued;
   };
 
+  /// Why a lane was marked ready to flush.
+  enum class FlushReason : std::uint8_t { kSize, kDeadline, kDrain };
+
   /// Pending traffic of one handle.
   struct Lane {
     std::deque<Request> queue;
     ServeMetrics metrics;
+    HandleQos qos;
+    /// EWMA of inter-arrival time in microseconds (0 = fewer than two
+    /// requests seen).
+    double ewma_interarrival_us = 0.0;
+    Clock::time_point last_arrival{};
+    bool saw_arrival = false;
+    /// Scheduling state: a lane is IDLE (empty), ARMED (non-empty, timer
+    /// set at `virtual_deadline`), or READY (in the ready heap).  `token`
+    /// invalidates stale heap entries: it bumps whenever the lane's front —
+    /// and therefore its deadline — changes.
+    bool ready = false;
+    std::uint64_t token = 0;
+    FlushReason reason = FlushReason::kDeadline;
+    Clock::time_point virtual_deadline{};
   };
 
+  /// Lazy-deleted entry of the timer heap (earliest deadline first) and the
+  /// ready heap (earliest virtual deadline first, interactive wins ties).
+  struct HeapEntry {
+    Clock::time_point when;
+    std::uint8_t qos_class = 0;
+    std::uint64_t lane_id = 0;
+    std::uint64_t token = 0;
+    bool operator>(const HeapEntry& other) const {
+      if (when != other.when) return when > other.when;
+      if (qos_class != other.qos_class) return qos_class > other.qos_class;
+      return lane_id > other.lane_id;
+    }
+  };
+  using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
   void worker_loop();
+  /// Flush deadline the lane's next batch gets, in microseconds (adaptive or
+  /// static, divided by the QoS weight; always >= 1).
+  std::uint64_t effective_deadline_us(const Lane& lane) const;
+  /// Mark a non-ready, non-empty lane ready and push it onto the ready heap.
+  /// Caller holds the service mutex.
+  void mark_ready(std::uint64_t id, Lane& lane, FlushReason reason);
+  /// Arm the deadline timer for a non-empty, non-ready lane (front changed).
+  /// Caller holds the service mutex.
+  void arm_timer(std::uint64_t id, Lane& lane);
+  /// Promote lanes whose deadline expired from the timer heap to the ready
+  /// heap; returns the earliest still-armed deadline.  Caller holds the
+  /// service mutex.
+  std::optional<Clock::time_point> promote_expired(Clock::time_point now);
+  /// Garbage-collect drained lanes of erased handles.  Caller holds the
+  /// service mutex.
+  void gc_lanes();
   /// Execute one micro-batch outside the service mutex; returns one result
   /// per request (the caller resolves the promises after counting them).
   std::vector<ServeResult<double>> run_batch(std::uint64_t handle_id,
@@ -129,13 +289,16 @@ class PredictionService {
                                                      const std::string& message);
 
   ModelRegistry& registry_;
-  ServiceConfig config_;
+  ServeOptions options_;
 
   mutable std::mutex mutex_;
   std::mutex stop_mutex_;             ///< serializes stop() (join is not reentrant)
   std::condition_variable work_cv_;   ///< signals workers: traffic or stop
   std::condition_variable space_cv_;  ///< signals producers: queue has room
   std::map<std::uint64_t, Lane> lanes_;
+  MinHeap ready_;                     ///< flushable lanes, earliest deadline first
+  MinHeap timers_;                    ///< armed flush deadlines of waiting lanes
+  std::uint64_t dispatches_ = 0;      ///< total batches taken (drives lane GC cadence)
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -11,12 +11,15 @@
 //   serve::PredictionService service(registry);          // default config
 //
 //   auto handle = registry.open({"sgd", "c3o-v1"}).unwrap();   // or publish()
-//   registry.refit(handle, observed_runs, fine).expect();      // hot-swap
+//   service.set_qos(handle, {QosClass::kInteractive, 4.0}).expect();
+//   auto refit = registry.refit_async(handle, observed, fine); // background
 //   double seconds = service.predict(handle, query).unwrap();  // any thread
 //
 // Every operation returns a ServeResult instead of throwing; ServingModel
 // adapts a handle back to the exception-based data::RuntimeModel interface
-// for the evaluation harness and the resource selector.
+// for the evaluation harness and the resource selector.  The scheduler
+// (adaptive flush deadlines, QoS lanes, cross-handle EDF dispatch,
+// background refits) is documented in docs/ARCHITECTURE.md.
 //
 // The service must be stopped/destroyed before the registry, and the
 // registry before the store.

@@ -21,6 +21,13 @@
 
 namespace bellamy::serve {
 
+/// data::RuntimeModel adapter over (registry, service, handle).
+///
+/// Thread-safety: predictions inherit the PredictionService's full
+/// concurrency (any thread, coalesced); fit() delegates to
+/// ModelRegistry::refit and BLOCKS for the fine-tune, mirroring the legacy
+/// contract the eval harness expects — use the registry's refit_async
+/// directly for non-blocking refits.
 class ServingModel : public data::RuntimeModel {
  public:
   /// `registry` and `service` must outlive the adapter; `handle` must carry a

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <future>
 #include <memory>
 
 #include "core/predictor.hpp"
@@ -145,6 +146,114 @@ TEST(ModelRegistry, RefitWithoutRunsResetsToTheBaseWeights) {
 
   registry.refit(handle, {}, quick_finetune()).expect();  // direct reuse
   EXPECT_EQ(registry.state_stamp(handle), base_stamp);
+}
+
+TEST(ModelRegistry, RefitAsyncMatchesTheBlockingRefitBitExactly) {
+  Fixture fx;
+  ModelRegistry registry;
+  const core::BellamyModel model = fx.pretrained(12);
+  const ModelHandle handle = registry.publish({"sgd", "async"}, model).unwrap();
+
+  const std::vector<data::JobRun> observed(fx.target_runs.begin(), fx.target_runs.begin() + 3);
+  auto future = registry.refit_async(handle, observed, quick_finetune());
+  const auto result = future.get();
+  ASSERT_TRUE(result.ok()) << result.error_text();
+  EXPECT_GT(result.value().epochs_run, 0u);
+  EXPECT_FALSE(registry.refit_pending(handle));
+
+  // The background job runs the exact recipe of the blocking path, so the
+  // swapped-in weights are bit-identical to a manual fine-tune of the base.
+  core::BellamyPredictor legacy(model, quick_finetune());
+  legacy.fit(observed);
+  PredictionService service(registry);
+  for (std::size_t i = 4; i < 8; ++i) {
+    const auto served = service.predict(handle, fx.target_runs[i]);
+    ASSERT_TRUE(served.ok()) << served.error_text();
+    EXPECT_EQ(served.value(), legacy.predict(fx.target_runs[i]));
+  }
+}
+
+TEST(ModelRegistry, RefitAsyncCoalescesWhileQueuedAndServesTheLatestPayload) {
+  Fixture fx;
+  ModelRegistry registry;
+  const core::BellamyModel model = fx.pretrained(13);
+  const ModelHandle handle = registry.publish({"sgd", "coalesce"}, model).unwrap();
+
+  // Park the entry's refit strand behind a blocker task so the first
+  // refit_async job stays QUEUED (not started) while we file a duplicate.
+  const auto entry = registry.resolve(handle);
+  ASSERT_NE(entry, nullptr);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  entry->refit_strand.post([released] { released.wait(); });
+
+  const std::vector<data::JobRun> first(fx.target_runs.begin(), fx.target_runs.begin() + 2);
+  const std::vector<data::JobRun> latest(fx.target_runs.begin(), fx.target_runs.begin() + 4);
+  auto f1 = registry.refit_async(handle, first, quick_finetune());
+  EXPECT_TRUE(registry.refit_pending(handle));
+  auto f2 = registry.refit_async(handle, latest, quick_finetune());
+
+  release.set_value();
+  const auto r1 = f1.get();
+  const auto r2 = f2.get();
+  ASSERT_TRUE(r1.ok()) << r1.error_text();
+  ASSERT_TRUE(r2.ok()) << r2.error_text();
+  EXPECT_FALSE(registry.refit_pending(handle));
+
+  // Exactly one fine-tune ran, on the LATEST payload: the served weights
+  // match a manual fine-tune on `latest`, not on `first`.
+  core::BellamyPredictor on_latest(model, quick_finetune());
+  on_latest.fit(latest);
+  core::BellamyPredictor on_first(model, quick_finetune());
+  on_first.fit(first);
+  PredictionService service(registry);
+  const data::JobRun probe = fx.target_runs[5];
+  const double served = service.predict(handle, probe).unwrap();
+  EXPECT_EQ(served, on_latest.predict(probe));
+  EXPECT_NE(served, on_first.predict(probe));
+}
+
+// Regression: erasing a handle (or tearing the registry down) while its
+// background refit is queued must neither lose the job nor wedge the shared
+// pool worker when the job's closure drops the entry's last reference.
+TEST(ModelRegistry, EraseDuringBackgroundRefitFinishesOffRegistry) {
+  Fixture fx;
+  std::shared_future<ServeResult<core::FineTuneResult>> future;
+  {
+    ModelRegistry registry;
+    const ModelHandle handle =
+        registry.publish({"sgd", "orphan"}, fx.pretrained(14)).unwrap();
+
+    // Park the strand so the refit is still queued when the handle goes.
+    const auto entry = registry.resolve(handle);
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    entry->refit_strand.post([released] { released.wait(); });
+
+    const std::vector<data::JobRun> observed(fx.target_runs.begin(),
+                                             fx.target_runs.begin() + 2);
+    future = registry.refit_async(handle, observed, quick_finetune());
+    registry.erase(handle).expect();
+    EXPECT_EQ(registry.resolve(handle), nullptr);
+    release.set_value();
+  }  // registry dies with the refit possibly still in flight
+  // The orphaned entry (kept alive by the job's closure) still completes.
+  const auto result = future.get();
+  EXPECT_TRUE(result.ok()) << result.error_text();
+}
+
+TEST(ModelRegistry, RefitAsyncTypedErrors) {
+  Fixture fx;
+  ModelRegistry registry;
+  // Unknown handle: the future is immediately ready with a typed failure.
+  auto missing = registry.refit_async(ModelHandle{}, {}, quick_finetune());
+  EXPECT_EQ(missing.get().status(), ServeStatus::kUnknownModel);
+  EXPECT_FALSE(registry.refit_pending(ModelHandle{}));
+
+  // No base checkpoint yet: same kNotFitted the blocking path reports.
+  const ModelHandle reserved = registry.reserve({"sgd", "pending"}).unwrap();
+  auto unfitted = registry.refit_async(reserved, {}, quick_finetune());
+  EXPECT_EQ(unfitted.get().status(), ServeStatus::kNotFitted);
 }
 
 TEST(ModelRegistry, ReserveIsUnfittedUntilPublish) {
