@@ -1,0 +1,328 @@
+// bellamy_loadgen — load generator + acceptance client for bellamy_serverd.
+//
+//   ./build/apps/bellamy_loadgen [--host=IP] [--port=N] [--clients=N]
+//                                [--requests=N] [--probes=N] [--json=PATH|-]
+//                                [--drain]
+//
+// Replays the bench_serve scenarios over REAL sockets:
+//
+//   1. Pre-trains the bench model locally (deterministic recipe identical to
+//      bench_serve), publishes it over the wire, and verifies every served
+//      value BIT-IDENTICALLY against the local model — the checkpoint text
+//      round-trip plus the service's coalescing transparency, now proven
+//      end-to-end through TCP.
+//   2. Throughput cell: N pipelined client connections, closed-loop async
+//      windows — reported as net_predict_per_s.
+//   3. QoS scenario: three bulk-flood connections saturate a kBulk model
+//      while a paced probe connection measures a kInteractive one; QoS is
+//      configured over the wire, client-side p50/p99 come from the probe's
+//      own clock, and SERVER-side p50/p95/p99 come from the new ServeMetrics
+//      latency percentiles fetched via MetricsRequest.
+//
+// --json emits a document scripts/bench-compare.py understands (the *_per_s
+// keys gate on throughput; *_us latency keys are informational — wall-clock
+// latency on shared runners is too noisy to gate).  --drain gracefully
+// drains the server afterwards: the CI loopback smoke runs
+// serverd + loadgen --drain as one self-terminating cycle.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/c3o_generator.hpp"
+#include "net/net.hpp"
+#include "serve/serve.hpp"
+#include "util/timer.hpp"
+
+using namespace bellamy;
+
+namespace {
+
+constexpr std::size_t kWindow = 32;  ///< async requests in flight per connection
+
+struct QuantileSet {
+  double p50 = 0, p99 = 0;
+};
+
+QuantileSet quantiles(std::vector<double>& sorted_us) {
+  std::sort(sorted_us.begin(), sorted_us.end());
+  QuantileSet q;
+  if (sorted_us.empty()) return q;
+  q.p50 = sorted_us[sorted_us.size() / 2];
+  q.p99 = sorted_us[(sorted_us.size() * 99) / 100];
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7113;
+  std::size_t clients = 4;
+  std::size_t requests = 512;
+  std::size_t probes = 150;
+  std::string json_path;
+  bool drain = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      host = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::max(1, std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = std::max(1, std::atoi(argv[i] + 11));
+    } else if (std::strncmp(argv[i], "--probes=", 9) == 0) {
+      probes = std::max(10, std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--drain") == 0) {
+      drain = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host=IP] [--port=N] [--clients=N] [--requests=N]\n"
+                   "          [--probes=N] [--json=PATH|-] [--drain]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Deterministic bench model — the same recipe as bench_serve, so numbers
+  // are comparable between the in-process and over-the-wire benches.
+  data::C3OGeneratorConfig gen_cfg;
+  gen_cfg.seed = 71;
+  const data::Dataset history = data::C3OGenerator(gen_cfg).generate_algorithm("sgd", 6);
+  core::BellamyModel model(core::BellamyConfig{}, /*seed=*/71);
+  core::PreTrainConfig pre;
+  pre.epochs = 60;
+  core::pretrain(model, history.runs(), pre);
+  const data::JobRun context_template = history.runs().front();
+
+  std::vector<double> expected_by_scaleout(61, 0.0);
+  for (int x = 1; x <= 60; ++x) {
+    data::JobRun q = context_template;
+    q.scale_out = x;
+    expected_by_scaleout[static_cast<std::size_t>(x)] = model.predict_one(q);
+  }
+
+  const serve::ModelKey bench_key{"sgd", "net-bench"};
+  const serve::ModelKey bulk_key{"sgd", "net-bulk"};
+  const serve::ModelKey interactive_key{"sgd", "net-interactive"};
+
+  net::NetClient control;
+  std::string error;
+  if (!control.connect(host, port, error)) {
+    std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
+                 error.c_str());
+    return 1;
+  }
+  for (const serve::ModelKey& key : {bench_key, bulk_key, interactive_key}) {
+    const auto published = control.publish(key, model);
+    if (!published.ok()) {
+      std::fprintf(stderr, "publish %s failed: %s\n", key.str().c_str(),
+                   published.error_text().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "bellamy_loadgen: published 3 models to %s:%u\n", host.c_str(),
+               port);
+
+  std::atomic<bool> all_identical{true};
+
+  // ---- throughput cell: N pipelined connections, closed-loop windows ----
+  double predict_per_s = 0.0;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    util::Timer timer;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        net::NetClient client;
+        std::string err;
+        if (!client.connect(host, port, err)) {
+          std::fprintf(stderr, "client %zu: connect failed: %s\n", c, err.c_str());
+          all_identical.store(false);
+          return;
+        }
+        std::deque<std::pair<int, std::future<serve::ServeResult<double>>>> window;
+        auto drain_one = [&] {
+          auto [scale_out, future] = std::move(window.front());
+          window.pop_front();
+          const serve::ServeResult<double> r = future.get();
+          if (!r.ok() ||
+              r.value() != expected_by_scaleout[static_cast<std::size_t>(scale_out)]) {
+            all_identical.store(false);
+          }
+        };
+        for (std::size_t i = 0; i < requests; ++i) {
+          data::JobRun q = context_template;
+          q.scale_out = static_cast<int>(1 + (c * requests + i) % 60);
+          window.emplace_back(q.scale_out, client.predict_async(bench_key, q));
+          if (window.size() >= kWindow) drain_one();
+        }
+        while (!window.empty()) drain_one();
+        client.close();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double seconds = timer.seconds();
+    predict_per_s =
+        static_cast<double>(clients * requests) / std::max(seconds, 1e-12);
+    std::fprintf(stderr,
+                 "throughput: %zu clients x %zu requests -> %.0f predictions/s over "
+                 "TCP (bit-identical: %s)\n",
+                 clients, requests, predict_per_s,
+                 all_identical.load() ? "yes" : "NO");
+  }
+
+  // ---- QoS scenario: saturated bulk lanes vs a paced interactive probe ----
+  serve::HandleQos bulk_qos;
+  bulk_qos.qos = serve::QosClass::kBulk;
+  bulk_qos.weight = 0.25;
+  bulk_qos.max_lag = std::chrono::microseconds(20000);  // aging cap (PR 6)
+  serve::HandleQos interactive_qos;
+  interactive_qos.qos = serve::QosClass::kInteractive;
+  interactive_qos.weight = 4.0;
+  if (!control.set_qos(bulk_key, bulk_qos).ok() ||
+      !control.set_qos(interactive_key, interactive_qos).ok()) {
+    std::fprintf(stderr, "set_qos over the wire failed\n");
+    return 1;
+  }
+
+  auto probe_pass = [&](std::vector<double>& out_us) {
+    net::NetClient probe;
+    std::string err;
+    if (!probe.connect(host, port, err)) {
+      all_identical.store(false);
+      return;
+    }
+    out_us.clear();
+    out_us.reserve(probes);
+    for (std::size_t i = 0; i < probes; ++i) {
+      data::JobRun q = context_template;
+      q.scale_out = static_cast<int>(1 + i % 60);
+      const auto start = std::chrono::steady_clock::now();
+      const auto r = probe.predict(interactive_key, q);
+      const auto end = std::chrono::steady_clock::now();
+      if (!r.ok() ||
+          r.value() != expected_by_scaleout[static_cast<std::size_t>(q.scale_out)]) {
+        all_identical.store(false);
+      }
+      out_us.push_back(std::chrono::duration<double, std::micro>(end - start).count());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    probe.close();
+  };
+
+  std::vector<double> lat_us;
+  probe_pass(lat_us);
+  const QuantileSet unloaded = quantiles(lat_us);
+
+  std::atomic<bool> stop_flood{false};
+  std::atomic<std::uint64_t> bulk_ok{0};
+  std::vector<std::thread> flood;
+  for (int t = 0; t < 3; ++t) {
+    flood.emplace_back([&, t] {
+      net::NetClient client;
+      std::string err;
+      if (!client.connect(host, port, err)) return;
+      std::deque<std::future<serve::ServeResult<double>>> window;
+      std::size_t i = static_cast<std::size_t>(t) * 1000;
+      while (!stop_flood.load(std::memory_order_relaxed)) {
+        data::JobRun q = context_template;
+        q.scale_out = static_cast<int>(1 + i++ % 60);
+        window.push_back(client.predict_async(bulk_key, q));
+        if (window.size() >= 48) {
+          if (window.front().get().ok()) bulk_ok.fetch_add(1, std::memory_order_relaxed);
+          window.pop_front();
+        }
+      }
+      while (!window.empty()) {
+        if (window.front().get().ok()) bulk_ok.fetch_add(1, std::memory_order_relaxed);
+        window.pop_front();
+      }
+      client.close();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  probe_pass(lat_us);
+  stop_flood.store(true);
+  for (std::thread& t : flood) t.join();
+  const QuantileSet loaded = quantiles(lat_us);
+
+  const auto interactive_metrics = control.metrics(interactive_key);
+  const auto bulk_metrics = control.metrics(bulk_key);
+  if (!interactive_metrics.ok() || !bulk_metrics.ok()) {
+    std::fprintf(stderr, "metrics over the wire failed\n");
+    return 1;
+  }
+  const serve::ServeMetrics& im = interactive_metrics.value();
+  const serve::ServeMetrics& bm = bulk_metrics.value();
+
+  std::fprintf(stderr,
+               "qos: interactive p50/p99 %.0f/%.0f us unloaded -> %.0f/%.0f us under "
+               "bulk saturation (%llu bulk responses)\n"
+               "     server-side interactive p50/p95/p99 %llu/%llu/%llu us over %llu "
+               "responses; bulk p99 %llu us, max dispatch lag %llu us\n",
+               unloaded.p50, unloaded.p99, loaded.p50, loaded.p99,
+               (unsigned long long)bulk_ok.load(), (unsigned long long)im.latency_p50_us,
+               (unsigned long long)im.latency_p95_us, (unsigned long long)im.latency_p99_us,
+               (unsigned long long)im.latency_count, (unsigned long long)bm.latency_p99_us,
+               (unsigned long long)bm.max_dispatch_lag_us);
+  std::fprintf(stderr, "bit-identical to the local model: %s\n",
+               all_identical.load() ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    std::FILE* f = json_path == "-" ? stdout : std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    } else {
+      std::fprintf(
+          f,
+          "{\n"
+          "  \"clients\": %zu,\n  \"requests_per_client\": %zu,\n"
+          "  \"identical\": %s,\n  \"net_predict_per_s\": %.0f,\n"
+          "  \"qos\": {\n"
+          "    \"interactive_unloaded_p50_us\": %.1f, \"interactive_unloaded_p99_us\": "
+          "%.1f,\n"
+          "    \"interactive_loaded_p50_us\": %.1f, \"interactive_loaded_p99_us\": %.1f,\n"
+          "    \"bulk_responses\": %llu,\n"
+          "    \"server\": {\n"
+          "      \"interactive_latency_p50_us\": %llu, \"interactive_latency_p95_us\": "
+          "%llu,\n"
+          "      \"interactive_latency_p99_us\": %llu, \"interactive_latency_count\": "
+          "%llu,\n"
+          "      \"bulk_latency_p99_us\": %llu, \"interactive_starved_flushes\": %llu,\n"
+          "      \"bulk_max_dispatch_lag_us\": %llu\n"
+          "    }\n  }\n}\n",
+          clients, requests, all_identical.load() ? "true" : "false", predict_per_s,
+          unloaded.p50, unloaded.p99, loaded.p50, loaded.p99,
+          (unsigned long long)bulk_ok.load(), (unsigned long long)im.latency_p50_us,
+          (unsigned long long)im.latency_p95_us, (unsigned long long)im.latency_p99_us,
+          (unsigned long long)im.latency_count, (unsigned long long)bm.latency_p99_us,
+          (unsigned long long)im.starved_flushes,
+          (unsigned long long)bm.max_dispatch_lag_us);
+      if (f != stdout) {
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+      }
+    }
+  }
+
+  if (drain) {
+    const auto drained = control.drain();
+    std::fprintf(stderr, "drain: %s\n",
+                 drained.ok() ? "ok" : drained.error_text().c_str());
+  }
+  control.close();
+  return all_identical.load() ? 0 : 1;
+}

@@ -1,0 +1,249 @@
+// bellamy_serverd — the TCP serving daemon.
+//
+//   ./build/apps/bellamy_serverd [--port=N] [--store=DIR] [--workers=N]
+//                                [--max-batch=N] [--deadline-us=N]
+//                                [--band=MIN:MAX] [--max-queue=N]
+//
+// Wires ModelStore -> ModelRegistry -> PredictionService -> net::ServeServer
+// and serves until drained (wire DrainRequest or console `drain`).  With
+// --store, every stored model is opened at startup; clients can also publish
+// models over the wire (bellamy_loadgen does).  --band enables the adaptive
+// flush band.
+//
+// stdin is an admin console (type `help`); EOF on stdin keeps serving — the
+// daemon can run detached with stdin closed.  Exit code 0 after a graceful
+// drain.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/net.hpp"
+#include "serve/serve.hpp"
+
+using namespace bellamy;
+
+namespace {
+
+void print_help() {
+  std::fprintf(stderr,
+               "admin console commands:\n"
+               "  stats                                   server counters\n"
+               "  stats <job> <context>                   per-model serving metrics\n"
+               "  keys                                    registered model keys\n"
+               "  set_qos <job> <ctx> <interactive|bulk> <weight> [max_lag_us]\n"
+               "  refit <job> <context>                   background reset-to-base refit\n"
+               "  erase <job> <context>                   retire a model\n"
+               "  drain                                   graceful drain, then exit\n"
+               "  help                                    this text\n");
+}
+
+void print_metrics(const serve::ServeMetrics& m) {
+  std::fprintf(stderr,
+               "  requests %llu  responses %llu  batches %llu (full %llu / deadline %llu "
+               "/ drain %llu)\n"
+               "  queue depth %llu (max %llu)  replicas hit/miss/inval %llu/%llu/%llu\n"
+               "  effective deadline %llu us  ewma %.1f us  max lag %llu us  starved %llu\n"
+               "  latency p50/p95/p99 %llu/%llu/%llu us over %llu responses\n",
+               (unsigned long long)m.requests, (unsigned long long)m.responses,
+               (unsigned long long)m.batches, (unsigned long long)m.coalesced,
+               (unsigned long long)m.deadline_flushes, (unsigned long long)m.drain_flushes,
+               (unsigned long long)m.queue_depth, (unsigned long long)m.max_queue_depth,
+               (unsigned long long)m.replica_hits, (unsigned long long)m.replica_misses,
+               (unsigned long long)m.replica_invalidations,
+               (unsigned long long)m.effective_flush_deadline_us, m.interarrival_ewma_us,
+               (unsigned long long)m.max_dispatch_lag_us,
+               (unsigned long long)m.starved_flushes, (unsigned long long)m.latency_p50_us,
+               (unsigned long long)m.latency_p95_us, (unsigned long long)m.latency_p99_us,
+               (unsigned long long)m.latency_count);
+}
+
+/// Console loop; returns when stdin hits EOF (keep serving) or after `drain`.
+void console_loop(net::ServeServer& server, serve::ModelRegistry& registry,
+                  serve::PredictionService& service) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    if (cmd == "help") {
+      print_help();
+    } else if (cmd == "keys") {
+      for (const serve::ModelKey& key : registry.keys()) {
+        std::fprintf(stderr, "  %s\n", key.str().c_str());
+      }
+    } else if (cmd == "stats") {
+      std::string job, context;
+      if (in >> job >> context) {
+        const auto handle = registry.find({job, context});
+        if (!handle.ok()) {
+          std::fprintf(stderr, "  %s\n", handle.error_text().c_str());
+          continue;
+        }
+        const auto metrics = service.metrics(handle.value());
+        if (!metrics.ok()) {
+          std::fprintf(stderr, "  %s\n", metrics.error_text().c_str());
+          continue;
+        }
+        print_metrics(metrics.value());
+      } else {
+        const net::ServerStats s = server.stats();
+        std::fprintf(stderr,
+                     "  connections %llu open / %llu accepted; frames %llu in / %llu "
+                     "out; %llu protocol errors; %zu models%s\n",
+                     (unsigned long long)s.connections_open,
+                     (unsigned long long)s.connections_accepted,
+                     (unsigned long long)s.frames_in, (unsigned long long)s.frames_out,
+                     (unsigned long long)s.protocol_errors, registry.size(),
+                     s.draining ? "; DRAINING" : "");
+      }
+    } else if (cmd == "set_qos") {
+      std::string job, context, cls;
+      double weight = 1.0;
+      std::uint64_t max_lag_us = 0;
+      if (!(in >> job >> context >> cls >> weight)) {
+        std::fprintf(stderr, "  usage: set_qos <job> <ctx> <interactive|bulk> <weight> "
+                             "[max_lag_us]\n");
+        continue;
+      }
+      in >> max_lag_us;
+      serve::HandleQos qos;
+      qos.qos = cls == "bulk" ? serve::QosClass::kBulk : serve::QosClass::kInteractive;
+      qos.weight = weight;
+      qos.max_lag = std::chrono::microseconds(max_lag_us);
+      const auto handle = registry.find({job, context});
+      const auto result =
+          handle.ok() ? service.set_qos(handle.value(), qos)
+                      : serve::ServeResult<serve::Unit>::failure(handle.status(),
+                                                                 handle.message());
+      std::fprintf(stderr, "  %s\n", result.ok() ? "ok" : result.error_text().c_str());
+    } else if (cmd == "refit") {
+      std::string job, context;
+      if (!(in >> job >> context)) {
+        std::fprintf(stderr, "  usage: refit <job> <context>\n");
+        continue;
+      }
+      const auto handle = registry.find({job, context});
+      if (!handle.ok()) {
+        std::fprintf(stderr, "  %s\n", handle.error_text().c_str());
+        continue;
+      }
+      const std::string name = job + "/" + context;
+      registry.refit_async(handle.value(), {}, core::FineTuneConfig{},
+                           core::ReuseStrategy::kPartialUnfreeze,
+                           [name](const serve::ServeResult<core::FineTuneResult>& r) {
+                             std::fprintf(stderr, "  refit %s: %s\n", name.c_str(),
+                                          r.ok() ? "done" : r.error_text().c_str());
+                           });
+      std::fprintf(stderr, "  refit %s queued\n", name.c_str());
+    } else if (cmd == "erase") {
+      std::string job, context;
+      if (!(in >> job >> context)) {
+        std::fprintf(stderr, "  usage: erase <job> <context>\n");
+        continue;
+      }
+      const auto handle = registry.find({job, context});
+      const auto result = handle.ok()
+                              ? registry.erase(handle.value())
+                              : serve::ServeResult<serve::Unit>::failure(handle.status(),
+                                                                         handle.message());
+      std::fprintf(stderr, "  %s\n", result.ok() ? "ok" : result.error_text().c_str());
+    } else if (cmd == "drain") {
+      std::fprintf(stderr, "draining...\n");
+      server.begin_drain();
+      return;
+    } else {
+      std::fprintf(stderr, "unknown command '%s' (try help)\n", cmd.c_str());
+    }
+  }
+  std::fprintf(stderr, "stdin closed; serving until a wire drain\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 7113;
+  std::string store_dir;
+  serve::ServeOptions options;
+  options.workers = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--store=", 8) == 0) {
+      store_dir = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      options.workers = std::max(1, std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--max-batch=", 12) == 0) {
+      options.max_batch = std::max(1, std::atoi(argv[i] + 12));
+    } else if (std::strncmp(argv[i], "--max-queue=", 12) == 0) {
+      options.max_queue = std::max(1, std::atoi(argv[i] + 12));
+    } else if (std::strncmp(argv[i], "--deadline-us=", 14) == 0) {
+      options.flush_deadline = std::chrono::microseconds(std::atoi(argv[i] + 14));
+    } else if (std::strncmp(argv[i], "--band=", 7) == 0) {
+      int lo = 0, hi = 0;
+      if (std::sscanf(argv[i] + 7, "%d:%d", &lo, &hi) != 2 || lo <= 0 || hi < lo) {
+        std::fprintf(stderr, "--band expects MIN:MAX microseconds\n");
+        return 2;
+      }
+      options.flush_deadline_min = std::chrono::microseconds(lo);
+      options.flush_deadline_max = std::chrono::microseconds(hi);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--store=DIR] [--workers=N] [--max-batch=N]\n"
+                   "          [--deadline-us=N] [--band=MIN:MAX] [--max-queue=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::shared_ptr<core::ModelStore> store;
+  if (!store_dir.empty()) store = std::make_shared<core::ModelStore>(store_dir);
+  serve::ModelRegistry registry = store ? serve::ModelRegistry(store) : serve::ModelRegistry();
+  if (store) {
+    for (const std::string& key : store->list()) {
+      const auto slash = key.find('/');
+      const serve::ModelKey model_key{key.substr(0, slash), key.substr(slash + 1)};
+      const auto opened = registry.open(model_key);
+      std::fprintf(stderr, "open %s: %s\n", key.c_str(),
+                   opened.ok() ? "ok" : opened.error_text().c_str());
+    }
+  }
+
+  serve::PredictionService service(registry, options);
+  net::ServerOptions server_options;
+  server_options.port = port;
+  net::ServeServer server(registry, service, server_options);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "cannot listen on port %u: %s\n", port, error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "bellamy_serverd: serving %zu model(s) on 127.0.0.1:%u (%zu "
+                       "dispatcher worker(s), max_batch %zu)\n",
+               registry.size(), server.port(), options.workers, options.max_batch);
+
+  // The console thread may sit in getline() forever when nothing arrives on
+  // stdin; it is detached so a wire-initiated drain can exit the process.
+  std::thread console([&] { console_loop(server, registry, service); });
+  console.detach();
+
+  server.wait_drained();
+  server.stop();
+  std::fprintf(stderr, "bellamy_serverd: drained, exiting\n");
+  std::fflush(nullptr);
+  // _Exit instead of return: the detached console thread may still be parked
+  // in getline() holding references to the stack objects above; skipping
+  // their destructors (everything is already stopped and joined) is safer
+  // than racing it.
+  std::_Exit(0);
+}

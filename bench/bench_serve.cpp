@@ -177,7 +177,7 @@ int main(int argc, char** argv) {
     Row row;
     row.clients = clients;
     for (const Mode& mode : modes) {
-      serve::ServiceConfig cfg;
+      serve::ServeOptions cfg;
       cfg.max_batch = mode.max_batch;
       cfg.flush_deadline = mode.deadline;
       cfg.workers = workers;

@@ -1,0 +1,365 @@
+#include "net/client.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "nn/serialize.hpp"
+
+namespace bellamy::net {
+
+namespace {
+
+template <typename T>
+serve::ServeResult<T> transport_lost() {
+  return serve::ServeResult<T>::failure(serve::ServeStatus::kShutdown,
+                                        "connection closed before the response arrived");
+}
+
+/// Map a response's head onto a ServeResult, or a decode failure onto
+/// kInternalError (the server spoke, but not the protocol we expect).
+template <typename T, typename Resp>
+serve::ServeResult<T> from_head(const Resp& resp, T value) {
+  if (!resp.head.ok()) {
+    return serve::ServeResult<T>::failure(resp.head.status, resp.head.message);
+  }
+  return serve::ServeResult<T>(std::move(value));
+}
+
+template <typename T>
+serve::ServeResult<T> decode_failure(WireStatus status) {
+  return serve::ServeResult<T>::failure(
+      serve::ServeStatus::kInternalError,
+      std::string("undecodable response: ") + to_string(status));
+}
+
+}  // namespace
+
+NetClient::~NetClient() { close(); }
+
+bool NetClient::connect(const std::string& host, std::uint16_t port, std::string& error) {
+  if (connected()) {
+    error = "already connected";
+    return false;
+  }
+  sock_ = tcp_connect(host, port, error);
+  if (!sock_) return false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    open_ = true;
+  }
+  reader_ = std::thread([this] { reader_loop(); });
+  return true;
+}
+
+bool NetClient::connected() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return open_;
+}
+
+void NetClient::close() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!open_ && !sock_.valid()) {
+      if (reader_.joinable()) reader_.join();
+      return;
+    }
+    open_ = false;
+  }
+  sock_.shutdown_both();  // unblocks the reader
+  if (reader_.joinable()) reader_.join();
+  fail_all_pending();
+  sock_.close();
+}
+
+std::uint64_t NetClient::next_id() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return next_id_++;
+}
+
+template <typename Req>
+void NetClient::send_request(Req& req, Deliver deliver) {
+  req.request_id = next_id();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!open_) {
+      deliver(nullptr);
+      return;
+    }
+    pending_.emplace(req.request_id, deliver);
+  }
+  const std::vector<std::uint8_t> frame = encode_frame(req);
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    sent = sock_.write_all(frame.data(), frame.size());
+  }
+  if (!sent) {
+    Deliver orphan;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      auto it = pending_.find(req.request_id);
+      if (it != pending_.end()) {
+        orphan = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (orphan) orphan(nullptr);
+  }
+}
+
+void NetClient::reader_loop() {
+  std::vector<std::uint8_t> body;
+  while (true) {
+    std::uint8_t prefix[4];
+    if (!sock_.read_exact(prefix, sizeof prefix)) break;
+    std::uint32_t len = 0;
+    {
+      WireReader r(prefix, sizeof prefix);
+      r.u32(len);
+    }
+    if (len < 4 || len > kMaxFrameBytes) break;
+    body.resize(len);
+    if (!sock_.read_exact(body.data(), len)) break;
+
+    FrameView frame;
+    if (parse_body(body.data(), body.size(), frame) != WireStatus::kOk) break;
+
+    // Every response leads with a u64 request_id; peek it to correlate.
+    std::uint64_t request_id = 0;
+    {
+      WireReader r(frame.payload, frame.payload_size);
+      if (!r.u64(request_id)) continue;  // runt payload: drop the frame
+    }
+    Deliver deliver;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      auto it = pending_.find(request_id);
+      if (it != pending_.end()) {
+        deliver = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (deliver) deliver(&frame);  // unknown ids are dropped silently
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    open_ = false;
+  }
+  fail_all_pending();
+}
+
+void NetClient::fail_all_pending() {
+  std::map<std::uint64_t, Deliver> orphans;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    orphans.swap(pending_);
+  }
+  for (auto& [id, deliver] : orphans) deliver(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Serving calls
+// ---------------------------------------------------------------------------
+
+std::future<serve::ServeResult<double>> NetClient::predict_async(const serve::ModelKey& key,
+                                                                 const data::JobRun& query) {
+  auto promise = std::make_shared<std::promise<serve::ServeResult<double>>>();
+  std::future<serve::ServeResult<double>> future = promise->get_future();
+  PredictRequest req;
+  req.key = key;
+  req.query = query;
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<double>());
+      return;
+    }
+    PredictResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<double>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, resp.value));
+  });
+  return future;
+}
+
+serve::ServeResult<double> NetClient::predict(const serve::ModelKey& key,
+                                              const data::JobRun& query) {
+  return predict_async(key, query).get();
+}
+
+std::future<serve::ServeResult<std::vector<double>>> NetClient::predict_many_async(
+    const serve::ModelKey& key, const std::vector<data::JobRun>& queries) {
+  auto promise = std::make_shared<std::promise<serve::ServeResult<std::vector<double>>>>();
+  auto future = promise->get_future();
+  PredictManyRequest req;
+  req.key = key;
+  req.queries = queries;
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<std::vector<double>>());
+      return;
+    }
+    PredictManyResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<std::vector<double>>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, std::move(resp.values)));
+  });
+  return future;
+}
+
+serve::ServeResult<std::vector<double>> NetClient::predict_many(
+    const serve::ModelKey& key, const std::vector<data::JobRun>& queries) {
+  return predict_many_async(key, queries).get();
+}
+
+serve::ServeResult<serve::Unit> NetClient::publish(const serve::ModelKey& key,
+                                                   const core::BellamyModel& model) {
+  PublishRequest req;
+  req.key = key;
+  std::ostringstream out;
+  model.to_checkpoint().save(out);
+  req.checkpoint_text = out.str();
+
+  auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<serve::Unit>());
+      return;
+    }
+    PublishResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<serve::Unit>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, serve::Unit{}));
+  });
+  return future.get();
+}
+
+serve::ServeResult<core::FineTuneResult> NetClient::refit(
+    const serve::ModelKey& key, const std::vector<data::JobRun>& runs,
+    const core::FineTuneConfig& config, core::ReuseStrategy strategy) {
+  RefitAsyncRequest req;
+  req.key = key;
+  req.runs = runs;
+  req.config = config;
+  req.strategy = static_cast<std::uint8_t>(strategy);
+
+  auto promise = std::make_shared<std::promise<serve::ServeResult<core::FineTuneResult>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<core::FineTuneResult>());
+      return;
+    }
+    RefitResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<core::FineTuneResult>(status));
+      return;
+    }
+    core::FineTuneResult fit;
+    fit.epochs_run = static_cast<std::size_t>(resp.epochs_run);
+    fit.best_mae_seconds = resp.best_mae_seconds;
+    fit.reached_target = resp.reached_target != 0;
+    fit.fit_seconds = resp.fit_seconds;
+    promise->set_value(from_head(resp, std::move(fit)));
+  });
+  return future.get();
+}
+
+serve::ServeResult<serve::ServeMetrics> NetClient::metrics(const serve::ModelKey& key) {
+  MetricsRequest req;
+  req.key = key;
+  auto promise = std::make_shared<std::promise<serve::ServeResult<serve::ServeMetrics>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<serve::ServeMetrics>());
+      return;
+    }
+    MetricsResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<serve::ServeMetrics>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, resp.metrics));
+  });
+  return future.get();
+}
+
+serve::ServeResult<serve::Unit> NetClient::set_qos(const serve::ModelKey& key,
+                                                   const serve::HandleQos& qos) {
+  SetQosRequest req;
+  req.key = key;
+  req.qos_class = static_cast<std::uint8_t>(qos.qos);
+  req.weight = qos.weight;
+  req.max_lag_us = static_cast<std::uint64_t>(qos.max_lag.count());
+  auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<serve::Unit>());
+      return;
+    }
+    SetQosResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<serve::Unit>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, serve::Unit{}));
+  });
+  return future.get();
+}
+
+serve::ServeResult<serve::Unit> NetClient::erase(const serve::ModelKey& key) {
+  EraseRequest req;
+  req.key = key;
+  auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<serve::Unit>());
+      return;
+    }
+    EraseResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<serve::Unit>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, serve::Unit{}));
+  });
+  return future.get();
+}
+
+serve::ServeResult<serve::Unit> NetClient::drain() {
+  DrainRequest req;
+  auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<serve::Unit>());
+      return;
+    }
+    DrainResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<serve::Unit>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, serve::Unit{}));
+  });
+  return future.get();
+}
+
+}  // namespace bellamy::net

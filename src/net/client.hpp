@@ -1,0 +1,112 @@
+#pragma once
+// NetClient: the typed client of the Bellamy wire protocol.
+//
+// One TCP connection, full-duplex: a send mutex serializes frame writes, a
+// background reader thread correlates every inbound response to its pending
+// request by request_id.  That makes the client PIPELINED by construction —
+// predict_async() keeps any number of requests in flight (the loadgen's
+// closed-loop windows), while the sync calls are just async + wait.
+//
+// Error contract mirrors the serve layer: every operation returns a
+// ServeResult.  Server-side failures arrive as the response's ServeStatus;
+// transport failures (connection lost, protocol garbage) surface as
+// kShutdown / kInternalError with the transport reason in the message, and
+// a lost connection fails ALL pending requests — nothing hangs.
+//
+// refit() is synchronous from the caller's view but non-blocking on the
+// server: the RefitResponse is pushed when the background fine-tune lands,
+// and may arrive long after (and out of order with) later predict traffic.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bellamy_model.hpp"
+#include "core/trainer.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/prediction_service.hpp"
+#include "serve/serve_result.hpp"
+
+namespace bellamy::net {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connect to host:port (IPv4 dotted quad).  False with the reason in
+  /// `error`.  A NetClient connects once; make a new one to reconnect.
+  bool connect(const std::string& host, std::uint16_t port, std::string& error);
+  bool connected() const;
+
+  /// Close the connection; every pending request fails with kShutdown.
+  /// Idempotent; the destructor calls it.
+  void close();
+
+  // -- serving calls (any thread; sync calls block until the response) --
+
+  serve::ServeResult<double> predict(const serve::ModelKey& key, const data::JobRun& query);
+  std::future<serve::ServeResult<double>> predict_async(const serve::ModelKey& key,
+                                                        const data::JobRun& query);
+  serve::ServeResult<std::vector<double>> predict_many(
+      const serve::ModelKey& key, const std::vector<data::JobRun>& queries);
+  std::future<serve::ServeResult<std::vector<double>>> predict_many_async(
+      const serve::ModelKey& key, const std::vector<data::JobRun>& queries);
+
+  /// Serialize the model's checkpoint and install it under `key` on the
+  /// server (same text format as the ModelStore: the server-side model is
+  /// bit-identical to `model`).
+  serve::ServeResult<serve::Unit> publish(const serve::ModelKey& key,
+                                          const core::BellamyModel& model);
+
+  /// Queue a background refit on the server and WAIT for its completion
+  /// event.  Other traffic on this connection proceeds meanwhile.
+  serve::ServeResult<core::FineTuneResult> refit(
+      const serve::ModelKey& key, const std::vector<data::JobRun>& runs,
+      const core::FineTuneConfig& config,
+      core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze);
+
+  serve::ServeResult<serve::ServeMetrics> metrics(const serve::ModelKey& key);
+  serve::ServeResult<serve::Unit> set_qos(const serve::ModelKey& key,
+                                          const serve::HandleQos& qos);
+  serve::ServeResult<serve::Unit> erase(const serve::ModelKey& key);
+
+  /// Ask the server to drain: resolves once the DrainResponse arrives,
+  /// i.e. after every response this connection was owed has been received.
+  serve::ServeResult<serve::Unit> drain();
+
+ private:
+  /// Delivery hook of one pending request: called with the response frame,
+  /// or with nullptr when the connection died first.
+  using Deliver = std::function<void(const FrameView*)>;
+
+  std::uint64_t next_id();
+  /// Register `deliver` under a fresh id, send the frame.  On send failure
+  /// the hook fires immediately with nullptr.
+  template <typename Req>
+  void send_request(Req& req, Deliver deliver);
+  void reader_loop();
+  /// Fail every pending request (connection lost).
+  void fail_all_pending();
+
+  Socket sock_;
+  std::thread reader_;
+  mutable std::mutex send_mutex_;   ///< serializes frame writes
+  mutable std::mutex state_mutex_;  ///< guards pending_ / open_
+  std::map<std::uint64_t, Deliver> pending_;
+  std::uint64_t next_id_ = 1;
+  bool open_ = false;
+};
+
+}  // namespace bellamy::net

@@ -1,0 +1,148 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bellamy::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::read_exact(void* buf, std::size_t size) const {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // 0 = orderly EOF, < 0 = error; either way the frame is gone
+  }
+  return true;
+}
+
+bool Socket::write_all(const void* buf, std::size_t size) const {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Socket::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket tcp_listen(std::uint16_t port, std::uint16_t& bound_port, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket");
+    return Socket();
+  }
+  Socket sock(fd);
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    error = errno_text("bind");
+    return Socket();
+  }
+  if (::listen(fd, 64) != 0) {
+    error = errno_text("listen");
+    return Socket();
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    error = errno_text("getsockname");
+    return Socket();
+  }
+  bound_port = ntohs(bound.sin_port);
+  error.clear();
+  return sock;
+}
+
+Socket tcp_accept(const Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket");
+    return Socket();
+  }
+  Socket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error = "invalid address: " + host + " (IPv4 dotted-quad expected)";
+    return Socket();
+  }
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EINTR) continue;
+    error = errno_text("connect");
+    return Socket();
+  }
+  set_nodelay(fd);
+  error.clear();
+  return sock;
+}
+
+}  // namespace bellamy::net

@@ -1,0 +1,71 @@
+#pragma once
+// Thin RAII layer over POSIX TCP sockets: everything the server, client, and
+// tests need (listen on an ephemeral port, connect, exact-length reads and
+// writes with EINTR retries) and nothing more.  No frameworks, no event
+// loops — the serving threads block on plain sockets, which keeps the
+// backpressure story honest: a slow peer blocks exactly the thread attached
+// to it.
+//
+// Error contract matches the rest of the net layer: expected network
+// conditions (peer closed, connect refused) are return values, never
+// exceptions.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bellamy::net {
+
+/// Owning socket fd.  Move-only; the destructor closes.  An invalid Socket
+/// holds fd -1.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+  int fd() const { return fd_; }
+
+  /// Read exactly `size` bytes.  Returns false on EOF or error (a clean peer
+  /// close mid-frame and a reset look the same to a frame reader: the
+  /// connection is over).  Retries EINTR.
+  bool read_exact(void* buf, std::size_t size) const;
+
+  /// Write all `size` bytes.  Returns false on error (incl. peer gone);
+  /// SIGPIPE is suppressed (MSG_NOSIGNAL).  Retries EINTR and short writes.
+  bool write_all(const void* buf, std::size_t size) const;
+
+  /// shutdown(SHUT_RDWR): unblocks any thread parked in read/write on this
+  /// socket from ANOTHER thread — the clean way to interrupt a blocking
+  /// reader at stop time.  Safe on an invalid socket.
+  void shutdown_both() const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1:`port` (port 0 = kernel-assigned
+/// ephemeral port; `bound_port` receives the actual one).  SO_REUSEADDR is
+/// set so restarts do not trip over TIME_WAIT.  Invalid Socket on failure,
+/// with the reason in `error`.
+Socket tcp_listen(std::uint16_t port, std::uint16_t& bound_port, std::string& error);
+
+/// Accept one connection; blocks.  Invalid Socket when the listener was shut
+/// down or accept failed.  TCP_NODELAY is set on the accepted socket (frames
+/// are latency-sensitive and self-contained; Nagle only adds delay).
+Socket tcp_accept(const Socket& listener);
+
+/// Connect to host:port; blocks.  Invalid Socket on failure, with the reason
+/// in `error`.  TCP_NODELAY is set.
+Socket tcp_connect(const std::string& host, std::uint16_t port, std::string& error);
+
+}  // namespace bellamy::net

@@ -1,0 +1,445 @@
+#pragma once
+// The Bellamy wire protocol: a versioned, typed, length-prefixed binary
+// format shared VERBATIM by client and server (one encode/decode pair per
+// message, no separate client/server schemas to drift apart).
+//
+// Frame layout, little-endian throughout:
+//
+//   [u32 len | u16 version | u16 type | payload ...]
+//
+// `len` counts everything after itself (version + type + payload), so a
+// stream reader needs exactly one fixed-size read to know how much to pull.
+// Frames above kMaxFrameBytes are rejected before any allocation sized by
+// attacker-controlled input; decode failures are TYPED (WireStatus), never
+// exceptions — a malformed frame from the network is an expected input, not
+// a programming error.
+//
+// One small POD-ish struct per message, each with
+//
+//   void encode(WireWriter&) const;
+//   static constexpr MsgType kType;
+//   WireStatus decode(WireReader&);          // payload only
+//
+// plus the frame-level helpers encode_frame<Msg>() / decode_frame<Msg>().
+// Every request carries a client-chosen request_id echoed by its response,
+// so responses may complete out of order (the PredictionService resolves
+// micro-batches whenever their lane flushes) and still correlate.
+//
+// Request/response catalog (docs/ARCHITECTURE.md has the reference table):
+//
+//   PredictRequest      -> PredictResponse       one query, one value
+//   PredictManyRequest  -> PredictManyResponse   batch of queries
+//   PublishRequest      -> PublishResponse       install a model (checkpoint text)
+//   RefitAsyncRequest   -> RefitResponse         queue a background fine-tune;
+//                                                the response is PUSHED when the
+//                                                swap lands (refit-done event)
+//   MetricsRequest      -> MetricsResponse       ServeMetrics incl. percentiles
+//   SetQosRequest       -> SetQosResponse        class / weight / max_lag
+//   EraseRequest        -> EraseResponse         retire a key
+//   DrainRequest        -> DrainResponse         graceful drain; sent AFTER every
+//                                                in-flight response of the
+//                                                connection has been written
+//
+// Models are addressed by ModelKey (job + context strings): handles are
+// process-local and never cross the wire.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/record.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/prediction_service.hpp"
+#include "serve/serve_result.hpp"
+
+namespace bellamy::net {
+
+/// Bumped on any incompatible layout change; decode rejects mismatches with
+/// WireStatus::kVersionMismatch (never guesses).
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Hard ceiling on `len` (version + type + payload).  Checkpoints are the
+/// largest payloads (publish); 64 MB is orders of magnitude above any real
+/// one while still bounding what a hostile length prefix can allocate.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Bytes of the fixed prefix before the payload: u32 len + u16 ver + u16 type.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+enum class MsgType : std::uint16_t {
+  kPredictRequest = 1,
+  kPredictManyRequest = 2,
+  kPublishRequest = 3,
+  kRefitAsyncRequest = 4,
+  kMetricsRequest = 5,
+  kSetQosRequest = 6,
+  kEraseRequest = 7,
+  kDrainRequest = 8,
+
+  kPredictResponse = 129,
+  kPredictManyResponse = 130,
+  kPublishResponse = 131,
+  kRefitResponse = 132,
+  kMetricsResponse = 133,
+  kSetQosResponse = 134,
+  kEraseResponse = 135,
+  kDrainResponse = 136,
+};
+
+/// True for any type value the catalog knows (request or response).
+bool is_known_type(std::uint16_t type);
+
+/// Typed decode outcome.  kOk is 0 so `if (status != WireStatus::kOk)` reads
+/// naturally; everything else names WHY the bytes were rejected.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,        ///< ran out of bytes mid-field (or len > available)
+  kVersionMismatch,  ///< frame version != kWireVersion
+  kUnknownType,      ///< type value outside the catalog
+  kWrongType,        ///< well-formed frame, but not the message asked for
+  kOversizedFrame,   ///< len exceeds kMaxFrameBytes (or < header remainder)
+  kTrailingBytes,    ///< payload decoded but bytes remain (layout drift)
+  kMalformed,        ///< field-level validation failed (bad enum value, ...)
+};
+
+const char* to_string(WireStatus status);
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte buffer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i32(std::int32_t v) { append(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  /// u32 byte count + raw bytes (doubles as the blob encoder).
+  void str(const std::string& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed buffer.  The first
+/// short read latches failed(); subsequent reads are no-ops returning zeroed
+/// values, so decoders can read a whole struct and check ok() once.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool u8(std::uint8_t& v) { return fixed(&v, sizeof v); }
+  bool u16(std::uint16_t& v) { return fixed(&v, sizeof v); }
+  bool u32(std::uint32_t& v) { return fixed(&v, sizeof v); }
+  bool u64(std::uint64_t& v) { return fixed(&v, sizeof v); }
+  bool i32(std::int32_t& v) { return fixed(&v, sizeof v); }
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+  bool str(std::string& v) {
+    std::uint32_t n = 0;
+    if (!u32(n)) return false;
+    if (n > remaining()) return fail();
+    v.assign(reinterpret_cast<const char*>(data_ + off_), n);
+    off_ += n;
+    return true;
+  }
+
+  std::size_t remaining() const { return size_ - off_; }
+  bool ok() const { return !failed_; }
+
+ private:
+  bool fixed(void* out, std::size_t n) {
+    if (failed_ || n > remaining()) {
+      std::memset(out, 0, n);
+      return fail();
+    }
+    std::memcpy(out, data_ + off_, n);
+    off_ += n;
+    return true;
+  }
+  bool fail() {
+    failed_ = true;
+    return false;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+  bool failed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Shared field codecs
+// ---------------------------------------------------------------------------
+
+void encode_key(WireWriter& w, const serve::ModelKey& key);
+WireStatus decode_key(WireReader& r, serve::ModelKey& key);
+
+void encode_job_run(WireWriter& w, const data::JobRun& run);
+WireStatus decode_job_run(WireReader& r, data::JobRun& run);
+
+void encode_job_runs(WireWriter& w, const std::vector<data::JobRun>& runs);
+WireStatus decode_job_runs(WireReader& r, std::vector<data::JobRun>& runs);
+
+void encode_finetune_config(WireWriter& w, const core::FineTuneConfig& cfg);
+WireStatus decode_finetune_config(WireReader& r, core::FineTuneConfig& cfg);
+
+void encode_metrics(WireWriter& w, const serve::ServeMetrics& m);
+WireStatus decode_metrics(WireReader& r, serve::ServeMetrics& m);
+
+// ---------------------------------------------------------------------------
+// Messages — requests
+// ---------------------------------------------------------------------------
+
+struct PredictRequest {
+  static constexpr MsgType kType = MsgType::kPredictRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
+  data::JobRun query;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct PredictManyRequest {
+  static constexpr MsgType kType = MsgType::kPredictManyRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
+  std::vector<data::JobRun> queries;  ///< zero-length batches are legal
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct PublishRequest {
+  static constexpr MsgType kType = MsgType::kPublishRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
+  /// nn::Checkpoint text (the ModelStore on-disk format, hex-float exact) —
+  /// the same bytes a store would hold, so publish-over-wire and
+  /// open-from-store install bit-identical models.
+  std::string checkpoint_text;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct RefitAsyncRequest {
+  static constexpr MsgType kType = MsgType::kRefitAsyncRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
+  std::vector<data::JobRun> runs;  ///< empty = direct reuse (reset to base)
+  core::FineTuneConfig config;
+  std::uint8_t strategy = 0;  ///< core::ReuseStrategy, validated on decode
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct MetricsRequest {
+  static constexpr MsgType kType = MsgType::kMetricsRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct SetQosRequest {
+  static constexpr MsgType kType = MsgType::kSetQosRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
+  std::uint8_t qos_class = 0;  ///< serve::QosClass, validated on decode
+  double weight = 1.0;
+  std::uint64_t max_lag_us = 0;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct EraseRequest {
+  static constexpr MsgType kType = MsgType::kEraseRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct DrainRequest {
+  static constexpr MsgType kType = MsgType::kDrainRequest;
+  std::uint64_t request_id = 0;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// Messages — responses.  Every response leads with (request_id, status,
+// message); payload fields are meaningful only when status == kOk.
+// ---------------------------------------------------------------------------
+
+/// The (request_id, ServeStatus, message) triple every response leads with.
+struct ResponseHead {
+  std::uint64_t request_id = 0;
+  serve::ServeStatus status = serve::ServeStatus::kOk;
+  std::string message;
+
+  bool ok() const { return status == serve::ServeStatus::kOk; }
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct PredictResponse {
+  static constexpr MsgType kType = MsgType::kPredictResponse;
+  ResponseHead head;
+  double value = 0.0;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct PredictManyResponse {
+  static constexpr MsgType kType = MsgType::kPredictManyResponse;
+  ResponseHead head;
+  std::vector<double> values;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct PublishResponse {
+  static constexpr MsgType kType = MsgType::kPublishResponse;
+  ResponseHead head;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct RefitResponse {
+  static constexpr MsgType kType = MsgType::kRefitResponse;
+  ResponseHead head;
+  std::uint64_t epochs_run = 0;
+  double best_mae_seconds = 0.0;
+  std::uint8_t reached_target = 0;
+  double fit_seconds = 0.0;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct MetricsResponse {
+  static constexpr MsgType kType = MsgType::kMetricsResponse;
+  ResponseHead head;
+  serve::ServeMetrics metrics;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct SetQosResponse {
+  static constexpr MsgType kType = MsgType::kSetQosResponse;
+  ResponseHead head;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct EraseResponse {
+  static constexpr MsgType kType = MsgType::kEraseResponse;
+  ResponseHead head;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct DrainResponse {
+  static constexpr MsgType kType = MsgType::kDrainResponse;
+  ResponseHead head;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// Frame assembly / parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed frame: version/type plus a BORROWED view of the payload bytes.
+struct FrameView {
+  std::uint16_t version = 0;
+  std::uint16_t type = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+};
+
+/// Wrap an encoded message into one wire frame (length prefix included).
+template <typename Msg>
+std::vector<std::uint8_t> encode_frame(const Msg& msg) {
+  WireWriter payload;
+  msg.encode(payload);
+  WireWriter out;
+  out.u32(static_cast<std::uint32_t>(payload.size() + 4));  // + version + type
+  out.u16(kWireVersion);
+  out.u16(static_cast<std::uint16_t>(Msg::kType));
+  std::vector<std::uint8_t> frame = out.take();
+  const std::vector<std::uint8_t>& body = payload.bytes();
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+/// Parse a frame BODY (the `len` bytes after the length prefix: version +
+/// type + payload).  Rejects version/type before touching the payload.
+WireStatus parse_body(const std::uint8_t* data, std::size_t size, FrameView& out);
+
+/// Parse one complete frame (length prefix included), e.g. a captured
+/// buffer in tests.  Checks the length prefix against the actual size.
+WireStatus parse_frame(const std::uint8_t* data, std::size_t size, FrameView& out);
+
+/// Decode a specific message from a parsed frame: wrong-type and
+/// trailing-byte detection included.
+template <typename Msg>
+WireStatus decode_message(const FrameView& frame, Msg& out) {
+  if (frame.type != static_cast<std::uint16_t>(Msg::kType)) return WireStatus::kWrongType;
+  WireReader r(frame.payload, frame.payload_size);
+  const WireStatus status = out.decode(r);
+  if (status != WireStatus::kOk) return status;
+  if (!r.ok()) return WireStatus::kTruncated;
+  if (r.remaining() != 0) return WireStatus::kTrailingBytes;
+  return WireStatus::kOk;
+}
+
+/// One-shot: parse a full frame and decode the expected message.
+template <typename Msg>
+WireStatus decode_frame(const std::uint8_t* data, std::size_t size, Msg& out) {
+  FrameView frame;
+  const WireStatus status = parse_frame(data, size, frame);
+  if (status != WireStatus::kOk) return status;
+  return decode_message(frame, out);
+}
+
+}  // namespace bellamy::net

@@ -1,0 +1,81 @@
+#pragma once
+// Fixed-bucket log-scale latency histogram for the serving hot path.
+//
+// The scheduler needs request-latency percentiles ONLINE (the wire
+// MetricsResponse, the admin `stats` command, and drift-triggered refits all
+// read them), but the dispatch path cannot afford per-request allocation or a
+// sorted reservoir.  This histogram is a flat array of counters with a
+// log-linear bucket layout (HdrHistogram-style): values below 8 us get exact
+// buckets, every power-of-two octave above is split into 8 sub-buckets, so
+// the relative quantile error is bounded by 12.5% at any magnitude while
+// record() is a handful of bit operations and one increment.
+//
+// Not thread-safe by itself: the PredictionService records under the lane's
+// service mutex, which it already holds to count responses.
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace bellamy::serve {
+
+class LatencyHistogram {
+ public:
+  /// 8 exact buckets + 24 octaves x 8 sub-buckets covers [0, ~134 s) in
+  /// microseconds; anything slower saturates into the last bucket.
+  static constexpr std::size_t kBuckets = 200;
+
+  /// O(1), allocation-free; safe for any value (saturates at the top).
+  void record(std::uint64_t us) {
+    counts_[bucket_index(us)] += 1;
+    count_ += 1;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]); 0 when
+  /// empty.  Reported value is conservative: true quantile <= returned value
+  /// < true quantile * 1.125.
+  std::uint64_t quantile_us(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // ceil(q * count): the rank of the quantile observation.
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.999999));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) return bucket_upper_us(i);
+    }
+    return bucket_upper_us(kBuckets - 1);
+  }
+
+  void reset() {
+    counts_.fill(0);
+    count_ = 0;
+  }
+
+  /// Bucket of a value: exact below 8, then (octave, next-3-bits) above.
+  static std::size_t bucket_index(std::uint64_t us) {
+    if (us < 8) return static_cast<std::size_t>(us);
+    const int b = std::bit_width(us);  // MSB position, >= 4 here
+    const std::size_t octave = static_cast<std::size_t>(b - 3);
+    const std::size_t sub = static_cast<std::size_t>((us >> (b - 4)) & 7u);
+    return std::min(octave * 8 + sub, kBuckets - 1);
+  }
+
+  /// Largest value mapping into bucket i (inclusive).
+  static std::uint64_t bucket_upper_us(std::size_t i) {
+    if (i < 8) return static_cast<std::uint64_t>(i);
+    const std::uint64_t octave = i / 8;
+    const std::uint64_t sub = i % 8;
+    return ((9 + sub) << (octave - 1)) - 1;  // (8+sub+1) * 2^(octave-1) - 1
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace bellamy::serve

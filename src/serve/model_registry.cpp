@@ -237,13 +237,16 @@ ServeResult<core::FineTuneResult> ModelRegistry::refit(const ModelHandle& handle
 
 std::shared_future<ServeResult<core::FineTuneResult>> ModelRegistry::refit_async(
     const ModelHandle& handle, std::vector<data::JobRun> runs,
-    const core::FineTuneConfig& config, core::ReuseStrategy strategy) {
+    const core::FineTuneConfig& config, core::ReuseStrategy strategy,
+    RefitCallback on_complete) {
   const auto entry = resolve(handle);
   if (!entry) {
     std::promise<ServeResult<core::FineTuneResult>> failed;
     failed.set_value(ServeResult<core::FineTuneResult>::failure(
         ServeStatus::kUnknownModel, "refit_async: unknown handle"));
-    return failed.get_future().share();
+    auto future = failed.get_future().share();
+    if (on_complete) on_complete(future.get());  // inline: there is no strand to ride
+    return future;
   }
 
   std::shared_future<ServeResult<core::FineTuneResult>> future;
@@ -252,10 +255,12 @@ std::shared_future<ServeResult<core::FineTuneResult>> ModelRegistry::refit_async
     if (entry->pending_refit) {
       // Coalesce: the queued job has not started, so replace its payload and
       // share its future — every caller observes the LATEST request's result
-      // and only one fine-tune runs.
+      // and only one fine-tune runs.  The new caller's callback JOINS the
+      // queued job's callbacks; all fire with the shared result.
       entry->pending_refit->runs = std::move(runs);
       entry->pending_refit->config = config;
       entry->pending_refit->strategy = strategy;
+      if (on_complete) entry->pending_refit->callbacks.push_back(std::move(on_complete));
       return entry->pending_refit->future;
     }
     detail::RefitJob job;
@@ -265,6 +270,7 @@ std::shared_future<ServeResult<core::FineTuneResult>> ModelRegistry::refit_async
     job.promise =
         std::make_shared<std::promise<ServeResult<core::FineTuneResult>>>();
     job.future = job.promise->get_future().share();
+    if (on_complete) job.callbacks.push_back(std::move(on_complete));
     future = job.future;
     entry->pending_refit = std::move(job);
   }
@@ -281,13 +287,24 @@ std::shared_future<ServeResult<core::FineTuneResult>> ModelRegistry::refit_async
       entry->pending_refit.reset();
       entry->refit_running = true;
     }
-    ServeResult<core::FineTuneResult> result =
+    const ServeResult<core::FineTuneResult> result =
         run_refit(entry, job.runs, job.config, job.strategy);
     {
       std::lock_guard<std::mutex> lock(entry->mutex);
       entry->refit_running = false;
     }
-    job.promise->set_value(std::move(result));
+    // Future first (waiters unblock even if a callback throws), then every
+    // coalesced caller's completion hook, still on the strand, after the
+    // swap is visible to serving.
+    job.promise->set_value(result);
+    for (const RefitCallback& callback : job.callbacks) {
+      try {
+        callback(result);
+      } catch (...) {
+        // A notification hook must never take down the strand (and with it a
+        // pool worker); the result already reached the future.
+      }
+    }
   });
   return future;
 }

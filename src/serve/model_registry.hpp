@@ -29,6 +29,7 @@
 // All operations are thread-safe.
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -77,16 +78,24 @@ class ModelHandle {
   std::uint64_t id_ = 0;
 };
 
+/// Completion hook of a background refit: invoked on the refit strand right
+/// after the hot-swap (or the typed failure), carrying exactly what the
+/// shared_future resolves with.  Lets a server push refit-done events over a
+/// connection instead of parking a thread on the future.
+using RefitCallback = std::function<void(const ServeResult<core::FineTuneResult>&)>;
+
 namespace detail {
 
 /// A queued background refit: the latest requested payload plus the promise
-/// every coalesced caller shares.
+/// every coalesced caller shares and every coalesced caller's completion
+/// callback (all fire with the shared result).
 struct RefitJob {
   std::vector<data::JobRun> runs;
   core::FineTuneConfig config;
   core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze;
   std::shared_ptr<std::promise<ServeResult<core::FineTuneResult>>> promise;
   std::shared_future<ServeResult<core::FineTuneResult>> future;
+  std::vector<RefitCallback> callbacks;
 };
 
 /// One served model.  `mutex` guards `base`, `model`, and the refit
@@ -165,10 +174,21 @@ class ModelRegistry {
   /// returns the SAME future — both callers observe the result of the
   /// latest request.  A job already running is never disturbed; the new
   /// request queues behind it.
+  ///
+  /// COMPLETION NOTIFICATION: pass `on_complete` to be called on the refit
+  /// strand right after the swap (or the typed failure) with the same
+  /// ServeResult the future resolves with — no thread has to poll the
+  /// shared_future.  Every coalesced caller's callback fires (all with the
+  /// shared result of the latest payload); callbacks of an unknown handle
+  /// fire inline before this returns.  A callback must not block on the
+  /// returned future (it resolves before the callbacks run) and should not
+  /// do long work — it executes on the strand, delaying the handle's next
+  /// queued refit.
   std::shared_future<ServeResult<core::FineTuneResult>> refit_async(
       const ModelHandle& handle, std::vector<data::JobRun> runs,
       const core::FineTuneConfig& config,
-      core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze);
+      core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze,
+      RefitCallback on_complete = nullptr);
 
   /// True while the handle has a background refit queued or running.
   bool refit_pending(const ModelHandle& handle) const noexcept;

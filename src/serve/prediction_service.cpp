@@ -144,6 +144,10 @@ ServeResult<Unit> PredictionService::set_qos(const ModelHandle& handle, HandleQo
     return ServeResult<Unit>::failure(ServeStatus::kInvalidArgument,
                                       "set_qos: weight must be a positive finite number");
   }
+  if (qos.max_lag.count() < 0) {
+    return ServeResult<Unit>::failure(ServeStatus::kInvalidArgument,
+                                      "set_qos: max_lag must be >= 0 (0 disables the cap)");
+  }
   if (!registry_.resolve(handle)) {
     return ServeResult<Unit>::failure(ServeStatus::kUnknownModel,
                                       "set_qos: unknown model handle");
@@ -177,6 +181,10 @@ ServeResult<ServeMetrics> PredictionService::metrics(const ModelHandle& handle) 
       out.queue_depth = it->second.queue.size();
       out.effective_flush_deadline_us = effective_deadline_us(it->second);
       out.interarrival_ewma_us = it->second.ewma_interarrival_us;
+      out.latency_count = it->second.latency.count();
+      out.latency_p50_us = it->second.latency.quantile_us(0.50);
+      out.latency_p95_us = it->second.latency.quantile_us(0.95);
+      out.latency_p99_us = it->second.latency.quantile_us(0.99);
     }
   }
   out.replica_hits = entry->pool->hits();
@@ -231,7 +239,13 @@ std::uint64_t PredictionService::effective_deadline_us(const Lane& lane) const {
       base_us = expected_fill_us > max_us ? min_us : std::max(expected_fill_us, min_us);
     }
   }
-  const double scaled = base_us / lane.qos.weight;
+  double scaled = base_us / lane.qos.weight;
+  // Aging cap: no matter how the band and weight stretch the deadline, a
+  // capped lane never waits (nor ranks) worse than max_lag — the boost that
+  // keeps down-weighted kBulk lanes live under extreme interactive load.
+  if (lane.qos.max_lag.count() > 0) {
+    scaled = std::min(scaled, static_cast<double>(lane.qos.max_lag.count()));
+  }
   return static_cast<std::uint64_t>(std::llround(std::max(1.0, scaled)));
 }
 
@@ -361,6 +375,13 @@ void PredictionService::worker_loop() {
       lock.lock();
       if (const auto post = lanes_.find(top.lane_id); post != lanes_.end()) {
         post->second.metrics.responses += take;
+        // Enqueue-to-response latency, recorded before the futures resolve so
+        // a client reading metrics after .get() sees its own sample.  The
+        // histogram increment is allocation-free (flat counter array).
+        const Clock::time_point done = Clock::now();
+        for (const Request& request : batch) {
+          post->second.latency.record(saturating_us(done - request.enqueued));
+        }
       }
       lock.unlock();
       for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "data/record.hpp"
+#include "serve/latency_histogram.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/serve_result.hpp"
 
@@ -83,11 +84,16 @@ struct HandleQos {
   /// weight, so weight 4 flushes (and ranks) 4x sooner and weight 0.5 is
   /// content to wait twice as long.  1.0 = neutral.
   double weight = 1.0;
+  /// Aging boost: a hard ceiling on the lane's effective flush deadline,
+  /// applied AFTER the weight division (0 = disabled).  A down-weighted
+  /// kBulk lane under extreme interactive load can otherwise see its
+  /// deadline stretched arbitrarily (long band deadline / small weight);
+  /// max_lag guarantees the lane ranks no worse than a request that has
+  /// already waited this long, bounding its dispatch lag.
+  std::chrono::microseconds max_lag{0};
 };
 
 /// Tunables of a PredictionService, fixed at construction.
-/// (Historically named ServiceConfig; the alias below keeps old call sites
-/// compiling.)
 struct ServeOptions {
   /// Flush a micro-batch at this many pending requests.  1 disables
   /// coalescing (every request runs its own forward pass).
@@ -119,9 +125,6 @@ struct ServeOptions {
   /// Dispatcher threads executing micro-batches (>= 1).
   std::size_t workers = 1;
 };
-
-/// Pre-PR-5 name of ServeOptions.
-using ServiceConfig = ServeOptions;
 
 /// Per-handle serving counters.  A snapshot; not synchronized with in-flight
 /// requests beyond the service mutex.
@@ -161,6 +164,17 @@ struct ServeMetrics {
   std::uint64_t max_dispatch_lag_us = 0;
   /// Batches whose dispatch lag exceeded ServeOptions::starvation_lag.
   std::uint64_t starved_flushes = 0;
+
+  // -- request-latency percentiles (PR 6) --
+  /// Enqueue-to-response latency quantiles from the lane's fixed-bucket
+  /// log-scale histogram (serve/latency_histogram.hpp): zero allocation on
+  /// the hot path, <= 12.5% relative bucket error.  0 until the first
+  /// response.  These feed the wire MetricsResponse, the admin `stats`
+  /// console, and (eventually) drift-triggered refits.
+  std::uint64_t latency_count = 0;  ///< responses measured into the histogram
+  std::uint64_t latency_p50_us = 0;
+  std::uint64_t latency_p95_us = 0;
+  std::uint64_t latency_p99_us = 0;
 
   /// Mean requests per executed micro-batch (0 before the first batch).
   double mean_batch_fill() const {
@@ -214,8 +228,6 @@ class PredictionService {
   void stop();
 
   const ServeOptions& options() const { return options_; }
-  /// Pre-PR-5 spelling of options().
-  const ServeOptions& config() const { return options_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -233,6 +245,7 @@ class PredictionService {
   struct Lane {
     std::deque<Request> queue;
     ServeMetrics metrics;
+    LatencyHistogram latency;  ///< enqueue-to-response, microseconds
     HandleQos qos;
     /// EWMA of inter-arrival time in microseconds (0 = fewer than two
     /// requests seen).

@@ -1,0 +1,402 @@
+// Wire-protocol property tests: every message type round-trips bit-exactly
+// through encode_frame/decode_frame under randomized payloads, and every
+// class of hostile input (truncation at EVERY prefix length, version skew,
+// unknown/wrong types, trailing bytes, oversized frames, out-of-range enum
+// bytes) is rejected with the right TYPED WireStatus — never a crash, never
+// a silently wrong decode.
+
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace bellamy::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Randomized payload builders (seeded: failures reproduce)
+// ---------------------------------------------------------------------------
+
+std::string random_string(std::mt19937_64& rng, std::size_t max_len) {
+  std::uniform_int_distribution<std::size_t> len(0, max_len);
+  // Full byte range: the wire must be 8-bit clean (checkpoint text is not,
+  // but the protocol must not care).
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::string s(len(rng), '\0');
+  for (char& c : s) c = static_cast<char>(byte(rng));
+  return s;
+}
+
+double random_double(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  return dist(rng);
+}
+
+data::JobRun random_run(std::mt19937_64& rng) {
+  data::JobRun run;
+  run.algorithm = random_string(rng, 12);
+  run.environment = random_string(rng, 12);
+  run.node_type = random_string(rng, 12);
+  run.job_parameters = random_string(rng, 8);
+  run.dataset_size_mb = rng();
+  run.data_characteristics = random_string(rng, 16);
+  run.memory_mb = rng();
+  run.cpu_cores = rng();
+  run.scale_out = static_cast<int>(rng() % 1000) - 500;
+  run.runtime_s = random_double(rng);
+  return run;
+}
+
+void expect_run_eq(const data::JobRun& a, const data::JobRun& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.environment, b.environment);
+  EXPECT_EQ(a.node_type, b.node_type);
+  EXPECT_EQ(a.job_parameters, b.job_parameters);
+  EXPECT_EQ(a.dataset_size_mb, b.dataset_size_mb);
+  EXPECT_EQ(a.data_characteristics, b.data_characteristics);
+  EXPECT_EQ(a.memory_mb, b.memory_mb);
+  EXPECT_EQ(a.cpu_cores, b.cpu_cores);
+  EXPECT_EQ(a.scale_out, b.scale_out);
+  EXPECT_EQ(a.runtime_s, b.runtime_s);  // bit-exact: f64 travels as raw bits
+}
+
+serve::ModelKey random_key(std::mt19937_64& rng) {
+  return serve::ModelKey{random_string(rng, 10), random_string(rng, 10)};
+}
+
+/// Encode, decode, and hand the decoded copy back for field comparison.
+template <typename Msg>
+Msg round_trip(const Msg& msg) {
+  const std::vector<std::uint8_t> frame = encode_frame(msg);
+  Msg out;
+  const WireStatus status = decode_frame(frame.data(), frame.size(), out);
+  EXPECT_EQ(status, WireStatus::kOk) << to_string(status);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips, randomized
+// ---------------------------------------------------------------------------
+
+TEST(Wire, PredictRequestRoundTrip) {
+  std::mt19937_64 rng(101);
+  for (int i = 0; i < 50; ++i) {
+    PredictRequest msg;
+    msg.request_id = rng();
+    msg.key = random_key(rng);
+    msg.query = random_run(rng);
+    const PredictRequest out = round_trip(msg);
+    EXPECT_EQ(out.request_id, msg.request_id);
+    EXPECT_EQ(out.key, msg.key);
+    expect_run_eq(out.query, msg.query);
+  }
+}
+
+TEST(Wire, PredictManyRequestRoundTripIncludingZeroLengthBatch) {
+  std::mt19937_64 rng(102);
+  for (int i = 0; i < 30; ++i) {
+    PredictManyRequest msg;
+    msg.request_id = rng();
+    msg.key = random_key(rng);
+    const std::size_t n = i == 0 ? 0 : rng() % 17;  // first iteration: empty batch
+    for (std::size_t k = 0; k < n; ++k) msg.queries.push_back(random_run(rng));
+    const PredictManyRequest out = round_trip(msg);
+    EXPECT_EQ(out.request_id, msg.request_id);
+    ASSERT_EQ(out.queries.size(), msg.queries.size());
+    for (std::size_t k = 0; k < n; ++k) expect_run_eq(out.queries[k], msg.queries[k]);
+  }
+}
+
+TEST(Wire, PublishRequestRoundTripIsEightBitClean) {
+  std::mt19937_64 rng(103);
+  PublishRequest msg;
+  msg.request_id = rng();
+  msg.key = random_key(rng);
+  msg.checkpoint_text = random_string(rng, 4096);
+  msg.checkpoint_text.push_back('\0');  // embedded NUL must survive
+  msg.checkpoint_text += random_string(rng, 64);
+  const PublishRequest out = round_trip(msg);
+  EXPECT_EQ(out.key, msg.key);
+  EXPECT_EQ(out.checkpoint_text, msg.checkpoint_text);
+}
+
+TEST(Wire, RefitAsyncRequestRoundTrip) {
+  std::mt19937_64 rng(104);
+  for (int i = 0; i < 20; ++i) {
+    RefitAsyncRequest msg;
+    msg.request_id = rng();
+    msg.key = random_key(rng);
+    const std::size_t n = rng() % 5;
+    for (std::size_t k = 0; k < n; ++k) msg.runs.push_back(random_run(rng));
+    msg.config.max_epochs = rng() % 10000;
+    msg.config.base_lr = random_double(rng);
+    msg.config.max_lr = random_double(rng);
+    msg.config.lr_cycle = rng() % 1000;
+    msg.config.weight_decay = random_double(rng);
+    msg.config.mae_target_seconds = random_double(rng);
+    msg.config.patience = rng() % 10000;
+    msg.config.seed = rng();
+    msg.config.unlock_f_after = rng() % 100;
+    msg.config.unlock_f_immediately = (rng() & 1) != 0;
+    msg.config.train_autoencoder = (rng() & 1) != 0;
+    msg.strategy = static_cast<std::uint8_t>(rng() % 4);
+
+    const RefitAsyncRequest out = round_trip(msg);
+    EXPECT_EQ(out.request_id, msg.request_id);
+    EXPECT_EQ(out.key, msg.key);
+    ASSERT_EQ(out.runs.size(), msg.runs.size());
+    EXPECT_EQ(out.config.max_epochs, msg.config.max_epochs);
+    EXPECT_EQ(out.config.base_lr, msg.config.base_lr);
+    EXPECT_EQ(out.config.max_lr, msg.config.max_lr);
+    EXPECT_EQ(out.config.lr_cycle, msg.config.lr_cycle);
+    EXPECT_EQ(out.config.weight_decay, msg.config.weight_decay);
+    EXPECT_EQ(out.config.mae_target_seconds, msg.config.mae_target_seconds);
+    EXPECT_EQ(out.config.patience, msg.config.patience);
+    EXPECT_EQ(out.config.seed, msg.config.seed);
+    EXPECT_EQ(out.config.unlock_f_after, msg.config.unlock_f_after);
+    EXPECT_EQ(out.config.unlock_f_immediately, msg.config.unlock_f_immediately);
+    EXPECT_EQ(out.config.train_autoencoder, msg.config.train_autoencoder);
+    EXPECT_EQ(out.strategy, msg.strategy);
+  }
+}
+
+TEST(Wire, SmallRequestsRoundTrip) {
+  std::mt19937_64 rng(105);
+  MetricsRequest metrics;
+  metrics.request_id = rng();
+  metrics.key = random_key(rng);
+  EXPECT_EQ(round_trip(metrics).key, metrics.key);
+
+  SetQosRequest qos;
+  qos.request_id = rng();
+  qos.key = random_key(rng);
+  qos.qos_class = 1;
+  qos.weight = 0.25;
+  qos.max_lag_us = 20000;
+  const SetQosRequest qos_out = round_trip(qos);
+  EXPECT_EQ(qos_out.qos_class, qos.qos_class);
+  EXPECT_EQ(qos_out.weight, qos.weight);
+  EXPECT_EQ(qos_out.max_lag_us, qos.max_lag_us);
+
+  EraseRequest erase;
+  erase.request_id = rng();
+  erase.key = random_key(rng);
+  EXPECT_EQ(round_trip(erase).key, erase.key);
+
+  DrainRequest drain;
+  drain.request_id = rng();
+  EXPECT_EQ(round_trip(drain).request_id, drain.request_id);
+}
+
+TEST(Wire, ResponsesRoundTrip) {
+  std::mt19937_64 rng(106);
+
+  PredictResponse predict;
+  predict.head.request_id = rng();
+  predict.head.status = serve::ServeStatus::kOk;
+  predict.value = random_double(rng);
+  const PredictResponse predict_out = round_trip(predict);
+  EXPECT_EQ(predict_out.head.request_id, predict.head.request_id);
+  EXPECT_EQ(predict_out.value, predict.value);
+
+  PredictResponse failed;
+  failed.head.request_id = rng();
+  failed.head.status = serve::ServeStatus::kUnknownModel;
+  failed.head.message = "no entry for sgd/ctx";
+  const PredictResponse failed_out = round_trip(failed);
+  EXPECT_EQ(failed_out.head.status, serve::ServeStatus::kUnknownModel);
+  EXPECT_EQ(failed_out.head.message, failed.head.message);
+
+  PredictManyResponse many;
+  many.head.request_id = rng();
+  for (int i = 0; i < 9; ++i) many.values.push_back(random_double(rng));
+  const PredictManyResponse many_out = round_trip(many);
+  EXPECT_EQ(many_out.values, many.values);
+  PredictManyResponse empty;
+  empty.head.request_id = rng();
+  EXPECT_TRUE(round_trip(empty).values.empty());
+
+  RefitResponse refit;
+  refit.head.request_id = rng();
+  refit.epochs_run = rng() % 5000;
+  refit.best_mae_seconds = random_double(rng);
+  refit.reached_target = 1;
+  refit.fit_seconds = random_double(rng);
+  const RefitResponse refit_out = round_trip(refit);
+  EXPECT_EQ(refit_out.epochs_run, refit.epochs_run);
+  EXPECT_EQ(refit_out.best_mae_seconds, refit.best_mae_seconds);
+  EXPECT_EQ(refit_out.reached_target, refit.reached_target);
+
+  MetricsResponse metrics;
+  metrics.head.request_id = rng();
+  metrics.metrics.requests = rng();
+  metrics.metrics.responses = rng();
+  metrics.metrics.interarrival_ewma_us = random_double(rng);
+  metrics.metrics.latency_p50_us = rng();
+  metrics.metrics.latency_p95_us = rng();
+  metrics.metrics.latency_p99_us = rng();
+  metrics.metrics.latency_count = rng();
+  const MetricsResponse metrics_out = round_trip(metrics);
+  EXPECT_EQ(metrics_out.metrics.requests, metrics.metrics.requests);
+  EXPECT_EQ(metrics_out.metrics.latency_p99_us, metrics.metrics.latency_p99_us);
+  EXPECT_EQ(metrics_out.metrics.interarrival_ewma_us, metrics.metrics.interarrival_ewma_us);
+
+  PublishResponse publish;
+  publish.head.request_id = rng();
+  EXPECT_EQ(round_trip(publish).head.request_id, publish.head.request_id);
+  SetQosResponse set_qos;
+  set_qos.head.request_id = rng();
+  EXPECT_EQ(round_trip(set_qos).head.request_id, set_qos.head.request_id);
+  EraseResponse erase;
+  erase.head.request_id = rng();
+  EXPECT_EQ(round_trip(erase).head.request_id, erase.head.request_id);
+  DrainResponse drain;
+  drain.head.request_id = rng();
+  EXPECT_EQ(round_trip(drain).head.request_id, drain.head.request_id);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> sample_frame() {
+  std::mt19937_64 rng(107);
+  PredictManyRequest msg;
+  msg.request_id = rng();
+  msg.key = random_key(rng);
+  for (int i = 0; i < 3; ++i) msg.queries.push_back(random_run(rng));
+  return encode_frame(msg);
+}
+
+TEST(Wire, TruncationAtEveryPrefixLengthIsATypedError) {
+  const std::vector<std::uint8_t> frame = sample_frame();
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    PredictManyRequest out;
+    const WireStatus status = decode_frame(frame.data(), cut, out);
+    EXPECT_NE(status, WireStatus::kOk) << "prefix length " << cut << " decoded";
+    EXPECT_EQ(status, WireStatus::kTruncated) << "prefix length " << cut;
+  }
+}
+
+TEST(Wire, InnerTruncationOfThePayloadIsATypedError) {
+  // Rewrite the length prefix so the FRAME is self-consistent but the
+  // payload is cut short: the failure must come from the message decoder,
+  // not the frame parser.
+  const std::vector<std::uint8_t> frame = sample_frame();
+  for (std::size_t cut = 4; cut + 4 < frame.size(); cut += 7) {
+    std::vector<std::uint8_t> spliced(frame.begin(), frame.begin() + cut + 4);
+    const std::uint32_t len = static_cast<std::uint32_t>(cut);
+    std::memcpy(spliced.data(), &len, sizeof len);
+    PredictManyRequest out;
+    const WireStatus status = decode_frame(spliced.data(), spliced.size(), out);
+    EXPECT_TRUE(status == WireStatus::kTruncated || status == WireStatus::kTrailingBytes ||
+                status == WireStatus::kOversizedFrame)
+        << "cut " << cut << ": " << to_string(status);
+    EXPECT_NE(status, WireStatus::kOk);
+  }
+}
+
+TEST(Wire, VersionMismatchIsRejected) {
+  std::vector<std::uint8_t> frame = sample_frame();
+  const std::uint16_t bad_version = kWireVersion + 1;
+  std::memcpy(frame.data() + 4, &bad_version, sizeof bad_version);
+  PredictManyRequest out;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kVersionMismatch);
+}
+
+TEST(Wire, UnknownTypeIsRejected) {
+  std::vector<std::uint8_t> frame = sample_frame();
+  const std::uint16_t bad_type = 77;  // hole in the catalog
+  std::memcpy(frame.data() + 6, &bad_type, sizeof bad_type);
+  PredictManyRequest out;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kUnknownType);
+  EXPECT_FALSE(is_known_type(bad_type));
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kPredictRequest)));
+}
+
+TEST(Wire, WrongTypeIsRejected) {
+  const std::vector<std::uint8_t> frame = sample_frame();  // a PredictManyRequest
+  PredictRequest out;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kWrongType);
+}
+
+TEST(Wire, TrailingBytesAreRejectedAtBothLayers) {
+  // Outer: junk after a complete frame.
+  std::vector<std::uint8_t> outer = sample_frame();
+  outer.push_back(0xAB);
+  PredictManyRequest out;
+  EXPECT_EQ(decode_frame(outer.data(), outer.size(), out), WireStatus::kTrailingBytes);
+
+  // Inner: the frame's len covers payload + junk, so the frame parses but
+  // the message decoder must notice leftover bytes.
+  std::vector<std::uint8_t> inner = sample_frame();
+  inner.push_back(0xCD);
+  const std::uint32_t len = static_cast<std::uint32_t>(inner.size() - 4);
+  std::memcpy(inner.data(), &len, sizeof len);
+  EXPECT_EQ(decode_frame(inner.data(), inner.size(), out), WireStatus::kTrailingBytes);
+}
+
+TEST(Wire, OversizedAndRuntFramesAreRejected) {
+  std::vector<std::uint8_t> frame = sample_frame();
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(frame.data(), &huge, sizeof huge);
+  PredictManyRequest out;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kOversizedFrame);
+
+  const std::uint32_t runt = 3;  // cannot hold version + type
+  std::memcpy(frame.data(), &runt, sizeof runt);
+  FrameView view;
+  EXPECT_EQ(parse_frame(frame.data(), 4 + 3, view), WireStatus::kOversizedFrame);
+}
+
+TEST(Wire, OutOfRangeEnumBytesAreMalformed) {
+  // ServeStatus byte beyond the enum range.
+  PredictResponse resp;
+  resp.head.request_id = 7;
+  std::vector<std::uint8_t> frame = encode_frame(resp);
+  // Payload layout: u64 request_id, then the status byte.
+  frame[kFrameHeaderBytes + 8] = 99;
+  PredictResponse out;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kMalformed);
+
+  SetQosRequest qos;
+  qos.key = {"a", "b"};
+  qos.qos_class = 7;  // not a QosClass
+  const std::vector<std::uint8_t> qos_frame = encode_frame(qos);
+  SetQosRequest qos_out;
+  EXPECT_EQ(decode_frame(qos_frame.data(), qos_frame.size(), qos_out),
+            WireStatus::kMalformed);
+
+  RefitAsyncRequest refit;
+  refit.key = {"a", "b"};
+  refit.strategy = 9;  // not a ReuseStrategy
+  const std::vector<std::uint8_t> refit_frame = encode_frame(refit);
+  RefitAsyncRequest refit_out;
+  EXPECT_EQ(decode_frame(refit_frame.data(), refit_frame.size(), refit_out),
+            WireStatus::kMalformed);
+}
+
+TEST(Wire, StringLengthBeyondPayloadIsTruncatedNotOverread) {
+  // A string header claiming 2^31 bytes inside a tiny payload must fail
+  // cleanly (no allocation of attacker-sized buffers, no overread).
+  WireWriter w;
+  w.u64(42);                  // request_id
+  w.u32(0x7FFFFFFFu);         // absurd string length for key.job
+  w.u8(0xFF);                 // one byte of "string"
+  WireWriter framed;
+  framed.u32(static_cast<std::uint32_t>(w.size() + 4));
+  framed.u16(kWireVersion);
+  framed.u16(static_cast<std::uint16_t>(MsgType::kMetricsRequest));
+  std::vector<std::uint8_t> frame = framed.take();
+  frame.insert(frame.end(), w.bytes().begin(), w.bytes().end());
+
+  MetricsRequest out;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kTruncated);
+}
+
+}  // namespace
+}  // namespace bellamy::net

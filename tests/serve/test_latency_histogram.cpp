@@ -1,0 +1,100 @@
+// LatencyHistogram: bucket geometry and quantile behavior.  The contract is
+// HdrHistogram-style log-linear buckets — exact below 8 us, <= 12.5%
+// relative error above — with O(1) allocation-free record().
+
+#include "serve/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace bellamy::serve {
+namespace {
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t us = 0; us < 8; ++us) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(us), us);
+    EXPECT_EQ(LatencyHistogram::bucket_upper_us(us), us);
+  }
+}
+
+TEST(LatencyHistogram, BucketsAreMonotoneAndSelfConsistent) {
+  // Every value maps into a bucket whose upper bound is >= the value, and
+  // the NEXT bucket's upper bound is strictly larger: the bucket function
+  // is a monotone step partition of the value axis.
+  std::uint64_t prev_upper = 0;
+  for (std::size_t i = 1; i < LatencyHistogram::kBuckets; ++i) {
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_us(i);
+    EXPECT_GT(upper, prev_upper) << "bucket " << i;
+    prev_upper = upper;
+  }
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Log-uniform values below the clamp range (values past the top bucket
+    // — beyond ~134 s — saturate into it; HugeValuesClampIntoTheLastBucket
+    // covers those).
+    const int bits = static_cast<int>(rng() % 25);
+    const std::uint64_t us = (std::uint64_t{1} << bits) + rng() % ((std::uint64_t{1} << bits));
+    const std::size_t i = LatencyHistogram::bucket_index(us);
+    ASSERT_LT(i, LatencyHistogram::kBuckets);
+    EXPECT_LE(us, LatencyHistogram::bucket_upper_us(i))
+        << us << " above its bucket's upper bound";
+    if (i > 8 && i + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_GT(us, LatencyHistogram::bucket_upper_us(i - 1))
+          << us << " below its bucket's lower bound";
+    }
+  }
+}
+
+TEST(LatencyHistogram, RelativeErrorIsBounded) {
+  // Reported quantile value (the bucket upper bound) overshoots the true
+  // value by at most 12.5% above the exact range.
+  for (std::uint64_t us = 8; us < (1u << 20); us = us * 9 / 8 + 1) {
+    const std::uint64_t reported =
+        LatencyHistogram::bucket_upper_us(LatencyHistogram::bucket_index(us));
+    EXPECT_GE(reported, us);
+    EXPECT_LE(static_cast<double>(reported - us), 0.125 * static_cast<double>(us) + 1.0)
+        << "value " << us << " reported as " << reported;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesOfAKnownDistribution) {
+  LatencyHistogram h;
+  // 100 samples: 1..100 us.  p50 -> 50, p99 -> 99 (within bucket error;
+  // these values are below 128 so buckets are at most 8 us wide).
+  for (std::uint64_t us = 1; us <= 100; ++us) h.record(us);
+  EXPECT_EQ(h.count(), 100u);
+  const std::uint64_t p50 = h.quantile_us(0.50);
+  const std::uint64_t p99 = h.quantile_us(0.99);
+  EXPECT_GE(p50, 50u);
+  EXPECT_LE(p50, 57u);  // bucket upper bound of the rank-50 sample
+  EXPECT_GE(p99, 99u);
+  EXPECT_LE(p99, 111u);
+  EXPECT_LE(h.quantile_us(0.0), p50);
+  EXPECT_LE(p50, h.quantile_us(0.95));
+  EXPECT_LE(h.quantile_us(0.95), h.quantile_us(1.0));
+}
+
+TEST(LatencyHistogram, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_us(0.99), 0u);
+  h.record(5000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.quantile_us(0.5), 5000u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_us(0.99), 0u);
+}
+
+TEST(LatencyHistogram, HugeValuesClampIntoTheLastBucket) {
+  LatencyHistogram h;
+  h.record(~std::uint64_t{0});  // ~584000 years in microseconds
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.quantile_us(1.0), 0u);  // lands in the top bucket, no overflow
+}
+
+}  // namespace
+}  // namespace bellamy::serve

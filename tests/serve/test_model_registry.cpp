@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <future>
 #include <memory>
@@ -353,6 +354,85 @@ TEST(ModelRegistry, ServingModelAdapterDrivesTheFacade) {
   for (std::size_t i = 0; i < queries.size(); ++i) {
     EXPECT_EQ(via_adapter[i], via_legacy[i]);
   }
+}
+
+TEST(ModelRegistry, RefitCallbackFiresAfterTheSwapWithTheFutureResult) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "notify"}, fx.pretrained(29)).unwrap();
+
+  const std::uint64_t stamp_before = registry.state_stamp(handle);
+  std::promise<ServeResult<core::FineTuneResult>> seen;
+  std::atomic<std::uint64_t> stamp_at_callback{0};
+  auto future = registry.refit_async(
+      handle, fx.target_runs, quick_finetune(), core::ReuseStrategy::kPartialUnfreeze,
+      [&](const ServeResult<core::FineTuneResult>& result) {
+        // The swap already happened when the callback runs.
+        stamp_at_callback.store(registry.state_stamp(handle));
+        seen.set_value(result);
+      });
+
+  const ServeResult<core::FineTuneResult> from_future = future.get();
+  const ServeResult<core::FineTuneResult> from_callback = seen.get_future().get();
+  ASSERT_TRUE(from_future.ok()) << from_future.error_text();
+  ASSERT_TRUE(from_callback.ok());
+  EXPECT_EQ(from_callback.value().epochs_run, from_future.value().epochs_run);
+  EXPECT_EQ(from_callback.value().best_mae_seconds, from_future.value().best_mae_seconds);
+  EXPECT_NE(stamp_at_callback.load(), stamp_before);
+}
+
+TEST(ModelRegistry, CoalescedRefitCallbacksAllFireWithTheSharedResult) {
+  Fixture fx;
+  ModelRegistry registry;
+  const core::BellamyModel model = fx.pretrained(31);
+  const ModelHandle handle = registry.publish({"sgd", "notify-coalesce"}, model).unwrap();
+
+  // Park the strand so both requests coalesce into one queued job.
+  const auto entry = registry.resolve(handle);
+  ASSERT_NE(entry, nullptr);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  entry->refit_strand.post([released] { released.wait(); });
+
+  std::promise<ServeResult<core::FineTuneResult>> first_seen;
+  std::promise<ServeResult<core::FineTuneResult>> second_seen;
+  const std::vector<data::JobRun> latest(fx.target_runs.begin(), fx.target_runs.begin() + 4);
+  auto f1 = registry.refit_async(
+      handle, {fx.target_runs.begin(), fx.target_runs.begin() + 2}, quick_finetune(),
+      core::ReuseStrategy::kPartialUnfreeze,
+      [&](const ServeResult<core::FineTuneResult>& r) { first_seen.set_value(r); });
+  auto f2 = registry.refit_async(
+      handle, latest, quick_finetune(), core::ReuseStrategy::kPartialUnfreeze,
+      [&](const ServeResult<core::FineTuneResult>& r) { second_seen.set_value(r); });
+  release.set_value();
+
+  // ONE fine-tune ran (the latest payload), and BOTH callbacks fired with
+  // its result — the coalesced caller is notified, not dropped.
+  const auto r1 = first_seen.get_future().get();
+  const auto r2 = second_seen.get_future().get();
+  ASSERT_TRUE(r1.ok()) << r1.error_text();
+  ASSERT_TRUE(r2.ok()) << r2.error_text();
+  EXPECT_EQ(r1.value().epochs_run, r2.value().epochs_run);
+  EXPECT_EQ(r1.value().best_mae_seconds, r2.value().best_mae_seconds);
+  EXPECT_EQ(f1.get().value().epochs_run, r1.value().epochs_run);
+  (void)f2;
+}
+
+TEST(ModelRegistry, RefitCallbackOnUnknownHandleFiresInline) {
+  ModelRegistry registry;
+  bool fired = false;
+  ServeStatus status = ServeStatus::kOk;
+  auto future = registry.refit_async(ModelHandle{}, {}, quick_finetune(),
+                                     core::ReuseStrategy::kPartialUnfreeze,
+                                     [&](const ServeResult<core::FineTuneResult>& r) {
+                                       fired = true;
+                                       status = r.status();
+                                     });
+  // Inline: no strand exists for an unknown handle, so by the time
+  // refit_async returns the callback already ran.
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(status, ServeStatus::kUnknownModel);
+  EXPECT_EQ(future.get().status(), ServeStatus::kUnknownModel);
 }
 
 }  // namespace

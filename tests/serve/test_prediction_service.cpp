@@ -75,7 +75,7 @@ TEST(PredictionService, ConcurrentSoakIsBitIdenticalToSerialLoop) {
   ModelRegistry registry;
   const ModelHandle handle = registry.publish({"sgd", "soak"}, *fx.model).unwrap();
 
-  ServiceConfig cfg;
+  ServeOptions cfg;
   cfg.max_batch = 16;
   cfg.max_queue = 64;
   cfg.flush_deadline = std::chrono::microseconds(200);
@@ -138,7 +138,7 @@ TEST(PredictionService, CoalescesBurstsIntoFullBatches) {
   ModelRegistry registry;
   const ModelHandle handle = registry.publish({"sgd", "burst"}, *fx.model).unwrap();
 
-  ServiceConfig cfg;
+  ServeOptions cfg;
   cfg.max_batch = 16;
   cfg.flush_deadline = std::chrono::seconds(10);  // only full batches may flush
   cfg.workers = 1;
@@ -168,7 +168,7 @@ TEST(PredictionService, DeadlineFlushesAPartialBatch) {
   ModelRegistry registry;
   const ModelHandle handle = registry.publish({"sgd", "deadline"}, *fx.model).unwrap();
 
-  ServiceConfig cfg;
+  ServeOptions cfg;
   cfg.max_batch = 1000;  // a single request can never fill a batch
   cfg.flush_deadline = std::chrono::milliseconds(5);
   PredictionService service(registry, cfg);
@@ -211,7 +211,7 @@ TEST(PredictionService, StopDrainsAcceptedRequestsAndRejectsNewOnes) {
   ModelRegistry registry;
   const ModelHandle handle = registry.publish({"sgd", "stop"}, *fx.model).unwrap();
 
-  ServiceConfig cfg;
+  ServeOptions cfg;
   cfg.max_batch = 1000;
   cfg.flush_deadline = std::chrono::seconds(10);  // parked until stop() drains
   PredictionService service(registry, cfg);
@@ -556,6 +556,66 @@ TEST(PredictionService, ManyQueriesMatchLegacyBatchPredictions) {
   for (std::size_t i = 0; i < queries.size(); ++i) {
     EXPECT_EQ(served.value()[i], direct[i]);
   }
+}
+
+TEST(PredictionService, LatencyPercentilesTrackEveryResponse) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "latency"}, *fx.model).unwrap();
+  ServeOptions cfg;
+  cfg.max_batch = 8;
+  cfg.flush_deadline = std::chrono::microseconds(200);
+  PredictionService service(registry, cfg);
+
+  const std::vector<data::JobRun> queries = fx.make_queries(120);
+  service.predict_many(handle, queries).expect();
+
+  const ServeMetrics m = service.metrics(handle).unwrap();
+  EXPECT_EQ(m.responses, queries.size());
+  // Every response was measured into the histogram, and the quantiles are
+  // ordered and non-zero (a response cannot take 0 us end to end).
+  EXPECT_EQ(m.latency_count, m.responses);
+  EXPECT_GT(m.latency_p50_us, 0u);
+  EXPECT_LE(m.latency_p50_us, m.latency_p95_us);
+  EXPECT_LE(m.latency_p95_us, m.latency_p99_us);
+}
+
+TEST(PredictionService, MaxLagCapsTheEffectiveDeadlineOfADownWeightedLane) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "aging"}, *fx.model).unwrap();
+  ServeOptions cfg;
+  cfg.max_batch = 64;
+  cfg.flush_deadline = std::chrono::microseconds(2000);
+  PredictionService service(registry, cfg);
+
+  // Touch the lane so metrics report it, then down-weight it hard: the
+  // weighted deadline would be 2000 / 0.1 = 20000 us.
+  service.predict(handle, fx.make_queries(1).front()).expect();
+  HandleQos slow;
+  slow.qos = QosClass::kBulk;
+  slow.weight = 0.1;
+  service.set_qos(handle, slow).expect();
+  EXPECT_EQ(service.metrics(handle).unwrap().effective_flush_deadline_us, 20000u);
+
+  // The aging cap bounds it: effective deadline == max_lag, not the
+  // weight-stretched value.
+  slow.max_lag = std::chrono::microseconds(700);
+  service.set_qos(handle, slow).expect();
+  EXPECT_EQ(service.metrics(handle).unwrap().effective_flush_deadline_us, 700u);
+
+  // And the cap is real scheduling, not just a reported number: a single
+  // request on the capped lane (which can never fill a 64-batch) flushes
+  // within the cap's order of magnitude rather than after 20 ms.
+  const auto start = std::chrono::steady_clock::now();
+  service.predict(handle, fx.make_queries(1).front()).expect();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::microseconds>(waited).count(), 15000);
+
+  // Validation: a negative cap is rejected like a bad weight.
+  HandleQos bad;
+  bad.max_lag = std::chrono::microseconds(-5);
+  EXPECT_EQ(service.set_qos(handle, bad).status(), ServeStatus::kInvalidArgument);
 }
 
 }  // namespace
