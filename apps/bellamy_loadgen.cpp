@@ -1,8 +1,8 @@
 // bellamy_loadgen — load generator + acceptance client for bellamy_serverd.
 //
-//   ./build/apps/bellamy_loadgen [--host=IP] [--port=N] [--clients=N]
+//   ./build/apps/bellamy_loadgen [--host=HOST] [--port=N] [--clients=N]
 //                                [--requests=N] [--probes=N] [--json=PATH|-]
-//                                [--drain]
+//                                [--drain] [--no-publish] [--drain-only]
 //
 // Replays the bench_serve scenarios over REAL sockets:
 //
@@ -24,6 +24,14 @@
 // latency on shared runners is too noisy to gate).  --drain gracefully
 // drains the server afterwards: the CI loopback smoke runs
 // serverd + loadgen --drain as one self-terminating cycle.
+//
+// --no-publish runs the same scenarios WITHOUT publishing first: the server
+// must already have the models — or pull them off an exchange peer on the
+// first miss.  Since the local reference model is deterministic, the
+// bit-identical check then proves the peer-exchanged checkpoints exactly
+// (the two-node CI smoke publishes at node A and loadgens node B with
+// --no-publish).  --drain-only just drains the server and exits — used to
+// shut the remaining node of a mesh down.
 
 #include <algorithm>
 #include <atomic>
@@ -71,6 +79,8 @@ int main(int argc, char** argv) {
   std::size_t probes = 150;
   std::string json_path;
   bool drain = false;
+  bool publish = true;
+  bool drain_only = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--host=", 7) == 0) {
@@ -87,13 +97,33 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--drain") == 0) {
       drain = true;
+    } else if (std::strcmp(argv[i], "--no-publish") == 0) {
+      publish = false;
+    } else if (std::strcmp(argv[i], "--drain-only") == 0) {
+      drain_only = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--host=IP] [--port=N] [--clients=N] [--requests=N]\n"
-                   "          [--probes=N] [--json=PATH|-] [--drain]\n",
+                   "usage: %s [--host=HOST] [--port=N] [--clients=N] [--requests=N]\n"
+                   "          [--probes=N] [--json=PATH|-] [--drain] [--no-publish]\n"
+                   "          [--drain-only]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (drain_only) {  // no model needed just to shut a node down
+    net::NetClient control;
+    std::string error;
+    if (!control.connect(host, port, error)) {
+      std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
+                   error.c_str());
+      return 1;
+    }
+    const auto drained = control.drain();
+    std::fprintf(stderr, "drain: %s\n",
+                 drained.ok() ? "ok" : drained.error_text().c_str());
+    control.close();
+    return drained.ok() ? 0 : 1;
   }
 
   // Deterministic bench model — the same recipe as bench_serve, so numbers
@@ -125,16 +155,22 @@ int main(int argc, char** argv) {
                  error.c_str());
     return 1;
   }
-  for (const serve::ModelKey& key : {bench_key, bulk_key, interactive_key}) {
-    const auto published = control.publish(key, model);
-    if (!published.ok()) {
-      std::fprintf(stderr, "publish %s failed: %s\n", key.str().c_str(),
-                   published.error_text().c_str());
-      return 1;
+  if (publish) {
+    for (const serve::ModelKey& key : {bench_key, bulk_key, interactive_key}) {
+      const auto published = control.publish(key, model);
+      if (!published.ok()) {
+        std::fprintf(stderr, "publish %s failed: %s\n", key.str().c_str(),
+                     published.error_text().c_str());
+        return 1;
+      }
     }
+    std::fprintf(stderr, "bellamy_loadgen: published 3 models to %s:%u\n", host.c_str(),
+                 port);
+  } else {
+    std::fprintf(stderr, "bellamy_loadgen: --no-publish, expecting %s:%u to resolve "
+                         "the models (locally or via its exchange peers)\n",
+                 host.c_str(), port);
   }
-  std::fprintf(stderr, "bellamy_loadgen: published 3 models to %s:%u\n", host.c_str(),
-               port);
 
   std::atomic<bool> all_identical{true};
 

@@ -3,12 +3,20 @@
 //   ./build/apps/bellamy_serverd [--port=N] [--store=DIR] [--workers=N]
 //                                [--max-batch=N] [--deadline-us=N]
 //                                [--band=MIN:MAX] [--max-queue=N]
+//                                [--peer=HOST:PORT]... [--sync-ms=N]
+//                                [--auto-persist]
 //
 // Wires ModelStore -> ModelRegistry -> PredictionService -> net::ServeServer
 // and serves until drained (wire DrainRequest or console `drain`).  With
 // --store, every stored model is opened at startup; clients can also publish
 // models over the wire (bellamy_loadgen does).  --band enables the adaptive
 // flush band.
+//
+// --peer (repeatable) joins this node to an exchange mesh: a request for a
+// model this node lacks pulls it off a peer (or warm-starts from a same-job
+// base), and a background anti-entropy loop (period --sync-ms) keeps the
+// nodes converged.  --auto-persist writes every successful background-refit
+// swap back to the --store directory.
 //
 // stdin is an admin console (type `help`); EOF on stdin keeps serving — the
 // daemon can run detached with stdin closed.  Exit code 0 after a graceful
@@ -23,8 +31,10 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "exchange/exchange.hpp"
 #include "net/net.hpp"
 #include "serve/serve.hpp"
 
@@ -41,6 +51,8 @@ void print_help() {
                "  set_qos <job> <ctx> <interactive|bulk> <weight> [max_lag_us]\n"
                "  refit <job> <context>                   background reset-to-base refit\n"
                "  erase <job> <context>                   retire a model\n"
+               "  sync                                    run one exchange sync round now\n"
+               "  exchange                                exchange-layer counters\n"
                "  drain                                   graceful drain, then exit\n"
                "  help                                    this text\n");
 }
@@ -67,7 +79,8 @@ void print_metrics(const serve::ServeMetrics& m) {
 
 /// Console loop; returns when stdin hits EOF (keep serving) or after `drain`.
 void console_loop(net::ServeServer& server, serve::ModelRegistry& registry,
-                  serve::PredictionService& service) {
+                  serve::PredictionService& service,
+                  exchange::ExchangeRegistry* exchange) {
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -157,6 +170,28 @@ void console_loop(net::ServeServer& server, serve::ModelRegistry& registry,
                               : serve::ServeResult<serve::Unit>::failure(handle.status(),
                                                                          handle.message());
       std::fprintf(stderr, "  %s\n", result.ok() ? "ok" : result.error_text().c_str());
+    } else if (cmd == "sync") {
+      if (exchange == nullptr) {
+        std::fprintf(stderr, "  no peers configured (--peer=HOST:PORT)\n");
+        continue;
+      }
+      exchange->sync_now();
+      std::fprintf(stderr, "  sync round done; catalog %llu entries\n",
+                   (unsigned long long)exchange->stats().catalog_size);
+    } else if (cmd == "exchange") {
+      if (exchange == nullptr) {
+        std::fprintf(stderr, "  no peers configured (--peer=HOST:PORT)\n");
+        continue;
+      }
+      const exchange::ExchangeStats x = exchange->stats();
+      std::fprintf(stderr,
+                   "  catalog %llu  peers %zu  pulls served/completed %llu/%llu\n"
+                   "  warm starts %llu  sync rounds %llu  conflicts skipped %llu\n",
+                   (unsigned long long)x.catalog_size, exchange->peer_count(),
+                   (unsigned long long)x.pulls_served,
+                   (unsigned long long)x.pulls_completed,
+                   (unsigned long long)x.warm_starts, (unsigned long long)x.sync_rounds,
+                   (unsigned long long)x.conflicts_skipped);
     } else if (cmd == "drain") {
       std::fprintf(stderr, "draining...\n");
       server.begin_drain();
@@ -175,6 +210,9 @@ int main(int argc, char** argv) {
   std::string store_dir;
   serve::ServeOptions options;
   options.workers = 2;
+  std::vector<std::pair<std::string, std::uint16_t>> peers;
+  exchange::ExchangeOptions exchange_options;
+  bool auto_persist = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) {
@@ -197,10 +235,27 @@ int main(int argc, char** argv) {
       }
       options.flush_deadline_min = std::chrono::microseconds(lo);
       options.flush_deadline_max = std::chrono::microseconds(hi);
+    } else if (std::strncmp(argv[i], "--peer=", 7) == 0) {
+      const std::string spec = argv[i] + 7;
+      const auto colon = spec.rfind(':');
+      const int peer_port =
+          colon == std::string::npos ? 0 : std::atoi(spec.c_str() + colon + 1);
+      if (colon == std::string::npos || colon == 0 || peer_port <= 0 ||
+          peer_port > 65535) {
+        std::fprintf(stderr, "--peer expects HOST:PORT, got '%s'\n", spec.c_str());
+        return 2;
+      }
+      peers.emplace_back(spec.substr(0, colon), static_cast<std::uint16_t>(peer_port));
+    } else if (std::strncmp(argv[i], "--sync-ms=", 10) == 0) {
+      exchange_options.sync_interval =
+          std::chrono::milliseconds(std::max(1, std::atoi(argv[i] + 10)));
+    } else if (std::strcmp(argv[i], "--auto-persist") == 0) {
+      auto_persist = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--store=DIR] [--workers=N] [--max-batch=N]\n"
-                   "          [--deadline-us=N] [--band=MIN:MAX] [--max-queue=N]\n",
+                   "          [--deadline-us=N] [--band=MIN:MAX] [--max-queue=N]\n"
+                   "          [--peer=HOST:PORT]... [--sync-ms=N] [--auto-persist]\n",
                    argv[0]);
       return 2;
     }
@@ -219,25 +274,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (auto_persist) {
+    if (!store) {
+      std::fprintf(stderr, "--auto-persist needs --store=DIR\n");
+      return 2;
+    }
+    registry.set_auto_persist(true);
+  }
+
   serve::PredictionService service(registry, options);
+
+  // The exchange node answers the wire's exchange messages (via
+  // ServerOptions::peer_service) and drives this node's outbound gossip; it
+  // must outlive the server AND any in-flight refit.  It exists even with
+  // zero --peer flags — a node must ANSWER digests and pulls to seed peers
+  // that dial it; only the outbound sync loop needs peers.
+  exchange::ExchangeRegistry exchange_node(registry, exchange_options);
+  for (const auto& [host, peer_port] : peers) {
+    exchange_node.add_peer(std::make_shared<exchange::TcpTransport>(host, peer_port));
+  }
+
   net::ServerOptions server_options;
   server_options.port = port;
+  server_options.peer_service = &exchange_node;
   net::ServeServer server(registry, service, server_options);
   std::string error;
   if (!server.start(error)) {
     std::fprintf(stderr, "cannot listen on port %u: %s\n", port, error.c_str());
     return 1;
   }
+  if (!peers.empty()) exchange_node.start_sync();
   std::fprintf(stderr, "bellamy_serverd: serving %zu model(s) on 127.0.0.1:%u (%zu "
-                       "dispatcher worker(s), max_batch %zu)\n",
-               registry.size(), server.port(), options.workers, options.max_batch);
+                       "dispatcher worker(s), max_batch %zu, %zu peer(s))\n",
+               registry.size(), server.port(), options.workers, options.max_batch,
+               exchange_node.peer_count());
 
   // The console thread may sit in getline() forever when nothing arrives on
   // stdin; it is detached so a wire-initiated drain can exit the process.
-  std::thread console([&] { console_loop(server, registry, service); });
+  std::thread console([&] { console_loop(server, registry, service, &exchange_node); });
   console.detach();
 
   server.wait_drained();
+  // Stop gossip before the server: a sync round mid-teardown would dial
+  // peers and publish into a registry the server still references.
+  exchange_node.stop();
   server.stop();
   std::fprintf(stderr, "bellamy_serverd: drained, exiting\n");
   std::fflush(nullptr);

@@ -1,0 +1,9 @@
+#pragma once
+// Umbrella header for the exchange layer: collaborative checkpoint exchange
+// across Bellamy registry nodes.  A model published (or refit) at one node
+// warm-starts every other node in the mesh — pull-on-miss for the fast path,
+// background anti-entropy for convergence.
+
+#include "exchange/exchange_registry.hpp"  // IWYU pragma: export
+#include "exchange/tcp_transport.hpp"      // IWYU pragma: export
+#include "exchange/transport.hpp"          // IWYU pragma: export

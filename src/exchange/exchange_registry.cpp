@@ -1,0 +1,442 @@
+#include "exchange/exchange_registry.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/bellamy_model.hpp"
+#include "nn/serialize.hpp"
+
+namespace bellamy::exchange {
+
+ExchangeRegistry::ExchangeRegistry(serve::ModelRegistry& registry, ExchangeOptions options)
+    : registry_(registry), options_(options) {}
+
+ExchangeRegistry::~ExchangeRegistry() { stop(); }
+
+void ExchangeRegistry::add_peer(std::shared_ptr<PeerTransport> peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peers_.push_back(std::move(peer));
+}
+
+std::size_t ExchangeRegistry::peer_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_.size();
+}
+
+std::vector<std::shared_ptr<PeerTransport>> ExchangeRegistry::peers_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_;
+}
+
+std::uint64_t ExchangeRegistry::next_stamp_locked() { return ++clock_; }
+
+void ExchangeRegistry::absorb_registry_locked() {
+  // Mint rows for keys that reached the registry behind our back (wire
+  // publishes land in the registry first; the ServeServer's note_published
+  // usually beats this, but the catalog must not DEPEND on it) and drop
+  // rows whose key was erased — the catalog self-heals to "fitted registry
+  // entries only", which is exactly the set a pull can serve.
+  for (const serve::ModelKey& key : registry_.keys()) {
+    if (catalog_.count(key) != 0) continue;
+    const auto handle = registry_.find(key);
+    if (handle.ok() && registry_.fitted(handle.value())) {
+      catalog_[key] = CatalogEntry{next_stamp_locked(), false};
+    }
+  }
+  for (auto it = catalog_.begin(); it != catalog_.end();) {
+    if (registry_.find(it->first).ok()) {
+      ++it;
+    } else {
+      it = catalog_.erase(it);
+    }
+  }
+}
+
+void ExchangeRegistry::stamp_local(const serve::ModelKey& key, bool pin) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CatalogEntry& row = catalog_[key];
+    row.stamp = next_stamp_locked();
+    // A refit pins (this node paid for the specialization); a publish
+    // REPLACES the weights wholesale, so it also clears an earlier pin.
+    row.pinned = pin;
+  }
+  if (options_.advertise_on_update) post_advertise();
+}
+
+// ---------------------------------------------------------------------------
+// Local operations
+// ---------------------------------------------------------------------------
+
+serve::ServeResult<serve::ModelHandle> ExchangeRegistry::publish(
+    const serve::ModelKey& key, const core::BellamyModel& model) {
+  auto published = registry_.publish(key, model);
+  if (published.ok()) note_published(key);
+  return published;
+}
+
+serve::ServeResult<serve::ModelHandle> ExchangeRegistry::open(const serve::ModelKey& key) {
+  if (key.job.empty() || key.context.empty()) {
+    return serve::ServeResult<serve::ModelHandle>::failure(
+        serve::ServeStatus::kInvalidArgument,
+        "open '" + key.str() + "': model key needs a job and a context");
+  }
+
+  // 1. Local registry hit.
+  if (auto found = registry_.find(key); found.ok() && registry_.fitted(found.value())) {
+    return found;
+  }
+
+  // 2. Backing store hit (kInvalidArgument = storeless registry: keep going).
+  if (auto opened = registry_.open(key); opened.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      absorb_registry_locked();  // mints the row if the open materialized it
+    }
+    if (options_.advertise_on_update) post_advertise();
+    return opened;
+  } else if (opened.status() == serve::ServeStatus::kStoreError) {
+    return opened;  // the store EXISTS but failed — that is an error, not a miss
+  }
+
+  // 3 + 4. Ask every peer what it has.  Transport I/O happens with no lock
+  // held; stamps we observe advance the clock afterwards.
+  struct Candidate {
+    std::shared_ptr<PeerTransport> peer;
+    DigestEntry entry;
+  };
+  std::vector<Candidate> exact;
+  std::vector<Candidate> same_job;
+  const auto peers = peers_snapshot();
+  for (const auto& peer : peers) {
+    auto digest = peer->digest();
+    if (!digest.ok()) continue;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (DigestEntry& entry : digest.value()) {
+      clock_ = std::max(clock_, entry.stamp);
+      if (entry.key == key) {
+        exact.push_back(Candidate{peer, std::move(entry)});
+      } else if (entry.key.job == key.job) {
+        same_job.push_back(Candidate{peer, std::move(entry)});
+      }
+    }
+  }
+  const auto by_stamp_desc = [](const Candidate& a, const Candidate& b) {
+    return a.entry.stamp > b.entry.stamp;
+  };
+  std::stable_sort(exact.begin(), exact.end(), by_stamp_desc);
+  std::stable_sort(same_job.begin(), same_job.end(), by_stamp_desc);
+
+  // 3. Exact key on a peer: pull it, freshest advertiser first.
+  for (const Candidate& candidate : exact) {
+    auto pulled = candidate.peer->pull(key);
+    if (!pulled.ok()) continue;  // peer raced an erase / went away: try the next
+    auto installed =
+        install_remote(key, pulled.value().stamp, pulled.value().checkpoint_text);
+    if (installed.ok()) return installed;
+  }
+
+  // 4. Same job, other context: the Bellamy warm start.  Install the peer's
+  // model under ITS key, then derive `key` from it — the derived entry
+  // shares the pulled base checkpoint, exactly like a local derive().
+  for (const Candidate& candidate : same_job) {
+    auto pulled = candidate.peer->pull(candidate.entry.key);
+    if (!pulled.ok()) continue;
+    auto base = install_remote(candidate.entry.key, pulled.value().stamp,
+                               pulled.value().checkpoint_text);
+    if (!base.ok()) continue;
+    auto derived = registry_.derive(base.value(), key);
+    if (!derived.ok()) {
+      // Someone registered the key concurrently; their entry wins.
+      if (auto found = registry_.find(key); found.ok()) return found;
+      continue;
+    }
+    stamp_local(key, /*pin=*/false);
+    warm_starts_.fetch_add(1);
+    return derived;
+  }
+
+  // 5. Nothing anywhere.
+  std::string detail = peers.empty() ? "and this node has no peers"
+                                     : "and none of " + std::to_string(peers.size()) +
+                                           " peer(s) has job '" + key.job + "'";
+  return serve::ServeResult<serve::ModelHandle>::failure(
+      serve::ServeStatus::kUnknownModel,
+      "open '" + key.str() + "': not local, not stored, " + detail);
+}
+
+serve::ServeResult<serve::ModelHandle> ExchangeRegistry::open_or_pretrain(
+    const serve::ModelKey& key, const std::vector<data::JobRun>& pretrain_runs,
+    const core::PreTrainConfig& config) {
+  auto opened = open(key);
+  if (opened.ok() || opened.status() != serve::ServeStatus::kUnknownModel) return opened;
+  // Cold start: the one pretrain the rest of the mesh now gets to skip.
+  try {
+    core::BellamyModel model(core::BellamyConfig{}, config.seed);
+    core::pretrain(model, pretrain_runs, config);
+    return publish(key, model);
+  } catch (const std::invalid_argument& e) {
+    return serve::ServeResult<serve::ModelHandle>::failure(
+        serve::ServeStatus::kInvalidArgument,
+        "open_or_pretrain '" + key.str() + "': " + e.what());
+  } catch (const std::exception& e) {
+    return serve::ServeResult<serve::ModelHandle>::failure(
+        serve::ServeStatus::kInternalError,
+        "open_or_pretrain '" + key.str() + "': " + e.what());
+  }
+}
+
+std::shared_future<serve::ServeResult<core::FineTuneResult>> ExchangeRegistry::refit_async(
+    const serve::ModelHandle& handle, std::vector<data::JobRun> runs,
+    const core::FineTuneConfig& config, core::ReuseStrategy strategy,
+    serve::RefitCallback on_complete) {
+  const auto entry = registry_.resolve(handle);
+  const serve::ModelKey key = entry ? entry->key : serve::ModelKey{};
+  // The registry resolves ITS future before completion callbacks run, so a
+  // caller waiting on it could observe the swap without the stamp.  Hand out
+  // a future that resolves after note_refit instead: future-done implies
+  // stamped-and-advertised.
+  auto done =
+      std::make_shared<std::promise<serve::ServeResult<core::FineTuneResult>>>();
+  auto resolved = done->get_future().share();
+  registry_.refit_async(
+      handle, std::move(runs), config, strategy,
+      [this, key, cb = std::move(on_complete), done](
+          const serve::ServeResult<core::FineTuneResult>& result) {
+        // kStoreError here means "swapped, auto-persist failed": the new
+        // weights ARE serving, so they are stamped (and pinned) all the same.
+        if (!key.job.empty() &&
+            (result.ok() || result.status() == serve::ServeStatus::kStoreError)) {
+          note_refit(key);
+        }
+        if (cb) cb(result);
+        done->set_value(result);
+      });
+  return resolved;
+}
+
+// ---------------------------------------------------------------------------
+// net::PeerService
+// ---------------------------------------------------------------------------
+
+std::vector<DigestEntry> ExchangeRegistry::digest_entries() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  absorb_registry_locked();
+  std::vector<DigestEntry> out;
+  out.reserve(catalog_.size());
+  for (const auto& [key, row] : catalog_) out.push_back(DigestEntry{key, row.stamp});
+  return out;
+}
+
+serve::ServeResult<PulledCheckpoint> ExchangeRegistry::pull_model(const serve::ModelKey& key) {
+  std::uint64_t stamp = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    absorb_registry_locked();
+    const auto it = catalog_.find(key);
+    if (it == catalog_.end()) {
+      return serve::ServeResult<PulledCheckpoint>::failure(
+          serve::ServeStatus::kUnknownModel,
+          "pull '" + key.str() + "': not in this node's catalog");
+    }
+    stamp = it->second.stamp;
+  }
+  // Serialize OUTSIDE the catalog lock.  The text may be newer than the
+  // stamp if a swap lands in between — harmless: the next digest round
+  // re-advertises the newer stamp and peers re-pull.
+  const auto handle = registry_.find(key);
+  if (!handle.ok()) {
+    return serve::ServeResult<PulledCheckpoint>::failure(handle.status(), handle.message());
+  }
+  auto text = registry_.checkpoint_text(handle.value());
+  if (!text.ok()) {
+    return serve::ServeResult<PulledCheckpoint>::failure(text.status(), text.message());
+  }
+  pulls_served_.fetch_add(1);
+  PulledCheckpoint pulled;
+  pulled.stamp = stamp;
+  pulled.checkpoint_text = text.take();
+  return pulled;
+}
+
+void ExchangeRegistry::on_advertise(const std::vector<DigestEntry>& entries) {
+  bool interesting = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    absorb_registry_locked();
+    for (const DigestEntry& entry : entries) {
+      clock_ = std::max(clock_, entry.stamp);
+      const auto it = catalog_.find(entry.key);
+      if (it == catalog_.end() ||
+          (!it->second.pinned && entry.stamp > it->second.stamp)) {
+        interesting = true;
+      }
+    }
+  }
+  // Schedule (not run) a sync round: this is called from a server reader
+  // thread, which must never park on peer I/O for gossip.
+  if (interesting) schedule_sync();
+}
+
+serve::ServeResult<serve::ModelHandle> ExchangeRegistry::open_on_miss(
+    const serve::ModelKey& key) {
+  return open(key);
+}
+
+void ExchangeRegistry::note_published(const serve::ModelKey& key) {
+  stamp_local(key, /*pin=*/false);
+}
+
+void ExchangeRegistry::note_refit(const serve::ModelKey& key) {
+  stamp_local(key, /*pin=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy
+// ---------------------------------------------------------------------------
+
+serve::ServeResult<serve::ModelHandle> ExchangeRegistry::install_remote(
+    const serve::ModelKey& key, std::uint64_t stamp, const std::string& checkpoint_text) {
+  // Parse outside the lock: a slow (or hostile) checkpoint must not tie up
+  // the catalog.
+  std::optional<core::BellamyModel> model;
+  try {
+    std::istringstream in(checkpoint_text);
+    const nn::Checkpoint ckpt = nn::Checkpoint::load(in);
+    model.emplace(core::BellamyModel::from_checkpoint(ckpt));
+  } catch (const std::exception& e) {
+    return serve::ServeResult<serve::ModelHandle>::failure(
+        serve::ServeStatus::kInvalidArgument,
+        "install '" + key.str() + "': bad checkpoint from peer: " + e.what());
+  }
+
+  // Catalog re-check and registry publish under ONE hold of the catalog
+  // mutex (lock order: exchange -> registry -> entry), so two concurrent
+  // pulls — or a pull racing a local refit's stamp — resolve by the
+  // conflict rule instead of last-writer-wins.
+  std::lock_guard<std::mutex> lock(mutex_);
+  absorb_registry_locked();
+  const auto it = catalog_.find(key);
+  if (it != catalog_.end() && (it->second.pinned || it->second.stamp >= stamp)) {
+    if (it->second.pinned && stamp > it->second.stamp) conflicts_skipped_.fetch_add(1);
+    return registry_.find(key);  // the local version stands
+  }
+  auto published = registry_.publish(key, *model);
+  if (!published.ok()) return published;
+  clock_ = std::max(clock_, stamp);
+  catalog_[key] = CatalogEntry{stamp, false};
+  pulls_completed_.fetch_add(1);
+  return published;
+}
+
+void ExchangeRegistry::sync_once() {
+  sync_rounds_.fetch_add(1);
+  for (const auto& peer : peers_snapshot()) {
+    auto digest = peer->digest();
+    if (!digest.ok()) continue;  // unreachable peer: next round retries
+
+    std::vector<DigestEntry> wants;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      absorb_registry_locked();
+      for (const DigestEntry& entry : digest.value()) {
+        clock_ = std::max(clock_, entry.stamp);
+        const auto it = catalog_.find(entry.key);
+        if (it == catalog_.end()) {
+          wants.push_back(entry);
+        } else if (entry.stamp > it->second.stamp) {
+          if (it->second.pinned) {
+            conflicts_skipped_.fetch_add(1);  // the refit this node paid for stands
+          } else {
+            wants.push_back(entry);
+          }
+        }
+      }
+    }
+    for (const DigestEntry& want : wants) {
+      auto pulled = peer->pull(want.key);
+      if (!pulled.ok()) continue;
+      (void)install_remote(want.key, pulled.value().stamp, pulled.value().checkpoint_text);
+    }
+  }
+}
+
+void ExchangeRegistry::schedule_sync() {
+  if (!sync_queued_.exchange(true)) {
+    sync_strand_.post([this] {
+      sync_queued_.store(false);
+      sync_once();
+    });
+  }
+}
+
+void ExchangeRegistry::post_advertise() {
+  sync_strand_.post([this] {
+    const std::vector<DigestEntry> entries = digest_entries();
+    for (const auto& peer : peers_snapshot()) {
+      (void)peer->advertise(entries);  // best-effort; digests catch stragglers
+    }
+  });
+}
+
+void ExchangeRegistry::start_sync() {
+  std::lock_guard<std::mutex> lock(timer_mutex_);
+  if (timer_running_ || stopping_) return;
+  timer_running_ = true;
+  timer_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(timer_mutex_);
+    while (!stopping_) {
+      if (timer_cv_.wait_for(lock, options_.sync_interval, [this] { return stopping_; })) {
+        break;
+      }
+      schedule_sync();
+    }
+  });
+}
+
+void ExchangeRegistry::sync_now() {
+  sync_strand_.post([this] { sync_once(); });
+  sync_strand_.wait_idle();
+}
+
+void ExchangeRegistry::stop() {
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    stopping_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  sync_strand_.wait_idle();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::uint64_t ExchangeRegistry::stamp_of(const serve::ModelKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = catalog_.find(key);
+  return it == catalog_.end() ? 0 : it->second.stamp;
+}
+
+bool ExchangeRegistry::pinned(const serve::ModelKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = catalog_.find(key);
+  return it != catalog_.end() && it->second.pinned;
+}
+
+ExchangeStats ExchangeRegistry::stats() const {
+  ExchangeStats s;
+  s.pulls_served = pulls_served_.load();
+  s.pulls_completed = pulls_completed_.load();
+  s.warm_starts = warm_starts_.load();
+  s.sync_rounds = sync_rounds_.load();
+  s.conflicts_skipped = conflicts_skipped_.load();
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.catalog_size = catalog_.size();
+  return s;
+}
+
+}  // namespace bellamy::exchange

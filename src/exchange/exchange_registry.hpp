@@ -1,0 +1,210 @@
+#pragma once
+// ExchangeRegistry: collaborative checkpoint exchange across registry nodes.
+//
+// The paper's claim is that performance models are reusable across contexts;
+// this layer pushes that reuse across PROCESSES.  Each node wraps its local
+// serve::ModelRegistry with a stamped catalog and a set of PeerTransports;
+// a (job, context) first seen at node A then warm-starts at node B instead
+// of pretraining from scratch:
+//
+//   open(key)
+//     1. local registry hit (fitted)            -> serve it
+//     2. backing ModelStore hit                 -> open it
+//     3. a peer advertises the EXACT key        -> pull + install, bit-
+//        identical to the peer's model (checkpoint-as-text transport)
+//     4. a peer has the SAME JOB, other context -> pull that base, install
+//        it under its own key, then registry.derive(key): the classic
+//        Bellamy warm start, sharing the pulled base checkpoint
+//     5. nothing anywhere                       -> kUnknownModel; callers
+//        wanting the pretrain fallback use open_or_pretrain()
+//
+// FRESHNESS: every catalog row carries a Lamport-style stamp.  The node
+// clock advances past every stamp it has seen (locally minted or observed
+// on a peer), so "higher stamp" totally orders competing versions of a key
+// and a refit always outranks the weights it replaced.
+//
+// ANTI-ENTROPY: start_sync() runs a periodic digest-compare-pull round
+// against every peer on a dedicated parallel::Strand — a timer thread only
+// POSTS rounds, the strand runs them, so sync work never blocks a caller
+// and never overlaps itself.  Advertise messages from peers schedule the
+// same round (coalesced while one is pending).
+//
+// CONFLICT RULE: highest stamp wins, with one carve-out — an entry this
+// node REFIT locally is pinned and never clobbered by a remote pull.  The
+// node that paid for a fine-tune on its own context's runs does not have
+// its specialization silently replaced by gossip; peers still pull the
+// refit weights FROM it (refits get fresh stamps and are advertised).
+//
+// LOCK ORDER: exchange catalog mutex -> registry mutex -> entry mutex.
+// Transport calls (peer I/O) are NEVER made while holding the catalog
+// mutex; install_remote holds it across the catalog re-check plus the
+// registry publish so a losing pull cannot clobber a winning one.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "exchange/transport.hpp"
+#include "net/server.hpp"
+#include "parallel/strand.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/serve_result.hpp"
+
+namespace bellamy::exchange {
+
+struct ExchangeOptions {
+  /// Period of the background anti-entropy loop started by start_sync().
+  std::chrono::milliseconds sync_interval{500};
+  /// Push an advertise at every peer right after a local publish/refit
+  /// (cuts propagation latency to one one-way message; the periodic digest
+  /// loop still catches anything missed).
+  bool advertise_on_update = true;
+};
+
+/// Monotonic counters (stats()).
+struct ExchangeStats {
+  std::uint64_t pulls_served = 0;       ///< checkpoints handed to peers
+  std::uint64_t pulls_completed = 0;    ///< checkpoints installed from peers
+  std::uint64_t warm_starts = 0;        ///< derive() from a pulled base
+  std::uint64_t sync_rounds = 0;        ///< anti-entropy rounds run
+  std::uint64_t conflicts_skipped = 0;  ///< remote newer but locally pinned
+  std::uint64_t catalog_size = 0;       ///< rows currently advertised
+};
+
+/// One node of the exchange mesh.  Implements net::PeerService, so the same
+/// object answers the wire messages when handed to a ServeServer
+/// (ServerOptions::peer_service) and the in-process calls when wrapped in a
+/// LocalTransport.  Thread-safe throughout.  Must outlive any refit still
+/// in flight through refit_async() (serverd tears down in that order; tests
+/// wait on the futures).
+class ExchangeRegistry final : public net::PeerService {
+ public:
+  /// `registry` must outlive this node.
+  explicit ExchangeRegistry(serve::ModelRegistry& registry, ExchangeOptions options = {});
+  ~ExchangeRegistry() override;
+
+  ExchangeRegistry(const ExchangeRegistry&) = delete;
+  ExchangeRegistry& operator=(const ExchangeRegistry&) = delete;
+
+  /// Add a peer this node will sync against.  Peers are contacted from the
+  /// sync strand and from open()-ing callers; add before start_sync() or
+  /// any time after (thread-safe).
+  void add_peer(std::shared_ptr<PeerTransport> peer);
+  std::size_t peer_count() const;
+
+  // -- local operations: registry semantics plus stamping + gossip --
+
+  /// registry.publish + a fresh catalog stamp + advertise.
+  serve::ServeResult<serve::ModelHandle> publish(const serve::ModelKey& key,
+                                                 const core::BellamyModel& model);
+
+  /// The five-step resolution above.  Never pretrains.
+  serve::ServeResult<serve::ModelHandle> open(const serve::ModelKey& key);
+
+  /// open(), falling back to pretraining on `runs` when no node has the
+  /// job.  The pretrained model is published (stamped + advertised), so the
+  /// REST of the mesh warm-starts off this node from now on.
+  serve::ServeResult<serve::ModelHandle> open_or_pretrain(
+      const serve::ModelKey& key, const std::vector<data::JobRun>& pretrain_runs,
+      const core::PreTrainConfig& config);
+
+  /// registry.refit_async, with the completion hook extended to pin + stamp
+  /// the entry and advertise the new weights.  Same coalescing/future
+  /// semantics as the registry call.
+  std::shared_future<serve::ServeResult<core::FineTuneResult>> refit_async(
+      const serve::ModelHandle& handle, std::vector<data::JobRun> runs,
+      const core::FineTuneConfig& config,
+      core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze,
+      serve::RefitCallback on_complete = nullptr);
+
+  // -- net::PeerService (the server-facing half) --
+
+  std::vector<DigestEntry> digest_entries() override;
+  serve::ServeResult<PulledCheckpoint> pull_model(const serve::ModelKey& key) override;
+  void on_advertise(const std::vector<DigestEntry>& entries) override;
+  serve::ServeResult<serve::ModelHandle> open_on_miss(const serve::ModelKey& key) override;
+  void note_published(const serve::ModelKey& key) override;
+  void note_refit(const serve::ModelKey& key) override;
+
+  // -- anti-entropy control --
+
+  /// Start the periodic background sync (no-op when already running).
+  void start_sync();
+  /// Run one full digest-compare-pull round against every peer and wait for
+  /// it (deterministic convergence in tests; console `sync`).
+  void sync_now();
+  /// Stop the timer and drain the sync strand.  Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  // -- introspection --
+
+  /// Catalog stamp for `key` (0 = not catalogued).
+  std::uint64_t stamp_of(const serve::ModelKey& key) const;
+  /// True when `key` was refit locally (protected from remote clobber).
+  bool pinned(const serve::ModelKey& key) const;
+  ExchangeStats stats() const;
+  serve::ModelRegistry& registry() { return registry_; }
+
+ private:
+  struct CatalogEntry {
+    std::uint64_t stamp = 0;
+    bool pinned = false;  ///< locally refit; never overwritten by a pull
+  };
+
+  /// ++clock_ (callers hold mutex_).
+  std::uint64_t next_stamp_locked();
+  /// Catalog rows for keys published straight into the registry (wire
+  /// publishes, pre-wired models) get minted lazily; rows whose key left
+  /// the registry (erase) are dropped.  Callers hold mutex_.
+  void absorb_registry_locked();
+  /// Fresh stamp for `key` (optionally pinning it), then gossip.
+  void stamp_local(const serve::ModelKey& key, bool pin);
+  /// Install a checkpoint pulled off a peer, unless the catalog already
+  /// holds something as-new / pinned (the conflict rule).  Returns the
+  /// key's handle either way.
+  serve::ServeResult<serve::ModelHandle> install_remote(const serve::ModelKey& key,
+                                                        std::uint64_t stamp,
+                                                        const std::string& checkpoint_text);
+  /// One digest-compare-pull round against every peer (runs on the strand).
+  void sync_once();
+  /// Post a sync round on the strand, coalescing with any round already
+  /// queued (safe from reader threads and the timer alike).
+  void schedule_sync();
+  /// Post an advertise of the current catalog to every peer (best-effort,
+  /// on the strand).
+  void post_advertise();
+  std::vector<std::shared_ptr<PeerTransport>> peers_snapshot() const;
+
+  serve::ModelRegistry& registry_;
+  ExchangeOptions options_;
+
+  mutable std::mutex mutex_;  ///< guards catalog_, clock_, peers_
+  std::map<serve::ModelKey, CatalogEntry> catalog_;
+  std::uint64_t clock_ = 0;
+  std::vector<std::shared_ptr<PeerTransport>> peers_;
+
+  parallel::Strand sync_strand_{parallel::ThreadPool::global()};
+  std::atomic<bool> sync_queued_{false};  ///< coalesces pending sync rounds
+
+  std::thread timer_;
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  bool timer_running_ = false;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> pulls_served_{0};
+  std::atomic<std::uint64_t> pulls_completed_{0};
+  std::atomic<std::uint64_t> warm_starts_{0};
+  std::atomic<std::uint64_t> sync_rounds_{0};
+  std::atomic<std::uint64_t> conflicts_skipped_{0};
+};
+
+}  // namespace bellamy::exchange

@@ -1,0 +1,57 @@
+#pragma once
+// TcpTransport: a PeerTransport over a real socket.
+//
+// Wraps a net::NetClient dialed at a peer bellamy_serverd and forwards the
+// three exchange calls onto the wire (DigestRequest / PullRequest /
+// AdvertiseRequest).  Connection management is lazy and self-healing:
+//
+//   * The first call dials; nothing connects at construction, so a mesh can
+//     be wired up before its peers are listening.
+//   * A transport-level failure (kShutdown: peer closed, send failed) drops
+//     the client so the NEXT call redials — a peer that restarted is picked
+//     back up by the following sync round without any intervention.
+//   * Peer-side typed failures (kUnknownModel, kInvalidArgument for a node
+//     with no exchange layer) pass through untouched and do NOT drop the
+//     connection.
+//
+// Thread-safe: one mutex serializes dial/teardown; the underlying NetClient
+// is itself pipelined and thread-safe for the calls in flight.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exchange/transport.hpp"
+#include "net/client.hpp"
+
+namespace bellamy::exchange {
+
+class TcpTransport final : public PeerTransport {
+ public:
+  /// Peer address; `host` may be a hostname ("localhost") or numeric.
+  TcpTransport(std::string host, std::uint16_t port);
+
+  serve::ServeResult<std::vector<DigestEntry>> digest() override;
+  serve::ServeResult<PulledCheckpoint> pull(const serve::ModelKey& key) override;
+  serve::ServeResult<serve::Unit> advertise(const std::vector<DigestEntry>& entries) override;
+  std::string name() const override;
+
+ private:
+  /// Current client, dialing if needed.  Null (with `error` set) when the
+  /// peer is unreachable.
+  std::shared_ptr<net::NetClient> ensure_connected(std::string& error);
+  /// Forget `client` so the next call redials (only if it is still the
+  /// current one — a racing call may have redialed already).
+  void drop(const std::shared_ptr<net::NetClient>& client);
+  /// True when `status` means the CONNECTION is bad, not the request.
+  static bool transport_failure(serve::ServeStatus status);
+
+  const std::string host_;
+  const std::uint16_t port_;
+  std::mutex mutex_;  ///< guards client_
+  std::shared_ptr<net::NetClient> client_;
+};
+
+}  // namespace bellamy::exchange

@@ -342,6 +342,72 @@ serve::ServeResult<serve::Unit> NetClient::erase(const serve::ModelKey& key) {
   return future.get();
 }
 
+serve::ServeResult<std::vector<DigestEntry>> NetClient::digest() {
+  DigestRequest req;
+  auto promise =
+      std::make_shared<std::promise<serve::ServeResult<std::vector<DigestEntry>>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<std::vector<DigestEntry>>());
+      return;
+    }
+    DigestResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<std::vector<DigestEntry>>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, std::move(resp.entries)));
+  });
+  return future.get();
+}
+
+serve::ServeResult<PulledCheckpoint> NetClient::pull_model(const serve::ModelKey& key) {
+  PullRequest req;
+  req.key = key;
+  auto promise = std::make_shared<std::promise<serve::ServeResult<PulledCheckpoint>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<PulledCheckpoint>());
+      return;
+    }
+    PullResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<PulledCheckpoint>(status));
+      return;
+    }
+    PulledCheckpoint pulled;
+    pulled.stamp = resp.stamp;
+    pulled.checkpoint_text = std::move(resp.checkpoint_text);
+    promise->set_value(from_head(resp, std::move(pulled)));
+  });
+  return future.get();
+}
+
+serve::ServeResult<serve::Unit> NetClient::advertise(const std::vector<DigestEntry>& entries) {
+  AdvertiseRequest req;
+  req.entries = entries;
+  auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<serve::Unit>());
+      return;
+    }
+    AdvertiseResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<serve::Unit>(status));
+      return;
+    }
+    promise->set_value(from_head(resp, serve::Unit{}));
+  });
+  return future.get();
+}
+
 serve::ServeResult<serve::Unit> NetClient::drain() {
   DrainRequest req;
   auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();

@@ -45,8 +45,9 @@ class NetClient {
   NetClient(const NetClient&) = delete;
   NetClient& operator=(const NetClient&) = delete;
 
-  /// Connect to host:port (IPv4 dotted quad).  False with the reason in
-  /// `error`.  A NetClient connects once; make a new one to reconnect.
+  /// Connect to host:port (hostname or numeric address; resolved via
+  /// getaddrinfo, IPv4 preferred).  False with the reason in `error`.  A
+  /// NetClient connects once; make a new one to reconnect.
   bool connect(const std::string& host, std::uint16_t port, std::string& error);
   bool connected() const;
 
@@ -85,6 +86,18 @@ class NetClient {
   /// Ask the server to drain: resolves once the DrainResponse arrives,
   /// i.e. after every response this connection was owed has been received.
   serve::ServeResult<serve::Unit> drain();
+
+  // -- exchange calls (node-to-node checkpoint gossip; the server answers
+  //    kInvalidArgument when it has no exchange layer attached) --
+
+  /// The peer's catalog: every (key, stamp) it can serve a pull for.
+  serve::ServeResult<std::vector<DigestEntry>> digest();
+
+  /// Fetch the peer's current checkpoint for `key` (stamp + exact text).
+  serve::ServeResult<PulledCheckpoint> pull_model(const serve::ModelKey& key);
+
+  /// Push this node's catalog at the peer (anti-entropy gossip).
+  serve::ServeResult<serve::Unit> advertise(const std::vector<DigestEntry>& entries);
 
  private:
   /// Delivery hook of one pending request: called with the response frame,

@@ -168,6 +168,15 @@ void ServeServer::reader_loop(const std::shared_ptr<Connection>& conn) {
   if (conn->threads_done.fetch_add(1) + 1 == 2) note_connection_closed();
 }
 
+serve::ServeResult<serve::ModelHandle> ServeServer::resolve_key(const serve::ModelKey& key) {
+  auto handle = registry_.find(key);
+  if (handle.ok() || options_.peer_service == nullptr) return handle;
+  // Pull-on-miss: a key this node has never seen may live on a peer.  May
+  // block on peer I/O — stalling exactly the connection that asked, which
+  // matches the rest of the backpressure story.
+  return options_.peer_service->open_on_miss(key);
+}
+
 bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameView& frame) {
   const auto type = static_cast<MsgType>(frame.type);
   switch (type) {
@@ -176,7 +185,7 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
       if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
       Connection::Outbound item;
       item.request_id = req.request_id;
-      const auto handle = registry_.find(req.key);
+      const auto handle = resolve_key(req.key);
       if (!handle.ok()) {
         PredictResponse resp;
         resp.head = head_of(req.request_id, handle.status(), handle.message());
@@ -196,7 +205,7 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
       if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
       Connection::Outbound item;
       item.request_id = req.request_id;
-      const auto handle = registry_.find(req.key);
+      const auto handle = resolve_key(req.key);
       if (!handle.ok()) {
         PredictManyResponse resp;
         resp.head = head_of(req.request_id, handle.status(), handle.message());
@@ -222,6 +231,9 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
         const core::BellamyModel model = core::BellamyModel::from_checkpoint(ckpt);
         const auto published = registry_.publish(req.key, model);
         resp.head = head_of(req.request_id, published.status(), published.message());
+        if (published.ok() && options_.peer_service != nullptr) {
+          options_.peer_service->note_published(req.key);
+        }
       } catch (const std::exception& e) {
         resp.head = head_of(req.request_id, serve::ServeStatus::kInvalidArgument,
                             std::string("bad checkpoint: ") + e.what());
@@ -234,7 +246,7 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
     case MsgType::kRefitAsyncRequest: {
       RefitAsyncRequest req;
       if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
-      const auto handle = registry_.find(req.key);
+      const auto handle = resolve_key(req.key);
       if (!handle.ok()) {
         RefitResponse resp;
         resp.head = head_of(req.request_id, handle.status(), handle.message());
@@ -243,13 +255,22 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
         return conn->push(std::move(item), options_.max_pipeline);
       }
       // The response is DEFERRED: pushed when the background refit lands.
-      // weak_ptr: a connection that closed meanwhile drops the event.
+      // weak_ptr: a connection that closed meanwhile drops the event.  The
+      // peer hook is notified first so the new weights get a fresh catalog
+      // stamp (kStoreError still means the swap landed — auto-persist
+      // failures never roll it back).
       std::weak_ptr<Connection> weak = conn;
       const std::uint64_t request_id = req.request_id;
+      PeerService* peer = options_.peer_service;
+      const serve::ModelKey key = req.key;
       registry_.refit_async(
           handle.value(), std::move(req.runs), req.config,
           static_cast<core::ReuseStrategy>(req.strategy),
-          [weak, request_id](const serve::ServeResult<core::FineTuneResult>& result) {
+          [weak, request_id, peer, key](const serve::ServeResult<core::FineTuneResult>& result) {
+            if (peer != nullptr &&
+                (result.ok() || result.status() == serve::ServeStatus::kStoreError)) {
+              peer->note_refit(key);
+            }
             const std::shared_ptr<Connection> conn = weak.lock();
             if (!conn) return;
             RefitResponse resp;
@@ -270,7 +291,7 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
       MetricsRequest req;
       if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
       MetricsResponse resp;
-      const auto handle = registry_.find(req.key);
+      const auto handle = resolve_key(req.key);
       if (!handle.ok()) {
         resp.head = head_of(req.request_id, handle.status(), handle.message());
       } else {
@@ -287,7 +308,7 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
       SetQosRequest req;
       if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
       SetQosResponse resp;
-      const auto handle = registry_.find(req.key);
+      const auto handle = resolve_key(req.key);
       if (!handle.ok()) {
         resp.head = head_of(req.request_id, handle.status(), handle.message());
       } else {
@@ -313,6 +334,60 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
       } else {
         const auto erased = registry_.erase(handle.value());
         resp.head = head_of(req.request_id, erased.status(), erased.message());
+      }
+      Connection::Outbound item;
+      item.bytes = frame_of(resp);
+      return conn->push(std::move(item), options_.max_pipeline);
+    }
+
+    case MsgType::kAdvertiseRequest: {
+      AdvertiseRequest req;
+      if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
+      AdvertiseResponse resp;
+      if (options_.peer_service == nullptr) {
+        resp.head = head_of(req.request_id, serve::ServeStatus::kInvalidArgument,
+                            "advertise: this node has no exchange layer configured");
+      } else {
+        // Fire-and-forget gossip: the hook only schedules pulls, so the
+        // reader is never parked on peer I/O here.
+        options_.peer_service->on_advertise(req.entries);
+        resp.head = head_of(req.request_id, serve::ServeStatus::kOk);
+      }
+      Connection::Outbound item;
+      item.bytes = frame_of(resp);
+      return conn->push(std::move(item), options_.max_pipeline);
+    }
+
+    case MsgType::kDigestRequest: {
+      DigestRequest req;
+      if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
+      DigestResponse resp;
+      if (options_.peer_service == nullptr) {
+        resp.head = head_of(req.request_id, serve::ServeStatus::kInvalidArgument,
+                            "digest: this node has no exchange layer configured");
+      } else {
+        resp.head = head_of(req.request_id, serve::ServeStatus::kOk);
+        resp.entries = options_.peer_service->digest_entries();
+      }
+      Connection::Outbound item;
+      item.bytes = frame_of(resp);
+      return conn->push(std::move(item), options_.max_pipeline);
+    }
+
+    case MsgType::kPullRequest: {
+      PullRequest req;
+      if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
+      PullResponse resp;
+      if (options_.peer_service == nullptr) {
+        resp.head = head_of(req.request_id, serve::ServeStatus::kInvalidArgument,
+                            "pull: this node has no exchange layer configured");
+      } else {
+        auto pulled = options_.peer_service->pull_model(req.key);
+        resp.head = head_of(req.request_id, pulled.status(), pulled.message());
+        if (pulled.ok()) {
+          resp.stamp = pulled.value().stamp;
+          resp.checkpoint_text = std::move(pulled.value().checkpoint_text);
+        }
       }
       Connection::Outbound item;
       item.bytes = frame_of(resp);

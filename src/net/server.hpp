@@ -49,6 +49,33 @@
 
 namespace bellamy::net {
 
+/// Server-side hook for the exchange layer (src/exchange/): answers the
+/// node-to-node wire messages (digest / pull / advertise), supplies the
+/// pull-on-miss path for serving traffic, and hears about local mutations so
+/// the catalog can stamp them.  Implemented by exchange::ExchangeRegistry;
+/// the server stays ignorant of sync policy.  All methods must be
+/// thread-safe — they are called from per-connection reader threads and
+/// from refit strands.  on_advertise() must not block on peer I/O (schedule
+/// the follow-up pulls instead); open_on_miss() MAY block on peer I/O,
+/// which stalls only the requesting connection's reader.
+class PeerService {
+ public:
+  virtual ~PeerService() = default;
+  /// This node's catalog, served to a DigestRequest.
+  virtual std::vector<DigestEntry> digest_entries() = 0;
+  /// Serve a PullRequest: catalog stamp + checkpoint text for `key`.
+  virtual serve::ServeResult<PulledCheckpoint> pull_model(const serve::ModelKey& key) = 0;
+  /// A peer pushed its catalog at us (fire-and-forget gossip).
+  virtual void on_advertise(const std::vector<DigestEntry>& entries) = 0;
+  /// A request referenced a key unknown to the local registry: try to
+  /// materialize it off a peer (pull-on-miss warm start).
+  virtual serve::ServeResult<serve::ModelHandle> open_on_miss(const serve::ModelKey& key) = 0;
+  /// Local mutations that arrived over the wire (publish / refit swap):
+  /// stamp them so peers learn there is something newer to pull.
+  virtual void note_published(const serve::ModelKey& key) = 0;
+  virtual void note_refit(const serve::ModelKey& key) = 0;
+};
+
 struct ServerOptions {
   /// Port to listen on (loopback only); 0 = kernel-assigned ephemeral port,
   /// readable via port() after start().
@@ -57,6 +84,11 @@ struct ServerOptions {
   /// client that stops reading blocks its own reader once this many
   /// responses are parked — per-connection flow control.
   std::size_t max_pipeline = 256;
+  /// Optional exchange-layer hook.  Null = this node answers digest/pull/
+  /// advertise with kInvalidArgument and misses stay misses.  Must outlive
+  /// the server AND any refit still in flight at teardown (the refit
+  /// completion callback notifies it).
+  PeerService* peer_service = nullptr;
 };
 
 /// Monotonic counters; draining flips once and stays.
@@ -110,6 +142,9 @@ class ServeServer {
   void writer_loop(const std::shared_ptr<Connection>& conn);
   /// Decode + dispatch one frame body; false = protocol error, close.
   bool dispatch(const std::shared_ptr<Connection>& conn, const FrameView& frame);
+  /// registry_.find, falling back to PeerService::open_on_miss for serving
+  /// traffic when an exchange layer is attached (pull-on-miss).
+  serve::ServeResult<serve::ModelHandle> resolve_key(const serve::ModelKey& key);
   /// Count a protocol violation; returns false for `return protocol_error();`.
   bool protocol_error();
   /// Join and drop connections that finished (accept thread + stop only).

@@ -3,10 +3,13 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <vector>
 
 namespace bellamy::net {
 
@@ -121,28 +124,60 @@ Socket tcp_accept(const Socket& listener) {
 }
 
 Socket tcp_connect(const std::string& host, std::uint16_t port, std::string& error) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    error = errno_text("socket");
-    return Socket();
-  }
-  Socket sock(fd);
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  // Numeric addresses keep working without a resolver round-trip.
+  hints.ai_flags = AI_ADDRCONFIG | AI_NUMERICSERV;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    error = "invalid address: " + host + " (IPv4 dotted-quad expected)";
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc == EAI_ADDRFAMILY || rc == EAI_NONAME) {
+    // AI_ADDRCONFIG hides loopback-only families on hosts with no external
+    // interface of that family; retry without it before giving up.
+    hints.ai_flags = AI_NUMERICSERV;
+    rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  }
+  if (rc != 0) {
+    error = "cannot resolve '" + host + "': " +
+            (rc == EAI_SYSTEM ? errno_text("getaddrinfo") : std::string(::gai_strerror(rc)));
     return Socket();
   }
-  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    if (errno == EINTR) continue;
-    error = errno_text("connect");
-    return Socket();
+
+  // The listener side is IPv4 (tcp_listen binds 127.0.0.1), so prefer IPv4
+  // results; hostnames like `localhost` often resolve to ::1 first.
+  std::vector<const addrinfo*> ordered;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_family == AF_INET) ordered.push_back(ai);
   }
-  set_nodelay(fd);
-  error.clear();
-  return sock;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_family != AF_INET) ordered.push_back(ai);
+  }
+
+  std::string last_error = "no usable address";
+  for (const addrinfo* ai : ordered) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = errno_text("socket");
+      continue;
+    }
+    Socket sock(fd);
+    int connected;
+    while ((connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen)) != 0 && errno == EINTR) {
+    }
+    if (connected == 0) {
+      ::freeaddrinfo(results);
+      set_nodelay(fd);
+      error.clear();
+      return sock;
+    }
+    last_error = errno_text("connect");
+  }
+  ::freeaddrinfo(results);
+  error = "cannot connect to '" + host + "': " + last_error;
+  return Socket();
 }
 
 }  // namespace bellamy::net

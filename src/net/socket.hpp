@@ -64,8 +64,11 @@ Socket tcp_listen(std::uint16_t port, std::uint16_t& bound_port, std::string& er
 /// are latency-sensitive and self-contained; Nagle only adds delay).
 Socket tcp_accept(const Socket& listener);
 
-/// Connect to host:port; blocks.  Invalid Socket on failure, with the reason
-/// in `error`.  TCP_NODELAY is set.
+/// Connect to host:port; blocks.  `host` may be a hostname or a numeric
+/// address — names resolve via getaddrinfo, IPv4 results are tried first
+/// (the listener side binds IPv4 loopback), and every resolved address is
+/// attempted before giving up.  Invalid Socket on failure, with the failing
+/// host named in `error`.  TCP_NODELAY is set.
 Socket tcp_connect(const std::string& host, std::uint16_t port, std::string& error);
 
 }  // namespace bellamy::net

@@ -33,6 +33,9 @@ bool is_known_type(std::uint16_t type) {
     case MsgType::kSetQosRequest:
     case MsgType::kEraseRequest:
     case MsgType::kDrainRequest:
+    case MsgType::kAdvertiseRequest:
+    case MsgType::kDigestRequest:
+    case MsgType::kPullRequest:
     case MsgType::kPredictResponse:
     case MsgType::kPredictManyResponse:
     case MsgType::kPublishResponse:
@@ -41,6 +44,9 @@ bool is_known_type(std::uint16_t type) {
     case MsgType::kSetQosResponse:
     case MsgType::kEraseResponse:
     case MsgType::kDrainResponse:
+    case MsgType::kAdvertiseResponse:
+    case MsgType::kDigestResponse:
+    case MsgType::kPullResponse:
       return true;
   }
   return false;
@@ -207,6 +213,30 @@ WireStatus decode_metrics(WireReader& r, serve::ServeMetrics& m) {
   return reader_status(r);
 }
 
+void encode_digest_entries(WireWriter& w, const std::vector<DigestEntry>& entries) {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const DigestEntry& entry : entries) {
+    encode_key(w, entry.key);
+    w.u64(entry.stamp);
+  }
+}
+
+WireStatus decode_digest_entries(WireReader& r, std::vector<DigestEntry>& entries) {
+  std::uint32_t count = 0;
+  if (!r.u32(count)) return WireStatus::kTruncated;
+  entries.clear();
+  entries.reserve(std::min(count, kMaxEagerReserve));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DigestEntry entry;
+    const WireStatus status = decode_key(r, entry.key);
+    if (status != WireStatus::kOk) return status;
+    if (!r.u64(entry.stamp)) return WireStatus::kTruncated;
+    if (entry.stamp == 0) return WireStatus::kMalformed;  // 0 = "absent", never catalogued
+    entries.push_back(std::move(entry));
+  }
+  return WireStatus::kOk;
+}
+
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
@@ -319,6 +349,33 @@ WireStatus DrainRequest::decode(WireReader& r) {
   return reader_status(r);
 }
 
+void AdvertiseRequest::encode(WireWriter& w) const {
+  w.u64(request_id);
+  encode_digest_entries(w, entries);
+}
+
+WireStatus AdvertiseRequest::decode(WireReader& r) {
+  r.u64(request_id);
+  return decode_digest_entries(r, entries);
+}
+
+void DigestRequest::encode(WireWriter& w) const { w.u64(request_id); }
+
+WireStatus DigestRequest::decode(WireReader& r) {
+  r.u64(request_id);
+  return reader_status(r);
+}
+
+void PullRequest::encode(WireWriter& w) const {
+  w.u64(request_id);
+  encode_key(w, key);
+}
+
+WireStatus PullRequest::decode(WireReader& r) {
+  r.u64(request_id);
+  return decode_key(r, key);
+}
+
 // ---------------------------------------------------------------------------
 // Responses
 // ---------------------------------------------------------------------------
@@ -419,6 +476,39 @@ WireStatus EraseResponse::decode(WireReader& r) { return head.decode(r); }
 void DrainResponse::encode(WireWriter& w) const { head.encode(w); }
 
 WireStatus DrainResponse::decode(WireReader& r) { return head.decode(r); }
+
+void AdvertiseResponse::encode(WireWriter& w) const { head.encode(w); }
+
+WireStatus AdvertiseResponse::decode(WireReader& r) { return head.decode(r); }
+
+void DigestResponse::encode(WireWriter& w) const {
+  head.encode(w);
+  encode_digest_entries(w, entries);
+}
+
+WireStatus DigestResponse::decode(WireReader& r) {
+  const WireStatus status = head.decode(r);
+  if (status != WireStatus::kOk) return status;
+  return decode_digest_entries(r, entries);
+}
+
+void PullResponse::encode(WireWriter& w) const {
+  head.encode(w);
+  w.u64(stamp);
+  w.str(checkpoint_text);
+}
+
+WireStatus PullResponse::decode(WireReader& r) {
+  const WireStatus status = head.decode(r);
+  if (status != WireStatus::kOk) return status;
+  r.u64(stamp);
+  r.str(checkpoint_text);
+  if (!r.ok()) return WireStatus::kTruncated;
+  // A successful pull must carry a real catalog stamp; error responses leave
+  // the payload fields zeroed.
+  if (head.ok() && stamp == 0) return WireStatus::kMalformed;
+  return WireStatus::kOk;
+}
 
 // ---------------------------------------------------------------------------
 // Frame parsing

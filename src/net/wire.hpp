@@ -39,6 +39,13 @@
 //   DrainRequest        -> DrainResponse         graceful drain; sent AFTER every
 //                                                in-flight response of the
 //                                                connection has been written
+//   AdvertiseRequest    -> AdvertiseResponse     peer gossip: "here is my catalog"
+//   DigestRequest       -> DigestResponse        ask a peer for its catalog
+//   PullRequest         -> PullResponse          fetch one checkpoint by key
+//
+// The last three are the exchange-layer messages (src/exchange/): node-to-node
+// checkpoint gossip.  They reuse the checkpoint-as-text encoding publish uses,
+// so a model pulled from a peer is bit-identical to the peer's own.
 //
 // Models are addressed by ModelKey (job + context strings): handles are
 // process-local and never cross the wire.
@@ -77,6 +84,9 @@ enum class MsgType : std::uint16_t {
   kSetQosRequest = 6,
   kEraseRequest = 7,
   kDrainRequest = 8,
+  kAdvertiseRequest = 9,
+  kDigestRequest = 10,
+  kPullRequest = 11,
 
   kPredictResponse = 129,
   kPredictManyResponse = 130,
@@ -86,6 +96,9 @@ enum class MsgType : std::uint16_t {
   kSetQosResponse = 134,
   kEraseResponse = 135,
   kDrainResponse = 136,
+  kAdvertiseResponse = 137,
+  kDigestResponse = 138,
+  kPullResponse = 139,
 };
 
 /// True for any type value the catalog knows (request or response).
@@ -212,6 +225,31 @@ void encode_metrics(WireWriter& w, const serve::ServeMetrics& m);
 WireStatus decode_metrics(WireReader& r, serve::ServeMetrics& m);
 
 // ---------------------------------------------------------------------------
+// Exchange-layer value types
+// ---------------------------------------------------------------------------
+
+/// One row of a node's checkpoint catalog: which model it has and how fresh.
+/// Stamps are Lamport-style: every local publish/refit bumps the node's clock
+/// past every stamp it has seen, so "highest stamp wins" totally orders
+/// competing versions.  Stamp 0 is reserved for "absent" and is rejected on
+/// decode (kMalformed).
+struct DigestEntry {
+  serve::ModelKey key;
+  std::uint64_t stamp = 0;
+};
+
+/// A checkpoint pulled off a peer: the catalog stamp it was advertised under
+/// plus the exact nn::Checkpoint text (hex-float, the ModelStore on-disk
+/// format) — installing it reproduces the peer's model bit for bit.
+struct PulledCheckpoint {
+  std::uint64_t stamp = 0;
+  std::string checkpoint_text;
+};
+
+void encode_digest_entries(WireWriter& w, const std::vector<DigestEntry>& entries);
+WireStatus decode_digest_entries(WireReader& r, std::vector<DigestEntry>& entries);
+
+// ---------------------------------------------------------------------------
 // Messages — requests
 // ---------------------------------------------------------------------------
 
@@ -293,6 +331,37 @@ struct EraseRequest {
 struct DrainRequest {
   static constexpr MsgType kType = MsgType::kDrainRequest;
   std::uint64_t request_id = 0;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+/// Peer gossip, fire-and-forget semantics: "my catalog currently looks like
+/// this".  The receiver compares stamps and schedules pulls for anything
+/// newer; the response is a bare acknowledgement.
+struct AdvertiseRequest {
+  static constexpr MsgType kType = MsgType::kAdvertiseRequest;
+  std::uint64_t request_id = 0;
+  std::vector<DigestEntry> entries;  ///< empty catalogs are legal
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+/// Ask a peer for its full catalog (the poll half of anti-entropy).
+struct DigestRequest {
+  static constexpr MsgType kType = MsgType::kDigestRequest;
+  std::uint64_t request_id = 0;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+/// Fetch one checkpoint by key.
+struct PullRequest {
+  static constexpr MsgType kType = MsgType::kPullRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
 
   void encode(WireWriter& w) const;
   WireStatus decode(WireReader& r);
@@ -380,6 +449,35 @@ struct EraseResponse {
 struct DrainResponse {
   static constexpr MsgType kType = MsgType::kDrainResponse;
   ResponseHead head;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct AdvertiseResponse {
+  static constexpr MsgType kType = MsgType::kAdvertiseResponse;
+  ResponseHead head;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct DigestResponse {
+  static constexpr MsgType kType = MsgType::kDigestResponse;
+  ResponseHead head;
+  std::vector<DigestEntry> entries;
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
+struct PullResponse {
+  static constexpr MsgType kType = MsgType::kPullResponse;
+  ResponseHead head;
+  /// Stamp + checkpoint text; meaningful only when head.ok().  On a
+  /// successful pull the stamp must be non-zero (kMalformed otherwise).
+  std::uint64_t stamp = 0;
+  std::string checkpoint_text;
 
   void encode(WireWriter& w) const;
   WireStatus decode(WireReader& r);

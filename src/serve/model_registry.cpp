@@ -1,5 +1,6 @@
 #include "serve/model_registry.hpp"
 
+#include <sstream>
 #include <utility>
 
 #include "util/timer.hpp"
@@ -63,6 +64,31 @@ ServeResult<core::FineTuneResult> run_refit(
   } catch (const std::exception& e) {
     return ServeResult<core::FineTuneResult>::failure(
         ServeStatus::kInternalError, "refit '" + entry->key.str() + "': " + e.what());
+  }
+}
+
+/// persist() body once the entry is resolved.  A free function (not a
+/// member) because auto-persisting refit tasks call it after the registry
+/// may already be gone — they capture the entry and the store by value.
+ServeResult<Unit> persist_to_store(const std::shared_ptr<detail::RegistryEntry>& entry,
+                                   const std::shared_ptr<core::ModelStore>& store) {
+  if (!store) {
+    return ServeResult<Unit>::failure(
+        ServeStatus::kInvalidArgument,
+        "persist '" + entry->key.str() + "': registry has no backing ModelStore");
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (!entry->model) {
+    return ServeResult<Unit>::failure(
+        ServeStatus::kNotFitted, "persist '" + entry->key.str() + "': no model to save");
+  }
+  try {
+    store->save(*entry->model, entry->key.job, entry->key.context);
+    return ok();
+  } catch (const std::invalid_argument& e) {
+    return ServeResult<Unit>::failure(ServeStatus::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    return ServeResult<Unit>::failure(ServeStatus::kStoreError, e.what());
   }
 }
 
@@ -276,9 +302,10 @@ std::shared_future<ServeResult<core::FineTuneResult>> ModelRegistry::refit_async
   }
   // One strand task per queued job: the strand serializes this entry's
   // refits, so a task posted while another runs simply waits its turn.  The
-  // task captures the entry's shared_ptr — it survives erase() and registry
-  // teardown (the entry's Strand destructor drains before the entry dies).
-  entry->refit_strand.post([entry] {
+  // task captures the entry's shared_ptr (plus the store and auto-persist
+  // flag by value) — it survives erase() and registry teardown (the entry's
+  // Strand destructor drains before the entry dies).
+  entry->refit_strand.post([entry, store = store_, auto_persist = auto_persist_] {
     detail::RefitJob job;
     {
       std::lock_guard<std::mutex> lock(entry->mutex);
@@ -287,8 +314,20 @@ std::shared_future<ServeResult<core::FineTuneResult>> ModelRegistry::refit_async
       entry->pending_refit.reset();
       entry->refit_running = true;
     }
-    const ServeResult<core::FineTuneResult> result =
+    ServeResult<core::FineTuneResult> result =
         run_refit(entry, job.runs, job.config, job.strategy);
+    if (result.ok() && auto_persist->load(std::memory_order_relaxed)) {
+      // Mirror the swapped weights into the backing store so a restart
+      // serves what refit produced, not the stale pre-refit checkpoint.  A
+      // persist failure downgrades the shared result to kStoreError but the
+      // swap above has already landed — serving is never rolled back.
+      if (const ServeResult<Unit> persisted = persist_to_store(entry, store); !persisted.ok()) {
+        result = ServeResult<core::FineTuneResult>::failure(
+            ServeStatus::kStoreError, "refit '" + entry->key.str() +
+                                          "': weights swapped, but auto-persist failed: " +
+                                          persisted.error_text());
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(entry->mutex);
       entry->refit_running = false;
@@ -325,23 +364,38 @@ ServeResult<Unit> ModelRegistry::persist(const ModelHandle& handle) {
   if (!entry) {
     return ServeResult<Unit>::failure(ServeStatus::kUnknownModel, "persist: unknown handle");
   }
-  if (!store_) {
-    return ServeResult<Unit>::failure(
-        ServeStatus::kInvalidArgument,
-        "persist '" + entry->key.str() + "': registry has no backing ModelStore");
-  }
-  std::lock_guard<std::mutex> lock(entry->mutex);
-  if (!entry->model) {
-    return ServeResult<Unit>::failure(
-        ServeStatus::kNotFitted, "persist '" + entry->key.str() + "': no model to save");
+  return persist_to_store(entry, store_);
+}
+
+void ModelRegistry::set_auto_persist(bool enabled) noexcept {
+  auto_persist_->store(enabled, std::memory_order_relaxed);
+}
+
+bool ModelRegistry::auto_persist() const noexcept {
+  return auto_persist_->load(std::memory_order_relaxed);
+}
+
+ServeResult<std::string> ModelRegistry::checkpoint_text(const ModelHandle& handle) const {
+  const auto entry = resolve(handle);
+  if (!entry) {
+    return ServeResult<std::string>::failure(ServeStatus::kUnknownModel,
+                                             "checkpoint_text: unknown handle");
   }
   try {
-    store_->save(*entry->model, entry->key.job, entry->key.context);
-    return ok();
-  } catch (const std::invalid_argument& e) {
-    return ServeResult<Unit>::failure(ServeStatus::kInvalidArgument, e.what());
+    std::ostringstream out;
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      if (!entry->model) {
+        return ServeResult<std::string>::failure(
+            ServeStatus::kNotFitted,
+            "checkpoint_text '" + entry->key.str() + "': entry has no fitted model");
+      }
+      entry->model->to_checkpoint().save(out);
+    }
+    return out.str();
   } catch (const std::exception& e) {
-    return ServeResult<Unit>::failure(ServeStatus::kStoreError, e.what());
+    return ServeResult<std::string>::failure(
+        ServeStatus::kInternalError, "checkpoint_text '" + entry->key.str() + "': " + e.what());
   }
 }
 

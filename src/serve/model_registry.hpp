@@ -28,6 +28,7 @@
 // Handles stay valid across hot-swaps and refits; erase() retires one.
 // All operations are thread-safe.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -196,6 +197,22 @@ class ModelRegistry {
   /// Save the entry's current weights to the backing store under its key.
   ServeResult<Unit> persist(const ModelHandle& handle);
 
+  /// Opt-in: persist every successful background-refit swap to the backing
+  /// store, on the refit strand, right after the swap.  Without this a
+  /// store-backed entry goes silently stale — the swap never reaches disk,
+  /// so a restart serves pre-refit weights.  A persist failure surfaces as
+  /// kStoreError in the refit's shared result (the swap itself has already
+  /// landed and is NEVER rolled back or blocked); enabling this on a
+  /// registry with no backing store reports the same way.  Off by default.
+  void set_auto_persist(bool enabled) noexcept;
+  bool auto_persist() const noexcept;
+
+  /// The entry's CURRENT serving weights serialized as nn::Checkpoint text
+  /// (the ModelStore on-disk format, hex-float exact) — what a peer pulling
+  /// this model over the exchange layer receives.  Snapshots under the entry
+  /// mutex; never holds it across I/O.
+  ServeResult<std::string> checkpoint_text(const ModelHandle& handle) const;
+
   /// Retire a handle: subsequent resolves (and service requests) fail with
   /// kUnknownModel.  Outstanding replica leases finish their batch.
   ServeResult<Unit> erase(const ModelHandle& handle);
@@ -225,6 +242,10 @@ class ModelRegistry {
 
   mutable std::mutex mutex_;
   std::shared_ptr<core::ModelStore> store_;
+  /// Shared with in-flight refit tasks: they capture the flag (and the
+  /// store) by value because a strand task may outlive the registry itself.
+  std::shared_ptr<std::atomic<bool>> auto_persist_ =
+      std::make_shared<std::atomic<bool>>(false);
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, std::shared_ptr<detail::RegistryEntry>> entries_;
   std::map<ModelKey, std::uint64_t> by_key_;

@@ -289,5 +289,30 @@ TEST(Loopback, DrainCompletesInFlightTrafficAndRefusesNewConnections) {
   control.close();
 }
 
+// Regression: tcp_connect used to accept only dotted-quad IPv4 strings, so
+// dialing "localhost" failed before a single packet moved.  Hostnames now
+// resolve through getaddrinfo (IPv4 preferred, every result tried).
+TEST(Loopback, ConnectByHostnameResolvesLocalhost) {
+  Loopback loop;
+  const serve::ModelKey key{"sgd", "hostname"};
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect("localhost", loop.server->port(), error)) << error;
+  ASSERT_TRUE(client.publish(key, *loop.model).ok());
+  const auto r = client.predict(key, loop.query(9));
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.value(), loop.model->predict_one(loop.query(9)));
+  client.close();
+}
+
+TEST(Loopback, UnresolvableHostnameNamesTheHostInTheError) {
+  NetClient client;
+  std::string error;
+  // RFC 2606 reserves .invalid: this resolution must fail everywhere.
+  EXPECT_FALSE(client.connect("no-such-host.invalid", 7113, error));
+  EXPECT_NE(error.find("no-such-host.invalid"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace bellamy::net

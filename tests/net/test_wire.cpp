@@ -380,6 +380,143 @@ TEST(Wire, OutOfRangeEnumBytesAreMalformed) {
             WireStatus::kMalformed);
 }
 
+// ---------------------------------------------------------------------------
+// Exchange messages (advertise / digest / pull)
+// ---------------------------------------------------------------------------
+
+TEST(Wire, ExchangeRequestsRoundTrip) {
+  std::mt19937_64 rng(108);
+  for (int i = 0; i < 20; ++i) {
+    AdvertiseRequest adv;
+    adv.request_id = rng();
+    const std::size_t n = i == 0 ? 0 : rng() % 9;  // first iteration: empty catalog
+    for (std::size_t k = 0; k < n; ++k) {
+      adv.entries.push_back(DigestEntry{random_key(rng), rng() | 1});  // stamp != 0
+    }
+    const AdvertiseRequest adv_out = round_trip(adv);
+    EXPECT_EQ(adv_out.request_id, adv.request_id);
+    ASSERT_EQ(adv_out.entries.size(), adv.entries.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(adv_out.entries[k].key, adv.entries[k].key);
+      EXPECT_EQ(adv_out.entries[k].stamp, adv.entries[k].stamp);
+    }
+
+    DigestRequest digest;
+    digest.request_id = rng();
+    EXPECT_EQ(round_trip(digest).request_id, digest.request_id);
+
+    PullRequest pull;
+    pull.request_id = rng();
+    pull.key = random_key(rng);
+    const PullRequest pull_out = round_trip(pull);
+    EXPECT_EQ(pull_out.request_id, pull.request_id);
+    EXPECT_EQ(pull_out.key, pull.key);
+  }
+}
+
+TEST(Wire, ExchangeResponsesRoundTripEightBitClean) {
+  std::mt19937_64 rng(109);
+
+  AdvertiseResponse adv;
+  adv.head.request_id = rng();
+  EXPECT_EQ(round_trip(adv).head.request_id, adv.head.request_id);
+
+  DigestResponse digest;
+  digest.head.request_id = rng();
+  for (int k = 0; k < 5; ++k) {
+    digest.entries.push_back(DigestEntry{random_key(rng), rng() | 1});
+  }
+  const DigestResponse digest_out = round_trip(digest);
+  ASSERT_EQ(digest_out.entries.size(), digest.entries.size());
+  for (std::size_t k = 0; k < digest.entries.size(); ++k) {
+    EXPECT_EQ(digest_out.entries[k].key, digest.entries[k].key);
+    EXPECT_EQ(digest_out.entries[k].stamp, digest.entries[k].stamp);
+  }
+
+  PullResponse pull;
+  pull.head.request_id = rng();
+  pull.stamp = rng() | 1;
+  pull.checkpoint_text = random_string(rng, 4096);
+  pull.checkpoint_text.push_back('\0');  // embedded NUL must survive
+  pull.checkpoint_text += random_string(rng, 64);
+  const PullResponse pull_out = round_trip(pull);
+  EXPECT_EQ(pull_out.stamp, pull.stamp);
+  EXPECT_EQ(pull_out.checkpoint_text, pull.checkpoint_text);
+
+  // A FAILED pull carries no payload: stamp 0 is legal there (and only there).
+  PullResponse failed;
+  failed.head.request_id = rng();
+  failed.head.status = serve::ServeStatus::kUnknownModel;
+  failed.head.message = "pull sgd/ctx: not in this node's catalog";
+  const PullResponse failed_out = round_trip(failed);
+  EXPECT_EQ(failed_out.head.status, serve::ServeStatus::kUnknownModel);
+  EXPECT_EQ(failed_out.stamp, 0u);
+}
+
+TEST(Wire, ExchangeTruncationAtEveryPrefixLengthIsATypedError) {
+  std::mt19937_64 rng(110);
+  AdvertiseRequest adv;
+  adv.request_id = rng();
+  for (int k = 0; k < 3; ++k) adv.entries.push_back(DigestEntry{random_key(rng), rng() | 1});
+  const std::vector<std::uint8_t> adv_frame = encode_frame(adv);
+  for (std::size_t cut = 0; cut < adv_frame.size(); ++cut) {
+    AdvertiseRequest out;
+    EXPECT_EQ(decode_frame(adv_frame.data(), cut, out), WireStatus::kTruncated)
+        << "advertise prefix length " << cut;
+  }
+
+  PullResponse pull;
+  pull.head.request_id = rng();
+  pull.stamp = 7;
+  pull.checkpoint_text = random_string(rng, 256);
+  const std::vector<std::uint8_t> pull_frame = encode_frame(pull);
+  for (std::size_t cut = 0; cut < pull_frame.size(); ++cut) {
+    PullResponse out;
+    EXPECT_EQ(decode_frame(pull_frame.data(), cut, out), WireStatus::kTruncated)
+        << "pull prefix length " << cut;
+  }
+}
+
+TEST(Wire, ZeroStampsAreMalformed) {
+  // Stamp 0 means "absent" in the exchange layer; a peer must never put it
+  // on the wire.  In a digest entry:
+  AdvertiseRequest adv;
+  adv.request_id = 7;
+  adv.entries.push_back(DigestEntry{{"sgd", "ctx"}, 0});
+  const std::vector<std::uint8_t> adv_frame = encode_frame(adv);
+  AdvertiseRequest adv_out;
+  EXPECT_EQ(decode_frame(adv_frame.data(), adv_frame.size(), adv_out),
+            WireStatus::kMalformed);
+
+  // And on a SUCCESSFUL pull (error pulls legitimately carry stamp 0).
+  PullResponse pull;
+  pull.head.request_id = 8;
+  pull.head.status = serve::ServeStatus::kOk;
+  pull.stamp = 0;
+  pull.checkpoint_text = "weights";
+  const std::vector<std::uint8_t> pull_frame = encode_frame(pull);
+  PullResponse pull_out;
+  EXPECT_EQ(decode_frame(pull_frame.data(), pull_frame.size(), pull_out),
+            WireStatus::kMalformed);
+}
+
+TEST(Wire, ExchangeTypesAreKnownAndDistinct) {
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kAdvertiseRequest)));
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kDigestRequest)));
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kPullRequest)));
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kAdvertiseResponse)));
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kDigestResponse)));
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kPullResponse)));
+
+  // Decoding an exchange frame as a different message is kWrongType, not a
+  // garbage decode.
+  DigestRequest digest;
+  digest.request_id = 3;
+  const std::vector<std::uint8_t> frame = encode_frame(digest);
+  PullRequest out;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kWrongType);
+}
+
 TEST(Wire, StringLengthBeyondPayloadIsTruncatedNotOverread) {
   // A string header claiming 2^31 bytes inside a tiny payload must fail
   // cleanly (no allocation of attacker-sized buffers, no overread).

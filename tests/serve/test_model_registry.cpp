@@ -435,5 +435,63 @@ TEST(ModelRegistry, RefitCallbackOnUnknownHandleFiresInline) {
   EXPECT_EQ(future.get().status(), ServeStatus::kUnknownModel);
 }
 
+// Regression: a store-backed entry went silently stale after refit_async —
+// the swap never reached disk, so a restarted process served PRE-refit
+// weights.  With auto-persist on, the completion hook writes the swapped
+// weights back to the store; a fresh registry opening the same store must
+// see the refit, not the original publish.
+TEST(ModelRegistry, AutoPersistWritesTheRefitSwapBackToTheStore) {
+  Fixture fx;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bellamy_autopersist_" + std::to_string(::getpid())))
+          .string();
+  auto store = std::make_shared<core::ModelStore>(dir);
+
+  std::uint64_t refit_stamp = 0;
+  {
+    ModelRegistry registry(store);
+    EXPECT_FALSE(registry.auto_persist());
+    registry.set_auto_persist(true);
+    EXPECT_TRUE(registry.auto_persist());
+
+    const ModelHandle handle =
+        registry.publish({"sgd", "stale"}, fx.pretrained(31)).unwrap();
+    registry.persist(handle).expect();
+
+    const auto result = registry.refit_async(handle, fx.target_runs, quick_finetune()).get();
+    ASSERT_TRUE(result.ok()) << result.error_text();
+    refit_stamp = registry.state_stamp(handle);
+  }
+
+  ModelRegistry restarted(store);
+  const auto reopened = restarted.open({"sgd", "stale"});
+  ASSERT_TRUE(reopened.ok()) << reopened.error_text();
+  // Pre-fix this held the PUBLISH-time weights; the state stamp (a content
+  // hash of the weights) proves the refit swap reached disk.
+  EXPECT_EQ(restarted.state_stamp(reopened.value()), refit_stamp);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelRegistry, AutoPersistFailureSurfacesAsStoreErrorButTheSwapLands) {
+  Fixture fx;
+  // A registry with NO backing store: the swap itself must land (serving
+  // moves to the new weights), but the result reports kStoreError so the
+  // caller knows disk and memory diverged.
+  ModelRegistry registry;
+  registry.set_auto_persist(true);
+  const ModelHandle handle =
+      registry.publish({"sgd", "nostore"}, fx.pretrained(32)).unwrap();
+  const std::uint64_t stamp_before = registry.state_stamp(handle);
+
+  const auto result = registry.refit_async(handle, fx.target_runs, quick_finetune()).get();
+  EXPECT_EQ(result.status(), ServeStatus::kStoreError);
+  EXPECT_NE(result.message().find("auto-persist"), std::string::npos) << result.message();
+  // The fine-tune swap was NOT rolled back or blocked.
+  EXPECT_NE(registry.state_stamp(handle), stamp_before);
+  EXPECT_TRUE(registry.fitted(handle));
+}
+
 }  // namespace
 }  // namespace bellamy::serve
