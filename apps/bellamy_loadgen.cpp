@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   bool drain = false;
   bool publish = true;
   bool drain_only = false;
+  int io_timeout_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--host=", 7) == 0) {
@@ -95,6 +96,8 @@ int main(int argc, char** argv) {
       probes = std::max(10, std::atoi(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--io-timeout-ms=", 16) == 0) {
+      io_timeout_ms = std::max(0, std::atoi(argv[i] + 16));
     } else if (std::strcmp(argv[i], "--drain") == 0) {
       drain = true;
     } else if (std::strcmp(argv[i], "--no-publish") == 0) {
@@ -104,15 +107,23 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host=HOST] [--port=N] [--clients=N] [--requests=N]\n"
-                   "          [--probes=N] [--json=PATH|-] [--drain] [--no-publish]\n"
-                   "          [--drain-only]\n",
+                   "          [--probes=N] [--json=PATH|-] [--io-timeout-ms=N] [--drain]\n"
+                   "          [--no-publish] [--drain-only]\n",
                    argv[0]);
       return 2;
     }
   }
 
+  // Every connection this process opens shares the same deadline budget:
+  // connect, per-op socket stalls, and the end-to-end request timeout.
+  net::ClientOptions client_options;
+  client_options.deadlines.connect = std::chrono::milliseconds(io_timeout_ms);
+  client_options.deadlines.read = std::chrono::milliseconds(io_timeout_ms);
+  client_options.deadlines.write = std::chrono::milliseconds(io_timeout_ms);
+  client_options.deadlines.request = std::chrono::milliseconds(io_timeout_ms);
+
   if (drain_only) {  // no model needed just to shut a node down
-    net::NetClient control;
+    net::NetClient control(client_options);
     std::string error;
     if (!control.connect(host, port, error)) {
       std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
@@ -148,7 +159,7 @@ int main(int argc, char** argv) {
   const serve::ModelKey bulk_key{"sgd", "net-bulk"};
   const serve::ModelKey interactive_key{"sgd", "net-interactive"};
 
-  net::NetClient control;
+  net::NetClient control(client_options);
   std::string error;
   if (!control.connect(host, port, error)) {
     std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
@@ -182,7 +193,7 @@ int main(int argc, char** argv) {
     util::Timer timer;
     for (std::size_t c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
-        net::NetClient client;
+        net::NetClient client(client_options);
         std::string err;
         if (!client.connect(host, port, err)) {
           std::fprintf(stderr, "client %zu: connect failed: %s\n", c, err.c_str());
@@ -235,7 +246,7 @@ int main(int argc, char** argv) {
   }
 
   auto probe_pass = [&](std::vector<double>& out_us) {
-    net::NetClient probe;
+    net::NetClient probe(client_options);
     std::string err;
     if (!probe.connect(host, port, err)) {
       all_identical.store(false);
@@ -268,7 +279,7 @@ int main(int argc, char** argv) {
   std::vector<std::thread> flood;
   for (int t = 0; t < 3; ++t) {
     flood.emplace_back([&, t] {
-      net::NetClient client;
+      net::NetClient client(client_options);
       std::string err;
       if (!client.connect(host, port, err)) return;
       std::deque<std::future<serve::ServeResult<double>>> window;

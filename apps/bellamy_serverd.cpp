@@ -4,6 +4,7 @@
 //                                [--max-batch=N] [--deadline-us=N]
 //                                [--band=MIN:MAX] [--max-queue=N]
 //                                [--peer=HOST:PORT]... [--sync-ms=N]
+//                                [--io-timeout-ms=N] [--peer-retries=N]
 //                                [--auto-persist]
 //
 // Wires ModelStore -> ModelRegistry -> PredictionService -> net::ServeServer
@@ -17,6 +18,13 @@
 // base), and a background anti-entropy loop (period --sync-ms) keeps the
 // nodes converged.  --auto-persist writes every successful background-refit
 // swap back to the --store directory.
+//
+// --io-timeout-ms bounds every socket stall (server reads/writes AND peer
+// dials/calls): a peer or client that goes silent mid-frame costs a typed
+// timeout, never a hung thread.  0 (the default) = wait forever.
+// --peer-retries is the per-call retry budget against peers (redial +
+// exponential backoff); per-peer circuit breakers stop the sync loop from
+// hammering a dead node regardless.
 //
 // stdin is an admin console (type `help`); EOF on stdin keeps serving — the
 // daemon can run detached with stdin closed.  Exit code 0 after a graceful
@@ -186,12 +194,24 @@ void console_loop(net::ServeServer& server, serve::ModelRegistry& registry,
       const exchange::ExchangeStats x = exchange->stats();
       std::fprintf(stderr,
                    "  catalog %llu  peers %zu  pulls served/completed %llu/%llu\n"
-                   "  warm starts %llu  sync rounds %llu  conflicts skipped %llu\n",
+                   "  warm starts %llu  sync rounds %llu  conflicts skipped %llu\n"
+                   "  peer failures %llu  breaker skips %llu\n",
                    (unsigned long long)x.catalog_size, exchange->peer_count(),
                    (unsigned long long)x.pulls_served,
                    (unsigned long long)x.pulls_completed,
                    (unsigned long long)x.warm_starts, (unsigned long long)x.sync_rounds,
-                   (unsigned long long)x.conflicts_skipped);
+                   (unsigned long long)x.conflicts_skipped,
+                   (unsigned long long)x.peer_failures,
+                   (unsigned long long)x.breaker_skips);
+      for (const exchange::PeerStats& p : x.peers) {
+        std::fprintf(stderr,
+                     "  peer %s: breaker %s  ok %llu  fail %llu  skip %llu  trips %llu  "
+                     "probes %llu  retries %llu\n",
+                     p.name.c_str(), p.breaker_state, (unsigned long long)p.successes,
+                     (unsigned long long)p.failures, (unsigned long long)p.skips,
+                     (unsigned long long)p.trips, (unsigned long long)p.probes,
+                     (unsigned long long)p.retries);
+      }
     } else if (cmd == "drain") {
       std::fprintf(stderr, "draining...\n");
       server.begin_drain();
@@ -213,6 +233,8 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::uint16_t>> peers;
   exchange::ExchangeOptions exchange_options;
   bool auto_persist = false;
+  int io_timeout_ms = 0;
+  int peer_retries = 2;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) {
@@ -249,13 +271,18 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--sync-ms=", 10) == 0) {
       exchange_options.sync_interval =
           std::chrono::milliseconds(std::max(1, std::atoi(argv[i] + 10)));
+    } else if (std::strncmp(argv[i], "--io-timeout-ms=", 16) == 0) {
+      io_timeout_ms = std::max(0, std::atoi(argv[i] + 16));
+    } else if (std::strncmp(argv[i], "--peer-retries=", 15) == 0) {
+      peer_retries = std::max(0, std::atoi(argv[i] + 15));
     } else if (std::strcmp(argv[i], "--auto-persist") == 0) {
       auto_persist = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--store=DIR] [--workers=N] [--max-batch=N]\n"
                    "          [--deadline-us=N] [--band=MIN:MAX] [--max-queue=N]\n"
-                   "          [--peer=HOST:PORT]... [--sync-ms=N] [--auto-persist]\n",
+                   "          [--peer=HOST:PORT]... [--sync-ms=N] [--io-timeout-ms=N]\n"
+                   "          [--peer-retries=N] [--auto-persist]\n",
                    argv[0]);
       return 2;
     }
@@ -290,13 +317,22 @@ int main(int argc, char** argv) {
   // zero --peer flags — a node must ANSWER digests and pulls to seed peers
   // that dial it; only the outbound sync loop needs peers.
   exchange::ExchangeRegistry exchange_node(registry, exchange_options);
+  exchange::TransportOptions transport_options;
+  transport_options.deadlines.connect = std::chrono::milliseconds(io_timeout_ms);
+  transport_options.deadlines.read = std::chrono::milliseconds(io_timeout_ms);
+  transport_options.deadlines.write = std::chrono::milliseconds(io_timeout_ms);
+  transport_options.deadlines.request = std::chrono::milliseconds(io_timeout_ms);
+  transport_options.retry.max_attempts = 1 + peer_retries;
   for (const auto& [host, peer_port] : peers) {
-    exchange_node.add_peer(std::make_shared<exchange::TcpTransport>(host, peer_port));
+    exchange_node.add_peer(
+        std::make_shared<exchange::TcpTransport>(host, peer_port, transport_options));
   }
 
   net::ServerOptions server_options;
   server_options.port = port;
   server_options.peer_service = &exchange_node;
+  server_options.deadlines.read = std::chrono::milliseconds(io_timeout_ms);
+  server_options.deadlines.write = std::chrono::milliseconds(io_timeout_ms);
   net::ServeServer server(registry, service, server_options);
   std::string error;
   if (!server.start(error)) {

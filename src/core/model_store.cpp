@@ -37,11 +37,19 @@ std::string ModelStore::path_for(const std::string& algorithm, const std::string
 void ModelStore::save(const BellamyModel& model, const std::string& algorithm,
                       const std::string& tag) {
   const std::string path = path_for(algorithm, tag);
+  // Crash-safe: write the checkpoint to a temp file in the SAME directory
+  // (rename is only atomic within a filesystem), then rename over the
+  // target.  A crash mid-write leaves the previous checkpoint intact; a
+  // reader never observes a half-written file.
+  const std::string temp = path + ".tmp";
   try {
-    model.save(path);
+    model.save(temp);
+    fs::rename(temp, path);
   } catch (const std::exception& e) {
+    std::error_code discard;
+    fs::remove(temp, discard);
     throw std::runtime_error("ModelStore::save: cannot write '" + algorithm + "/" + tag +
-                             "' to " + path + ": " + e.what());
+                             "' (temp " + temp + ", target " + path + "): " + e.what());
   }
 }
 

@@ -16,8 +16,9 @@ ExchangeRegistry::ExchangeRegistry(serve::ModelRegistry& registry, ExchangeOptio
 ExchangeRegistry::~ExchangeRegistry() { stop(); }
 
 void ExchangeRegistry::add_peer(std::shared_ptr<PeerTransport> peer) {
+  auto entry = std::make_shared<Peer>(std::move(peer), options_.breaker);
   std::lock_guard<std::mutex> lock(mutex_);
-  peers_.push_back(std::move(peer));
+  peers_.push_back(std::move(entry));
 }
 
 std::size_t ExchangeRegistry::peer_count() const {
@@ -25,7 +26,8 @@ std::size_t ExchangeRegistry::peer_count() const {
   return peers_.size();
 }
 
-std::vector<std::shared_ptr<PeerTransport>> ExchangeRegistry::peers_snapshot() const {
+std::vector<std::shared_ptr<ExchangeRegistry::Peer>> ExchangeRegistry::peers_snapshot()
+    const {
   std::lock_guard<std::mutex> lock(mutex_);
   return peers_;
 }
@@ -102,17 +104,24 @@ serve::ServeResult<serve::ModelHandle> ExchangeRegistry::open(const serve::Model
   }
 
   // 3 + 4. Ask every peer what it has.  Transport I/O happens with no lock
-  // held; stamps we observe advance the clock afterwards.
+  // held; stamps we observe advance the clock afterwards.  Peers behind an
+  // open breaker are skipped outright, and a peer that TIMED OUT is
+  // remembered: a miss caused by a silent peer is reported as kTimeout, not
+  // as "nobody has it".
   struct Candidate {
-    std::shared_ptr<PeerTransport> peer;
+    std::shared_ptr<Peer> peer;
     DigestEntry entry;
   };
   std::vector<Candidate> exact;
   std::vector<Candidate> same_job;
+  bool peer_timed_out = false;
   const auto peers = peers_snapshot();
   for (const auto& peer : peers) {
-    auto digest = peer->digest();
-    if (!digest.ok()) continue;
+    auto digest = guarded(*peer, [&] { return peer->transport->digest(); });
+    if (!digest.ok()) {
+      if (digest.status() == serve::ServeStatus::kTimeout) peer_timed_out = true;
+      continue;
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     for (DigestEntry& entry : digest.value()) {
       clock_ = std::max(clock_, entry.stamp);
@@ -131,8 +140,11 @@ serve::ServeResult<serve::ModelHandle> ExchangeRegistry::open(const serve::Model
 
   // 3. Exact key on a peer: pull it, freshest advertiser first.
   for (const Candidate& candidate : exact) {
-    auto pulled = candidate.peer->pull(key);
-    if (!pulled.ok()) continue;  // peer raced an erase / went away: try the next
+    auto pulled = guarded(*candidate.peer, [&] { return candidate.peer->transport->pull(key); });
+    if (!pulled.ok()) {  // peer raced an erase / went away: try the next
+      if (pulled.status() == serve::ServeStatus::kTimeout) peer_timed_out = true;
+      continue;
+    }
     auto installed =
         install_remote(key, pulled.value().stamp, pulled.value().checkpoint_text);
     if (installed.ok()) return installed;
@@ -142,8 +154,12 @@ serve::ServeResult<serve::ModelHandle> ExchangeRegistry::open(const serve::Model
   // model under ITS key, then derive `key` from it — the derived entry
   // shares the pulled base checkpoint, exactly like a local derive().
   for (const Candidate& candidate : same_job) {
-    auto pulled = candidate.peer->pull(candidate.entry.key);
-    if (!pulled.ok()) continue;
+    auto pulled = guarded(*candidate.peer,
+                          [&] { return candidate.peer->transport->pull(candidate.entry.key); });
+    if (!pulled.ok()) {
+      if (pulled.status() == serve::ServeStatus::kTimeout) peer_timed_out = true;
+      continue;
+    }
     auto base = install_remote(candidate.entry.key, pulled.value().stamp,
                                pulled.value().checkpoint_text);
     if (!base.ok()) continue;
@@ -158,7 +174,15 @@ serve::ServeResult<serve::ModelHandle> ExchangeRegistry::open(const serve::Model
     return derived;
   }
 
-  // 5. Nothing anywhere.
+  // 5. Nothing anywhere.  A silent peer is NOT proof of absence: when any
+  // peer timed out and nothing was found, the caller gets the typed
+  // timeout (it may retry; a kUnknownModel would read as authoritative).
+  if (peer_timed_out) {
+    return serve::ServeResult<serve::ModelHandle>::failure(
+        serve::ServeStatus::kTimeout,
+        "open '" + key.str() + "': not local, not stored, and a peer deadline "
+        "elapsed before it answered");
+  }
   std::string detail = peers.empty() ? "and this node has no peers"
                                      : "and none of " + std::to_string(peers.size()) +
                                            " peer(s) has job '" + key.job + "'";
@@ -334,8 +358,8 @@ serve::ServeResult<serve::ModelHandle> ExchangeRegistry::install_remote(
 void ExchangeRegistry::sync_once() {
   sync_rounds_.fetch_add(1);
   for (const auto& peer : peers_snapshot()) {
-    auto digest = peer->digest();
-    if (!digest.ok()) continue;  // unreachable peer: next round retries
+    auto digest = guarded(*peer, [&] { return peer->transport->digest(); });
+    if (!digest.ok()) continue;  // unreachable / circuit open: next round retries
 
     std::vector<DigestEntry> wants;
     {
@@ -356,7 +380,7 @@ void ExchangeRegistry::sync_once() {
       }
     }
     for (const DigestEntry& want : wants) {
-      auto pulled = peer->pull(want.key);
+      auto pulled = guarded(*peer, [&] { return peer->transport->pull(want.key); });
       if (!pulled.ok()) continue;
       (void)install_remote(want.key, pulled.value().stamp, pulled.value().checkpoint_text);
     }
@@ -376,7 +400,8 @@ void ExchangeRegistry::post_advertise() {
   sync_strand_.post([this] {
     const std::vector<DigestEntry> entries = digest_entries();
     for (const auto& peer : peers_snapshot()) {
-      (void)peer->advertise(entries);  // best-effort; digests catch stragglers
+      // Best-effort; digests catch stragglers, open circuits are skipped.
+      (void)guarded(*peer, [&] { return peer->transport->advertise(entries); });
     }
   });
 }
@@ -434,6 +459,21 @@ ExchangeStats ExchangeRegistry::stats() const {
   s.warm_starts = warm_starts_.load();
   s.sync_rounds = sync_rounds_.load();
   s.conflicts_skipped = conflicts_skipped_.load();
+  s.breaker_skips = breaker_skips_.load();
+  s.peer_failures = peer_failures_.load();
+  for (const auto& peer : peers_snapshot()) {
+    PeerStats p;
+    p.name = peer->transport->name();
+    p.breaker_state = util::to_string(peer->breaker.state());
+    p.failures = peer->failures.load();
+    p.successes = peer->successes.load();
+    p.skips = peer->skips.load();
+    const auto counters = peer->breaker.counters();
+    p.trips = counters.trips;
+    p.probes = counters.probes;
+    p.retries = peer->transport->retries();
+    s.peers.push_back(std::move(p));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   s.catalog_size = catalog_.size();
   return s;

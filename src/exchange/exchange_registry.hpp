@@ -56,6 +56,7 @@
 #include "parallel/strand.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/serve_result.hpp"
+#include "util/circuit_breaker.hpp"
 
 namespace bellamy::exchange {
 
@@ -66,6 +67,23 @@ struct ExchangeOptions {
   /// (cuts propagation latency to one one-way message; the periodic digest
   /// loop still catches anything missed).
   bool advertise_on_update = true;
+  /// Per-peer circuit breaker: after `failure_threshold` consecutive
+  /// transport failures a peer's circuit opens and every call to it is
+  /// skipped (no wire traffic, no redial stalls) until a half-open probe
+  /// succeeds after `cooldown`.  Anti-entropy stops hammering dead nodes.
+  util::CircuitBreakerOptions breaker;
+};
+
+/// Per-peer health, reported in ExchangeStats::peers.
+struct PeerStats {
+  std::string name;
+  const char* breaker_state = "closed";
+  std::uint64_t failures = 0;   ///< transport failures observed
+  std::uint64_t successes = 0;  ///< calls that reached a live peer
+  std::uint64_t skips = 0;      ///< calls skipped while the circuit was open
+  std::uint64_t trips = 0;      ///< closed/half-open -> open transitions
+  std::uint64_t probes = 0;     ///< half-open probes admitted
+  std::uint64_t retries = 0;    ///< transport-level redial retries
 };
 
 /// Monotonic counters (stats()).
@@ -76,6 +94,9 @@ struct ExchangeStats {
   std::uint64_t sync_rounds = 0;        ///< anti-entropy rounds run
   std::uint64_t conflicts_skipped = 0;  ///< remote newer but locally pinned
   std::uint64_t catalog_size = 0;       ///< rows currently advertised
+  std::uint64_t breaker_skips = 0;      ///< peer calls skipped: circuit open
+  std::uint64_t peer_failures = 0;      ///< transport failures, all peers
+  std::vector<PeerStats> peers;         ///< per-peer health snapshot
 };
 
 /// One node of the exchange mesh.  Implements net::PeerService, so the same
@@ -159,6 +180,43 @@ class ExchangeRegistry final : public net::PeerService {
     bool pinned = false;  ///< locally refit; never overwritten by a pull
   };
 
+  /// A transport plus its health: the breaker gates every call, the
+  /// counters feed PeerStats.
+  struct Peer {
+    Peer(std::shared_ptr<PeerTransport> t, const util::CircuitBreakerOptions& breaker_options)
+        : transport(std::move(t)), breaker(breaker_options) {}
+    std::shared_ptr<PeerTransport> transport;
+    util::CircuitBreaker breaker;
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> successes{0};
+    std::atomic<std::uint64_t> skips{0};
+  };
+
+  /// Run one transport call through the peer's breaker: an open circuit is
+  /// skipped without touching the wire; the outcome feeds the breaker
+  /// (transport failures count against it, typed peer-side answers are
+  /// proof of life and count as success).
+  template <typename Fn>
+  auto guarded(Peer& peer, Fn&& fn) -> decltype(fn()) {
+    using Result = decltype(fn());
+    if (!peer.breaker.allow()) {
+      peer.skips.fetch_add(1);
+      breaker_skips_.fetch_add(1);
+      return Result::failure(serve::ServeStatus::kShutdown,
+                             "peer " + peer.transport->name() + ": circuit open");
+    }
+    auto result = fn();
+    if (!result.ok() && is_transport_failure(result.status())) {
+      peer.failures.fetch_add(1);
+      peer_failures_.fetch_add(1);
+      peer.breaker.record_failure();
+    } else {
+      peer.successes.fetch_add(1);
+      peer.breaker.record_success();
+    }
+    return result;
+  }
+
   /// ++clock_ (callers hold mutex_).
   std::uint64_t next_stamp_locked();
   /// Catalog rows for keys published straight into the registry (wire
@@ -181,7 +239,7 @@ class ExchangeRegistry final : public net::PeerService {
   /// Post an advertise of the current catalog to every peer (best-effort,
   /// on the strand).
   void post_advertise();
-  std::vector<std::shared_ptr<PeerTransport>> peers_snapshot() const;
+  std::vector<std::shared_ptr<Peer>> peers_snapshot() const;
 
   serve::ModelRegistry& registry_;
   ExchangeOptions options_;
@@ -189,7 +247,7 @@ class ExchangeRegistry final : public net::PeerService {
   mutable std::mutex mutex_;  ///< guards catalog_, clock_, peers_
   std::map<serve::ModelKey, CatalogEntry> catalog_;
   std::uint64_t clock_ = 0;
-  std::vector<std::shared_ptr<PeerTransport>> peers_;
+  std::vector<std::shared_ptr<Peer>> peers_;
 
   parallel::Strand sync_strand_{parallel::ThreadPool::global()};
   std::atomic<bool> sync_queued_{false};  ///< coalesces pending sync rounds
@@ -205,6 +263,8 @@ class ExchangeRegistry final : public net::PeerService {
   std::atomic<std::uint64_t> warm_starts_{0};
   std::atomic<std::uint64_t> sync_rounds_{0};
   std::atomic<std::uint64_t> conflicts_skipped_{0};
+  std::atomic<std::uint64_t> breaker_skips_{0};
+  std::atomic<std::uint64_t> peer_failures_{0};
 };
 
 }  // namespace bellamy::exchange

@@ -4,13 +4,16 @@
 
 namespace bellamy::exchange {
 
-TcpTransport::TcpTransport(std::string host, std::uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+TcpTransport::TcpTransport(std::string host, std::uint16_t port, TransportOptions options)
+    : host_(std::move(host)), port_(port), options_(std::move(options)) {}
 
 std::shared_ptr<net::NetClient> TcpTransport::ensure_connected(std::string& error) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (client_ && client_->connected()) return client_;
-  auto fresh = std::make_shared<net::NetClient>();
+  net::ClientOptions client_options;
+  client_options.deadlines = options_.deadlines;
+  client_options.fault_injector = options_.fault_injector;
+  auto fresh = std::make_shared<net::NetClient>(std::move(client_options));
   if (!fresh->connect(host_, port_, error)) return nullptr;
   client_ = std::move(fresh);
   return client_;
@@ -21,48 +24,20 @@ void TcpTransport::drop(const std::shared_ptr<net::NetClient>& client) {
   if (client_ == client) client_.reset();
 }
 
-bool TcpTransport::transport_failure(serve::ServeStatus status) {
-  // kShutdown is how NetClient reports a dead connection; kInternalError
-  // covers protocol garbage, after which the stream position is untrusted.
-  return status == serve::ServeStatus::kShutdown ||
-         status == serve::ServeStatus::kInternalError;
-}
-
 serve::ServeResult<std::vector<DigestEntry>> TcpTransport::digest() {
-  std::string error;
-  auto client = ensure_connected(error);
-  if (!client) {
-    return serve::ServeResult<std::vector<DigestEntry>>::failure(
-        serve::ServeStatus::kShutdown, "peer " + name() + " unreachable: " + error);
-  }
-  auto result = client->digest();
-  if (!result.ok() && transport_failure(result.status())) drop(client);
-  return result;
+  return with_retry<std::vector<DigestEntry>>(
+      [](net::NetClient& client) { return client.digest(); });
 }
 
 serve::ServeResult<PulledCheckpoint> TcpTransport::pull(const serve::ModelKey& key) {
-  std::string error;
-  auto client = ensure_connected(error);
-  if (!client) {
-    return serve::ServeResult<PulledCheckpoint>::failure(
-        serve::ServeStatus::kShutdown, "peer " + name() + " unreachable: " + error);
-  }
-  auto result = client->pull_model(key);
-  if (!result.ok() && transport_failure(result.status())) drop(client);
-  return result;
+  return with_retry<PulledCheckpoint>(
+      [&key](net::NetClient& client) { return client.pull_model(key); });
 }
 
 serve::ServeResult<serve::Unit> TcpTransport::advertise(
     const std::vector<DigestEntry>& entries) {
-  std::string error;
-  auto client = ensure_connected(error);
-  if (!client) {
-    return serve::ServeResult<serve::Unit>::failure(
-        serve::ServeStatus::kShutdown, "peer " + name() + " unreachable: " + error);
-  }
-  auto result = client->advertise(entries);
-  if (!result.ok() && transport_failure(result.status())) drop(client);
-  return result;
+  return with_retry<serve::Unit>(
+      [&entries](net::NetClient& client) { return client.advertise(entries); });
 }
 
 std::string TcpTransport::name() const { return host_ + ":" + std::to_string(port_); }

@@ -14,6 +14,9 @@
 // Error contract matches the serve layer: peer-unreachable and peer-side
 // failures are typed ServeResults, never exceptions.
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +29,14 @@ namespace bellamy::exchange {
 // moves is what the protocol encodes, so Local and Tcp cannot drift apart.
 using net::DigestEntry;
 using net::PulledCheckpoint;
+
+/// True when `status` means the CONNECTION / peer is unusable, not the
+/// request: kShutdown (peer gone), kInternalError (protocol garbage — the
+/// stream position is untrusted), kTimeout (a deadline elapsed).  A typed
+/// peer-side answer (kUnknownModel, kInvalidArgument, ...) is proof the
+/// peer is alive and speaking the protocol — retrying it is pointless and
+/// the circuit breaker counts it as a success.
+bool is_transport_failure(serve::ServeStatus status);
 
 class PeerTransport {
  public:
@@ -44,6 +55,10 @@ class PeerTransport {
 
   /// Peer name for log and error messages ("local:b", "host:7113").
   virtual std::string name() const = 0;
+
+  /// Transport-level retries burned so far (TcpTransport's redial loop; 0
+  /// for transports that never retry).
+  virtual std::uint64_t retries() const { return 0; }
 };
 
 /// In-process peer: forwards straight to the target node's PeerService (the
@@ -61,6 +76,41 @@ class LocalTransport final : public PeerTransport {
  private:
   net::PeerService& target_;
   std::string name_;
+};
+
+/// Chaos decorator over any PeerTransport: every forwarded call first
+/// consults a hard outage switch (set_down — a killed peer, not a flaky
+/// one) and then a FaultInjector, whose faults map onto the typed failures
+/// a real socket would produce (drop/truncate/disconnect -> kShutdown,
+/// garble -> kInternalError, delay -> sleep then forward).  Deterministic
+/// from the injector's seed; the in-process chaos tests own it.
+class ChaosTransport final : public PeerTransport {
+ public:
+  ChaosTransport(std::shared_ptr<PeerTransport> inner,
+                 std::shared_ptr<net::FaultInjector> faults);
+
+  serve::ServeResult<std::vector<DigestEntry>> digest() override;
+  serve::ServeResult<PulledCheckpoint> pull(const serve::ModelKey& key) override;
+  serve::ServeResult<serve::Unit> advertise(const std::vector<DigestEntry>& entries) override;
+  std::string name() const override;
+
+  /// While down, every call fails kShutdown without reaching the inner
+  /// transport.
+  void set_down(bool down) { down_.store(down); }
+  bool down() const { return down_.load(); }
+
+ private:
+  struct Veto {
+    bool vetoed = false;
+    serve::ServeStatus status = serve::ServeStatus::kShutdown;
+    std::string message;
+  };
+  /// Outage switch + one injector draw; sleeps through kDelay faults.
+  Veto consult();
+
+  std::shared_ptr<PeerTransport> inner_;
+  std::shared_ptr<net::FaultInjector> faults_;
+  std::atomic<bool> down_{false};
 };
 
 }  // namespace bellamy::exchange

@@ -1,6 +1,8 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "nn/serialize.hpp"
@@ -9,10 +11,14 @@ namespace bellamy::net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 template <typename T>
-serve::ServeResult<T> transport_lost() {
-  return serve::ServeResult<T>::failure(serve::ServeStatus::kShutdown,
-                                        "connection closed before the response arrived");
+serve::ServeResult<T> transport_lost(serve::ServeStatus status) {
+  return serve::ServeResult<T>::failure(
+      status, status == serve::ServeStatus::kTimeout
+                  ? "request deadline elapsed before the response arrived"
+                  : "connection closed before the response arrived");
 }
 
 /// Map a response's head onto a ServeResult, or a decode failure onto
@@ -41,8 +47,17 @@ bool NetClient::connect(const std::string& host, std::uint16_t port, std::string
     error = "already connected";
     return false;
   }
-  sock_ = tcp_connect(host, port, error);
-  if (!sock_) return false;
+  util::RetrySchedule schedule(options_.dial_retry);
+  while (true) {
+    sock_ = tcp_connect(host, port, options_.deadlines.connect, error);
+    if (sock_) break;
+    std::chrono::milliseconds delay{0};
+    if (!schedule.next_delay(delay)) return false;
+    dial_retries_ += 1;
+    std::this_thread::sleep_for(delay);
+  }
+  sock_.set_deadlines(options_.deadlines);
+  if (options_.fault_injector) sock_.set_fault_injector(options_.fault_injector);
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     open_ = true;
@@ -67,7 +82,7 @@ void NetClient::close() {
   }
   sock_.shutdown_both();  // unblocks the reader
   if (reader_.joinable()) reader_.join();
-  fail_all_pending();
+  fail_all_pending(serve::ServeStatus::kShutdown);
   sock_.close();
 }
 
@@ -82,36 +97,91 @@ void NetClient::send_request(Req& req, Deliver deliver) {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (!open_) {
-      deliver(nullptr);
+      deliver(nullptr, serve::ServeStatus::kShutdown);
       return;
     }
-    pending_.emplace(req.request_id, deliver);
+    Pending entry;
+    entry.deliver = deliver;
+    entry.deadline = options_.deadlines.request.count() > 0
+                         ? Clock::now() + options_.deadlines.request
+                         : Clock::time_point::max();
+    pending_.emplace(req.request_id, std::move(entry));
   }
   const std::vector<std::uint8_t> frame = encode_frame(req);
-  bool sent = false;
+  IoStatus sent = IoStatus::kClosed;
   {
     std::lock_guard<std::mutex> lock(send_mutex_);
     sent = sock_.write_all(frame.data(), frame.size());
   }
-  if (!sent) {
+  if (sent != IoStatus::kOk) {
     Deliver orphan;
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
       auto it = pending_.find(req.request_id);
       if (it != pending_.end()) {
-        orphan = std::move(it->second);
+        orphan = std::move(it->second.deliver);
         pending_.erase(it);
       }
     }
-    if (orphan) orphan(nullptr);
+    if (orphan) {
+      orphan(nullptr, sent == IoStatus::kTimeout ? serve::ServeStatus::kTimeout
+                                                 : serve::ServeStatus::kShutdown);
+    }
   }
+}
+
+std::chrono::milliseconds NetClient::reader_wait() const {
+  // No request budget configured: the reader may park forever — a response
+  // or close() will wake it.  With a budget, never sleep past the nearest
+  // pending deadline; with no pending, tick at the budget so a request sent
+  // DURING the sleep still expires within 2x its deadline.
+  if (options_.deadlines.request.count() <= 0) return kWaitForever;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto nearest = Clock::time_point::max();
+  for (const auto& [id, entry] : pending_) nearest = std::min(nearest, entry.deadline);
+  if (nearest == Clock::time_point::max()) return options_.deadlines.request;
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(nearest - Clock::now());
+  return std::max(std::chrono::milliseconds{1},
+                  std::min(left, options_.deadlines.request));
+}
+
+void NetClient::expire_overdue() {
+  std::vector<Deliver> overdue;
+  const auto now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.deadline <= now) {
+        overdue.push_back(std::move(it->second.deliver));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // A late response to an expired id is dropped by the correlation map —
+  // exactly one resolution per request, timeout or response, never both.
+  for (Deliver& deliver : overdue) deliver(nullptr, serve::ServeStatus::kTimeout);
 }
 
 void NetClient::reader_loop() {
   std::vector<std::uint8_t> body;
+  serve::ServeStatus epitaph = serve::ServeStatus::kShutdown;
   while (true) {
+    const IoStatus ready = sock_.wait_readable(reader_wait());
+    if (ready == IoStatus::kTimeout) {
+      expire_overdue();
+      continue;
+    }
+    if (ready != IoStatus::kOk) break;
+
     std::uint8_t prefix[4];
-    if (!sock_.read_exact(prefix, sizeof prefix)) break;
+    IoStatus status = sock_.read_exact(prefix, sizeof prefix);
+    if (status != IoStatus::kOk) {
+      if (status == IoStatus::kTimeout) epitaph = serve::ServeStatus::kTimeout;
+      break;
+    }
     std::uint32_t len = 0;
     {
       WireReader r(prefix, sizeof prefix);
@@ -119,7 +189,13 @@ void NetClient::reader_loop() {
     }
     if (len < 4 || len > kMaxFrameBytes) break;
     body.resize(len);
-    if (!sock_.read_exact(body.data(), len)) break;
+    status = sock_.read_exact(body.data(), len);
+    if (status != IoStatus::kOk) {
+      // A frame that stalls mid-body leaves the stream position untrusted:
+      // the connection is over, and the pendings fail with the reason.
+      if (status == IoStatus::kTimeout) epitaph = serve::ServeStatus::kTimeout;
+      break;
+    }
 
     FrameView frame;
     if (parse_body(body.data(), body.size(), frame) != WireStatus::kOk) break;
@@ -135,26 +211,26 @@ void NetClient::reader_loop() {
       std::lock_guard<std::mutex> lock(state_mutex_);
       auto it = pending_.find(request_id);
       if (it != pending_.end()) {
-        deliver = std::move(it->second);
+        deliver = std::move(it->second.deliver);
         pending_.erase(it);
       }
     }
-    if (deliver) deliver(&frame);  // unknown ids are dropped silently
+    if (deliver) deliver(&frame, serve::ServeStatus::kOk);  // unknown ids dropped
   }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     open_ = false;
   }
-  fail_all_pending();
+  fail_all_pending(epitaph);
 }
 
-void NetClient::fail_all_pending() {
-  std::map<std::uint64_t, Deliver> orphans;
+void NetClient::fail_all_pending(serve::ServeStatus status) {
+  std::map<std::uint64_t, Pending> orphans;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     orphans.swap(pending_);
   }
-  for (auto& [id, deliver] : orphans) deliver(nullptr);
+  for (auto& [id, entry] : orphans) entry.deliver(nullptr, status);
 }
 
 // ---------------------------------------------------------------------------
@@ -168,9 +244,9 @@ std::future<serve::ServeResult<double>> NetClient::predict_async(const serve::Mo
   PredictRequest req;
   req.key = key;
   req.query = query;
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<double>());
+      promise->set_value(transport_lost<double>(fail));
       return;
     }
     PredictResponse resp;
@@ -196,9 +272,9 @@ std::future<serve::ServeResult<std::vector<double>>> NetClient::predict_many_asy
   PredictManyRequest req;
   req.key = key;
   req.queries = queries;
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<std::vector<double>>());
+      promise->set_value(transport_lost<std::vector<double>>(fail));
       return;
     }
     PredictManyResponse resp;
@@ -227,9 +303,9 @@ serve::ServeResult<serve::Unit> NetClient::publish(const serve::ModelKey& key,
 
   auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<serve::Unit>());
+      promise->set_value(transport_lost<serve::Unit>(fail));
       return;
     }
     PublishResponse resp;
@@ -254,9 +330,9 @@ serve::ServeResult<core::FineTuneResult> NetClient::refit(
 
   auto promise = std::make_shared<std::promise<serve::ServeResult<core::FineTuneResult>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<core::FineTuneResult>());
+      promise->set_value(transport_lost<core::FineTuneResult>(fail));
       return;
     }
     RefitResponse resp;
@@ -280,9 +356,9 @@ serve::ServeResult<serve::ServeMetrics> NetClient::metrics(const serve::ModelKey
   req.key = key;
   auto promise = std::make_shared<std::promise<serve::ServeResult<serve::ServeMetrics>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<serve::ServeMetrics>());
+      promise->set_value(transport_lost<serve::ServeMetrics>(fail));
       return;
     }
     MetricsResponse resp;
@@ -305,9 +381,9 @@ serve::ServeResult<serve::Unit> NetClient::set_qos(const serve::ModelKey& key,
   req.max_lag_us = static_cast<std::uint64_t>(qos.max_lag.count());
   auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<serve::Unit>());
+      promise->set_value(transport_lost<serve::Unit>(fail));
       return;
     }
     SetQosResponse resp;
@@ -326,9 +402,9 @@ serve::ServeResult<serve::Unit> NetClient::erase(const serve::ModelKey& key) {
   req.key = key;
   auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<serve::Unit>());
+      promise->set_value(transport_lost<serve::Unit>(fail));
       return;
     }
     EraseResponse resp;
@@ -347,9 +423,9 @@ serve::ServeResult<std::vector<DigestEntry>> NetClient::digest() {
   auto promise =
       std::make_shared<std::promise<serve::ServeResult<std::vector<DigestEntry>>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<std::vector<DigestEntry>>());
+      promise->set_value(transport_lost<std::vector<DigestEntry>>(fail));
       return;
     }
     DigestResponse resp;
@@ -368,9 +444,9 @@ serve::ServeResult<PulledCheckpoint> NetClient::pull_model(const serve::ModelKey
   req.key = key;
   auto promise = std::make_shared<std::promise<serve::ServeResult<PulledCheckpoint>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<PulledCheckpoint>());
+      promise->set_value(transport_lost<PulledCheckpoint>(fail));
       return;
     }
     PullResponse resp;
@@ -392,9 +468,9 @@ serve::ServeResult<serve::Unit> NetClient::advertise(const std::vector<DigestEnt
   req.entries = entries;
   auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<serve::Unit>());
+      promise->set_value(transport_lost<serve::Unit>(fail));
       return;
     }
     AdvertiseResponse resp;
@@ -412,9 +488,9 @@ serve::ServeResult<serve::Unit> NetClient::drain() {
   DrainRequest req;
   auto promise = std::make_shared<std::promise<serve::ServeResult<serve::Unit>>>();
   auto future = promise->get_future();
-  send_request(req, [promise](const FrameView* frame) {
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
     if (frame == nullptr) {
-      promise->set_value(transport_lost<serve::Unit>());
+      promise->set_value(transport_lost<serve::Unit>(fail));
       return;
     }
     DrainResponse resp;

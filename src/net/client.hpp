@@ -13,6 +13,14 @@
 // kShutdown / kInternalError with the transport reason in the message, and
 // a lost connection fails ALL pending requests — nothing hangs.
 //
+// DEADLINES (ClientOptions::deadlines): `connect` bounds the dial, `read`/
+// `write` bound socket stalls, and `request` is the end-to-end budget per
+// request — a request whose response has not been matched within it fails
+// with the typed kTimeout (the eventual late response, if any, is dropped
+// by id).  Expiry is checked at `request` granularity, so a timed-out
+// request resolves within 2x the configured budget in the worst case.
+// `dial_retry` retries connect() with seeded exponential backoff.
+//
 // refit() is synchronous from the caller's view but non-blocking on the
 // server: the RefitResponse is pushed when the background fine-tune lands,
 // and may arrive long after (and out of order with) later predict traffic.
@@ -34,22 +42,38 @@
 #include "serve/model_registry.hpp"
 #include "serve/prediction_service.hpp"
 #include "serve/serve_result.hpp"
+#include "util/retry.hpp"
 
 namespace bellamy::net {
+
+struct ClientOptions {
+  /// Socket + per-request budgets; all 0 (unbounded) by default.
+  DeadlineOptions deadlines;
+  /// Dial retry policy for connect().  max_attempts = 1 (the default here)
+  /// keeps connect() single-shot.
+  util::RetryPolicy dial_retry{.max_attempts = 1};
+  /// Chaos seam: installed on the connected socket (tests only).
+  std::shared_ptr<FaultInjector> fault_injector;
+};
 
 class NetClient {
  public:
   NetClient() = default;
+  explicit NetClient(ClientOptions options) : options_(std::move(options)) {}
   ~NetClient();
 
   NetClient(const NetClient&) = delete;
   NetClient& operator=(const NetClient&) = delete;
 
   /// Connect to host:port (hostname or numeric address; resolved via
-  /// getaddrinfo, IPv4 preferred).  False with the reason in `error`.  A
+  /// getaddrinfo, IPv4 preferred), bounded by the connect deadline and
+  /// retried per dial_retry.  False with the reason in `error`.  A
   /// NetClient connects once; make a new one to reconnect.
   bool connect(const std::string& host, std::uint16_t port, std::string& error);
   bool connected() const;
+
+  /// Dial retries burned by connect() (0 when the first attempt landed).
+  std::uint64_t dial_retries() const { return dial_retries_; }
 
   /// Close the connection; every pending request fails with kShutdown.
   /// Idempotent; the destructor calls it.
@@ -101,8 +125,14 @@ class NetClient {
 
  private:
   /// Delivery hook of one pending request: called with the response frame,
-  /// or with nullptr when the connection died first.
-  using Deliver = std::function<void(const FrameView*)>;
+  /// or with nullptr and the typed failure (kShutdown: connection died;
+  /// kTimeout: the request budget elapsed) when no response will come.
+  using Deliver = std::function<void(const FrameView*, serve::ServeStatus)>;
+
+  struct Pending {
+    Deliver deliver;
+    std::chrono::steady_clock::time_point deadline;  ///< max() = no budget
+  };
 
   std::uint64_t next_id();
   /// Register `deliver` under a fresh id, send the frame.  On send failure
@@ -110,15 +140,21 @@ class NetClient {
   template <typename Req>
   void send_request(Req& req, Deliver deliver);
   void reader_loop();
-  /// Fail every pending request (connection lost).
-  void fail_all_pending();
+  /// How long the reader may sleep before the nearest pending deadline.
+  std::chrono::milliseconds reader_wait() const;
+  /// Fail pending requests whose deadline passed with kTimeout.
+  void expire_overdue();
+  /// Fail every pending request (connection lost / read stalled out).
+  void fail_all_pending(serve::ServeStatus status);
 
+  ClientOptions options_;
   Socket sock_;
   std::thread reader_;
   mutable std::mutex send_mutex_;   ///< serializes frame writes
   mutable std::mutex state_mutex_;  ///< guards pending_ / open_
-  std::map<std::uint64_t, Deliver> pending_;
+  std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t dial_retries_ = 0;
   bool open_ = false;
 };
 

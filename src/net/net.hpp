@@ -26,7 +26,8 @@
 // The server must be stopped/destroyed before the service, the service
 // before the registry (same ordering rule as the in-process stack).
 
-#include "net/client.hpp"  // IWYU pragma: export
-#include "net/server.hpp"  // IWYU pragma: export
-#include "net/socket.hpp"  // IWYU pragma: export
-#include "net/wire.hpp"    // IWYU pragma: export
+#include "net/client.hpp"          // IWYU pragma: export
+#include "net/fault_injector.hpp"  // IWYU pragma: export
+#include "net/server.hpp"          // IWYU pragma: export
+#include "net/socket.hpp"          // IWYU pragma: export
+#include "net/wire.hpp"            // IWYU pragma: export

@@ -118,9 +118,21 @@ bool ServeServer::start(std::string& error) {
 
 void ServeServer::accept_loop() {
   while (true) {
-    Socket client = tcp_accept(listener_);
-    if (!client) break;  // listener shut down (drain/stop)
+    AcceptStatus status = AcceptStatus::kOk;
+    Socket client = tcp_accept(listener_, &status);
+    if (!client) {
+      if (status == AcceptStatus::kTransient && !draining_.load()) {
+        // Resource pressure (EMFILE, ECONNABORTED, ...): the listener is
+        // fine, the daemon must not die.  Count it, back off, try again.
+        accept_retries_.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listener shut down (drain/stop) or unusable
+    }
     if (draining_.load()) continue;  // socket closes immediately: not accepting
+    client.set_deadlines(options_.deadlines);
+    if (options_.fault_injector) client.set_fault_injector(options_.fault_injector);
     auto conn = std::make_shared<Connection>(std::move(client));
     accepted_.fetch_add(1);
     open_.fetch_add(1);
@@ -137,8 +149,15 @@ void ServeServer::accept_loop() {
 void ServeServer::reader_loop(const std::shared_ptr<Connection>& conn) {
   std::vector<std::uint8_t> body;
   while (true) {
+    // An idle connection is legal for any length of time; the stall budget
+    // starts once a frame does.
+    if (conn->sock.wait_readable(kWaitForever) != IoStatus::kOk) break;
     std::uint8_t prefix[4];
-    if (!conn->sock.read_exact(prefix, sizeof prefix)) break;  // EOF / closed
+    IoStatus io = conn->sock.read_exact(prefix, sizeof prefix);
+    if (io != IoStatus::kOk) {  // EOF / closed / stalled
+      if (io == IoStatus::kTimeout) io_timeouts_.fetch_add(1);
+      break;
+    }
     std::uint32_t len = 0;
     {
       WireReader r(prefix, sizeof prefix);
@@ -149,7 +168,11 @@ void ServeServer::reader_loop(const std::shared_ptr<Connection>& conn) {
       break;
     }
     body.resize(len);
-    if (!conn->sock.read_exact(body.data(), len)) break;
+    io = conn->sock.read_exact(body.data(), len);
+    if (io != IoStatus::kOk) {
+      if (io == IoStatus::kTimeout) io_timeouts_.fetch_add(1);
+      break;
+    }
 
     FrameView frame;
     const WireStatus status = parse_body(body.data(), body.size(), frame);
@@ -477,10 +500,14 @@ void ServeServer::writer_loop(const std::shared_ptr<Connection>& conn) {
     }
 
     if (alive && !bytes.empty()) {
-      if (conn->sock.write_all(bytes.data(), bytes.size())) {
+      const IoStatus io = conn->sock.write_all(bytes.data(), bytes.size());
+      if (io == IoStatus::kOk) {
         frames_out_.fetch_add(1);
       } else {
-        alive = false;  // keep harvesting futures, stop writing
+        // A client that stopped reading past the write budget is as gone as
+        // one that closed.  Keep harvesting futures, stop writing.
+        if (io == IoStatus::kTimeout) io_timeouts_.fetch_add(1);
+        alive = false;
       }
     }
     if (item.kind == Kind::kDrain) break;  // DrainResponse is the last frame
@@ -563,6 +590,8 @@ ServerStats ServeServer::stats() const {
   s.frames_in = frames_in_.load();
   s.frames_out = frames_out_.load();
   s.protocol_errors = protocol_errors_.load();
+  s.accept_retries = accept_retries_.load();
+  s.io_timeouts = io_timeouts_.load();
   s.draining = draining_.load();
   return s;
 }

@@ -89,6 +89,13 @@ struct ServerOptions {
   /// the server AND any refit still in flight at teardown (the refit
   /// completion callback notifies it).
   PeerService* peer_service = nullptr;
+  /// Socket stall budgets applied to every accepted connection (read/write;
+  /// connect/request are client-side and ignored here).  An idle client is
+  /// fine — the reader waits for the FIRST byte of a frame without budget —
+  /// but a peer that goes silent mid-frame is cut off after `read`.
+  DeadlineOptions deadlines;
+  /// Chaos seam installed on every accepted socket (tests only).
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 /// Monotonic counters; draining flips once and stays.
@@ -98,6 +105,8 @@ struct ServerStats {
   std::uint64_t frames_in = 0;
   std::uint64_t frames_out = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t accept_retries = 0;  ///< transient accept failures survived
+  std::uint64_t io_timeouts = 0;     ///< connections cut for stalling mid-frame
   bool draining = false;
 };
 
@@ -171,6 +180,8 @@ class ServeServer {
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> frames_out_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> accept_retries_{0};
+  std::atomic<std::uint64_t> io_timeouts_{0};
 };
 
 }  // namespace bellamy::net

@@ -2,18 +2,28 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <mutex>
+#include <thread>
 #include <vector>
+
+#include "net/fault_injector.hpp"
 
 namespace bellamy::net {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 std::string errno_text(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
@@ -24,45 +34,167 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+/// poll() for `events`, EINTR-safe, negative timeout = forever.  kOk also
+/// covers POLLHUP/POLLERR: the next recv/send reports the exact condition.
+IoStatus wait_for(int fd, short events, std::chrono::milliseconds timeout) {
+  if (fd < 0) return IoStatus::kClosed;
+  const bool bounded = timeout.count() >= 0;
+  const Clock::time_point deadline = Clock::now() + timeout;
+  while (true) {
+    int wait_ms = -1;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, wait_ms);
+    if (rc > 0) return IoStatus::kOk;
+    if (rc == 0) return IoStatus::kTimeout;
+    if (errno == EINTR) continue;  // recompute the remaining budget and re-poll
+    return IoStatus::kClosed;
+  }
+}
+
 }  // namespace
+
+const char* to_string(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kClosed: return "closed";
+    case IoStatus::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_),
+      read_timeout_(other.read_timeout_),
+      write_timeout_(other.write_timeout_),
+      faults_(std::move(other.faults_)) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    read_timeout_ = other.read_timeout_;
+    write_timeout_ = other.write_timeout_;
+    faults_ = std::move(other.faults_);
     other.fd_ = -1;
   }
   return *this;
 }
 
-bool Socket::read_exact(void* buf, std::size_t size) const {
+void Socket::set_deadlines(const DeadlineOptions& deadlines) {
+  read_timeout_ = deadlines.read;
+  write_timeout_ = deadlines.write;
+}
+
+void Socket::set_fault_injector(std::shared_ptr<FaultInjector> faults) {
+  faults_ = std::move(faults);
+}
+
+IoStatus Socket::read_exact(void* buf, std::size_t size) const {
+  Fault fault;
+  if (faults_) fault = faults_->next(FaultOp::kRead);
+  if (fault.kind == FaultKind::kDelay) std::this_thread::sleep_for(fault.delay);
+  if (fault.kind == FaultKind::kDisconnect) {
+    shutdown_both();
+    return IoStatus::kClosed;
+  }
+
   auto* p = static_cast<std::uint8_t*>(buf);
   std::size_t got = 0;
   while (got < size) {
+    if (read_timeout_.count() > 0) {
+      // Stall budget: each wait allows read_timeout_ of silence; progress
+      // below restarts it on the next lap.
+      const IoStatus waited = wait_for(fd_, POLLIN, read_timeout_);
+      if (waited != IoStatus::kOk) return waited;
+    }
     const ssize_t n = ::recv(fd_, p + got, size - got, 0);
     if (n > 0) {
       got += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    return false;  // 0 = orderly EOF, < 0 = error; either way the frame is gone
+    return IoStatus::kClosed;  // 0 = orderly EOF, < 0 = error; the frame is gone
   }
-  return true;
+  if (fault.kind == FaultKind::kGarble) faults_->garble(p, size);
+  return IoStatus::kOk;
 }
 
-bool Socket::write_all(const void* buf, std::size_t size) const {
+IoStatus Socket::write_all(const void* buf, std::size_t size) const {
   const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::vector<std::uint8_t> garbled;
+
+  Fault fault;
+  if (faults_) fault = faults_->next(FaultOp::kWrite);
+  switch (fault.kind) {
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(fault.delay);
+      break;
+    case FaultKind::kDrop:
+      // The bytes vanish: the local caller believes the write landed, the
+      // peer's deadline discovers it never did.
+      return IoStatus::kOk;
+    case FaultKind::kTruncate:
+      // Half a frame leaves, then the stream breaks — the peer sees a runt
+      // frame followed by EOF.
+      size = size / 2;
+      break;
+    case FaultKind::kGarble:
+      garbled.assign(p, p + size);
+      faults_->garble(garbled.data(), garbled.size());
+      p = garbled.data();
+      break;
+    case FaultKind::kDisconnect:
+      shutdown_both();
+      return IoStatus::kClosed;
+    case FaultKind::kNone:
+      break;
+  }
+
+  // Nonblocking sends with a poll on EAGAIN: a blocking send() of a large
+  // buffer parks until EVERY byte is queued, which would let a peer that
+  // stops reading hang us past any budget.  This way the stall budget is a
+  // true progress bound — it resets on every accepted chunk and fires only
+  // when the kernel accepts nothing for `write` straight.
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
-    if (n >= 0) {
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
-    if (errno == EINTR) continue;
-    return false;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const IoStatus waited = wait_for(
+          fd_, POLLOUT,
+          write_timeout_.count() > 0 ? write_timeout_ : std::chrono::milliseconds(-1));
+      if (waited != IoStatus::kOk) return waited;
+      continue;
+    }
+    return IoStatus::kClosed;
   }
-  return true;
+  if (fault.kind == FaultKind::kTruncate) {
+    shutdown_both();
+    return IoStatus::kClosed;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus Socket::wait_readable(std::chrono::milliseconds timeout) const {
+  return wait_for(fd_, POLLIN, timeout);
 }
 
 void Socket::shutdown_both() const {
@@ -77,6 +209,7 @@ void Socket::close() {
 }
 
 Socket tcp_listen(std::uint16_t port, std::uint16_t& bound_port, std::string& error) {
+  ignore_sigpipe();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     error = errno_text("socket");
@@ -111,19 +244,48 @@ Socket tcp_listen(std::uint16_t port, std::uint16_t& bound_port, std::string& er
   return sock;
 }
 
-Socket tcp_accept(const Socket& listener) {
+Socket tcp_accept(const Socket& listener, AcceptStatus* status, std::string* error) {
+  const auto fail = [&](AcceptStatus what) {
+    if (status != nullptr) *status = what;
+    if (error != nullptr) *error = errno_text("accept");
+    return Socket();
+  };
   while (true) {
     const int fd = ::accept(listener.fd(), nullptr, nullptr);
     if (fd >= 0) {
       set_nodelay(fd);
+      if (status != nullptr) *status = AcceptStatus::kOk;
       return Socket(fd);
     }
-    if (errno == EINTR) continue;
-    return Socket();
+    switch (errno) {
+      case EINTR:
+        continue;
+      // Resource pressure or a connection that died in the backlog: the
+      // listener is fine, later accepts can succeed.  An accept loop that
+      // exits on these silently stops serving under load — the worst
+      // possible failure mode — so they are reported as retryable.
+      case ECONNABORTED:
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM:
+      case EPROTO:
+      case EAGAIN:
+        return fail(AcceptStatus::kTransient);
+      default:
+        // EBADF / EINVAL: the listener was closed or shut down (drain/stop).
+        return fail(AcceptStatus::kFatal);
+    }
   }
 }
 
 Socket tcp_connect(const std::string& host, std::uint16_t port, std::string& error) {
+  return tcp_connect(host, port, std::chrono::milliseconds{0}, error);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds connect_timeout, std::string& error) {
+  ignore_sigpipe();
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -156,6 +318,7 @@ Socket tcp_connect(const std::string& host, std::uint16_t port, std::string& err
     if (ai->ai_family != AF_INET) ordered.push_back(ai);
   }
 
+  const bool bounded = connect_timeout.count() > 0;
   std::string last_error = "no usable address";
   for (const addrinfo* ai : ordered) {
     const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
@@ -164,16 +327,56 @@ Socket tcp_connect(const std::string& host, std::uint16_t port, std::string& err
       continue;
     }
     Socket sock(fd);
+
+    if (!bounded) {
+      int connected;
+      while ((connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen)) != 0 &&
+             errno == EINTR) {
+      }
+      if (connected == 0) {
+        ::freeaddrinfo(results);
+        set_nodelay(fd);
+        error.clear();
+        return sock;
+      }
+      last_error = errno_text("connect");
+      continue;
+    }
+
+    // Bounded dial: non-blocking connect, poll for writability within the
+    // budget, then read the outcome from SO_ERROR.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
     int connected;
-    while ((connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen)) != 0 && errno == EINTR) {
+    while ((connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen)) != 0 &&
+           errno == EINTR) {
     }
-    if (connected == 0) {
-      ::freeaddrinfo(results);
-      set_nodelay(fd);
-      error.clear();
-      return sock;
+    bool ok = connected == 0;
+    if (!ok && errno == EINPROGRESS) {
+      const IoStatus waited = wait_for(fd, POLLOUT, connect_timeout);
+      if (waited == IoStatus::kTimeout) {
+        last_error = "connect: timed out after " +
+                     std::to_string(connect_timeout.count()) + " ms";
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof so_error;
+      ok = waited == IoStatus::kOk &&
+           ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 && so_error == 0;
+      if (!ok) {
+        errno = so_error != 0 ? so_error : errno;
+        last_error = errno_text("connect");
+        continue;
+      }
+    } else if (!ok) {
+      last_error = errno_text("connect");
+      continue;
     }
-    last_error = errno_text("connect");
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking for the frame I/O
+    ::freeaddrinfo(results);
+    set_nodelay(fd);
+    error.clear();
+    return sock;
   }
   ::freeaddrinfo(results);
   error = "cannot connect to '" + host + "': " + last_error;

@@ -8,7 +8,7 @@ namespace {
 
 /// Highest valid ServeStatus value; decode rejects anything above it so a
 /// corrupted byte cannot smuggle an out-of-range enum into a switch.
-constexpr std::uint8_t kMaxServeStatus = static_cast<std::uint8_t>(serve::ServeStatus::kInternalError);
+constexpr std::uint8_t kMaxServeStatus = static_cast<std::uint8_t>(serve::ServeStatus::kTimeout);
 constexpr std::uint8_t kMaxReuseStrategy = static_cast<std::uint8_t>(core::ReuseStrategy::kFullReset);
 constexpr std::uint8_t kMaxQosClass = static_cast<std::uint8_t>(serve::QosClass::kBulk);
 

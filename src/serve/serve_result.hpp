@@ -26,6 +26,7 @@ enum class ServeStatus {
   kShutdown,         ///< service is stopping; request not accepted
   kConflict,         ///< lost a race with a concurrent mutation; retry if desired
   kInternalError,    ///< unexpected exception from the model layer
+  kTimeout,          ///< a configured deadline elapsed before the op completed
 };
 
 inline const char* to_string(ServeStatus status) {
@@ -38,6 +39,7 @@ inline const char* to_string(ServeStatus status) {
     case ServeStatus::kShutdown: return "shutdown";
     case ServeStatus::kConflict: return "conflict";
     case ServeStatus::kInternalError: return "internal error";
+    case ServeStatus::kTimeout: return "timeout";
   }
   return "unknown status";
 }

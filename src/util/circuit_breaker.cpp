@@ -1,0 +1,93 @@
+#include "util/circuit_breaker.hpp"
+
+#include <utility>
+
+namespace bellamy::util {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options) : options_(options) {}
+
+CircuitBreaker::Clock::time_point CircuitBreaker::now_locked() const {
+  return now_ ? now_() : Clock::now();
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_locked() - opened_at_ >= options_.cooldown) {
+        // Cooldown over: this caller IS the probe; everyone behind it keeps
+        // being rejected until the probe reports back.
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        counters_.probes += 1;
+        return true;
+      }
+      counters_.rejected += 1;
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        // The previous probe's outcome never got reported (caller died
+        // mid-call); admit a replacement rather than wedging half-open.
+        probe_in_flight_ = true;
+        counters_.probes += 1;
+        return true;
+      }
+      counters_.rejected += 1;
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.successes += 1;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.failures += 1;
+  consecutive_failures_ += 1;
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: back to OPEN for a fresh cooldown.
+    probe_in_flight_ = false;
+    state_ = State::kOpen;
+    opened_at_ = now_locked();
+    counters_.trips += 1;
+  } else if (state_ == State::kClosed &&
+             consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = now_locked();
+    counters_.trips += 1;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void CircuitBreaker::set_time_source(std::function<Clock::time_point()> now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ = std::move(now);
+}
+
+const char* to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace bellamy::util

@@ -1,0 +1,87 @@
+#pragma once
+// CircuitBreaker: failure isolation for calls at an unreliable dependency.
+//
+// The classic three-state machine:
+//
+//                 N consecutive failures
+//      CLOSED ───────────────────────────▶ OPEN
+//        ▲                                  │ cooldown elapses; the next
+//        │ probe succeeds                   │ allow() is the single probe
+//        │                                  ▼
+//        └────────────────────────────── HALF-OPEN
+//                                           │ probe fails
+//                                           └──────────▶ OPEN (cooldown restarts)
+//
+// CLOSED passes everything through.  OPEN rejects instantly — callers skip
+// the dependency without paying its timeout, which is the whole point: one
+// dead peer must not tax every sync round by a full deadline.  After the
+// cooldown exactly ONE caller is let through as the half-open probe; its
+// outcome decides between re-closing and re-opening.  Everyone else keeps
+// being rejected while the probe is in flight, so a recovering dependency
+// is never greeted with a stampede.
+//
+// Thread-safe.  Time is injectable (set_time_source) so the cooldown path
+// is testable without wall-clock sleeps.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace bellamy::util {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip CLOSED -> OPEN.
+  int failure_threshold = 3;
+  /// How long OPEN rejects before admitting a half-open probe.
+  std::chrono::milliseconds cooldown{2000};
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// May this call proceed?  False = skip the dependency (counted).  In
+  /// OPEN past the cooldown this admits the caller as THE half-open probe;
+  /// a caller admitted here must report record_success/record_failure.
+  bool allow();
+
+  /// Outcome reporting from calls that were allowed through.
+  void record_success();
+  void record_failure();
+
+  State state() const;
+
+  /// Monotonic counters for stats surfaces.
+  struct Counters {
+    std::uint64_t failures = 0;        ///< total failures recorded
+    std::uint64_t successes = 0;       ///< total successes recorded
+    std::uint64_t rejected = 0;        ///< allow() == false
+    std::uint64_t trips = 0;           ///< transitions into OPEN
+    std::uint64_t probes = 0;          ///< half-open probes admitted
+  };
+  Counters counters() const;
+
+  /// Replace the clock (tests drive the cooldown without sleeping).
+  void set_time_source(std::function<Clock::time_point()> now);
+
+ private:
+  Clock::time_point now_locked() const;
+
+  mutable std::mutex mutex_;
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  Clock::time_point opened_at_{};
+  Counters counters_;
+  std::function<Clock::time_point()> now_;
+};
+
+const char* to_string(CircuitBreaker::State state);
+
+}  // namespace bellamy::util

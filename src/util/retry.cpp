@@ -1,0 +1,42 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+
+namespace bellamy::util {
+
+namespace {
+
+/// splitmix64: a full-period 64-bit mixer; two multiplies and three shifts,
+/// statistically fine for jitter and bit-for-bit reproducible everywhere.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RetrySchedule::RetrySchedule(const RetryPolicy& policy)
+    : policy_(policy),
+      backoff_ms_(static_cast<double>(policy.initial_backoff.count())),
+      rng_state_(policy.jitter_seed) {}
+
+bool RetrySchedule::next_delay(std::chrono::milliseconds& delay) {
+  if (attempt_ >= policy_.max_attempts) return false;
+  ++attempt_;
+
+  double ms = std::min(backoff_ms_, static_cast<double>(policy_.max_backoff.count()));
+  if (policy_.jitter > 0.0) {
+    // Uniform in [ms * (1 - jitter), ms]: jitter only ever SHORTENS the
+    // delay, so max_backoff stays an honest upper bound.
+    const double u =
+        static_cast<double>(splitmix64(rng_state_) >> 11) / 9007199254740992.0;  // [0,1)
+    ms *= 1.0 - policy_.jitter * u;
+  }
+  delay = std::chrono::milliseconds(static_cast<std::int64_t>(ms + 0.5));
+  backoff_ms_ *= std::max(1.0, policy_.multiplier);
+  return true;
+}
+
+}  // namespace bellamy::util

@@ -1,0 +1,65 @@
+#pragma once
+// RetryPolicy: bounded attempts with exponential backoff and deterministic
+// seeded jitter.
+//
+// The net and exchange layers retry transport-level failures (dial refused,
+// connection dropped, request timed out) — never peer-side typed failures,
+// which would not change on a retry.  The policy is a plain value: how many
+// attempts, how the backoff grows, how much jitter decorrelates a thundering
+// herd.  Jitter is drawn from a SEEDED generator so a test (or a chaos
+// schedule) replays the exact same delay sequence every run — determinism is
+// a feature of this codebase, and the backoff path is no exception.
+//
+// A RetrySchedule is the stateful iterator over one operation's attempts:
+//
+//   util::RetrySchedule schedule(policy);
+//   for (;;) {
+//     if (try_the_thing()) break;
+//     std::chrono::milliseconds delay;
+//     if (!schedule.next_delay(delay)) return give_up();
+//     std::this_thread::sleep_for(delay);
+//   }
+//
+// The schedule never sleeps itself: callers own the sleep so they can bail
+// early on shutdown.
+
+#include <chrono>
+#include <cstdint>
+
+namespace bellamy::util {
+
+struct RetryPolicy {
+  /// Total tries INCLUDING the first one; 1 = no retries.
+  int max_attempts = 3;
+  /// Backoff before the first retry; doubles (times `multiplier`) after
+  /// every failure, capped at `max_backoff`.
+  std::chrono::milliseconds initial_backoff{50};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{2000};
+  /// Fraction of the backoff randomized away: delay is drawn uniformly from
+  /// [backoff * (1 - jitter), backoff].  0 disables jitter.
+  double jitter = 0.25;
+  /// Seed of the jitter stream (deterministic across runs; vary per peer to
+  /// decorrelate).
+  std::uint64_t jitter_seed = 1;
+};
+
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy);
+
+  /// The delay before the NEXT attempt.  False when the attempt budget is
+  /// exhausted — the last failure is final.
+  bool next_delay(std::chrono::milliseconds& delay);
+
+  /// Retries handed out so far.
+  int retries_used() const { return attempt_ - 1; }
+
+ private:
+  RetryPolicy policy_;
+  int attempt_ = 1;           ///< attempts consumed (the first try is free)
+  double backoff_ms_;
+  std::uint64_t rng_state_;   ///< splitmix64 — tiny, seedable, no <random> heft
+};
+
+}  // namespace bellamy::util

@@ -88,9 +88,11 @@ TEST_F(ModelStoreTest, LoadCorruptFileNamesPathAndReason) {
   }
 }
 
-TEST_F(ModelStoreTest, SaveFailureNamesKeyPathAndReason) {
+TEST_F(ModelStoreTest, SaveFailureNamesKeyAndBothPaths) {
   ModelStore store(dir_);
-  // A directory squatting on the target path makes the write fail.
+  // A directory squatting on the target path: the temp write succeeds, the
+  // final rename fails.  The error must name the key AND both paths so the
+  // operator can see exactly which file was mid-flight.
   std::filesystem::create_directories(store.path_for("sgd", "blocked"));
   try {
     store.save(make_model(), "sgd", "blocked");
@@ -99,8 +101,43 @@ TEST_F(ModelStoreTest, SaveFailureNamesKeyPathAndReason) {
     const std::string what = e.what();
     EXPECT_NE(what.find("sgd/blocked"), std::string::npos) << what;
     EXPECT_NE(what.find(store.path_for("sgd", "blocked")), std::string::npos) << what;
-    EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
+    EXPECT_NE(what.find(store.path_for("sgd", "blocked") + ".tmp"), std::string::npos)
+        << what;
   }
+  // The failed save cleaned up after itself: no orphaned temp file.
+  EXPECT_FALSE(
+      std::filesystem::exists(store.path_for("sgd", "blocked") + ".tmp"));
+}
+
+TEST_F(ModelStoreTest, SaveLeavesNoTempFilesBehind) {
+  ModelStore store(dir_);
+  store.save(make_model(1), "sgd", "a");
+  store.save(make_model(2), "sgd", "a");  // overwrite goes through a temp too
+  store.save(make_model(3), "grep", "b");
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    ++files;
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+  EXPECT_EQ(files, 2u);
+  EXPECT_EQ(store.list(), (std::vector<std::string>{"grep/b", "sgd/a"}));
+}
+
+TEST_F(ModelStoreTest, FailedSavePreservesTheExistingModel) {
+  ModelStore store(dir_);
+  BellamyModel original = make_model(1);
+  store.save(original, "sgd", "v");
+
+  // Block the TEMP path: the new write cannot even start, and the model
+  // already on disk must survive untouched — the crash-safety contract.
+  std::filesystem::create_directories(store.path_for("sgd", "v") + ".tmp");
+  EXPECT_THROW(store.save(make_model(2), "sgd", "v"), std::runtime_error);
+
+  BellamyModel loaded = store.load("sgd", "v");
+  const auto ds = data::C3OGenerator().generate_algorithm("grep", 1);
+  const auto a = original.predict(ds.runs());
+  const auto b = loaded.predict(ds.runs());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
 }
 
 TEST_F(ModelStoreTest, LoadCheckpointSharesTheStoredState) {

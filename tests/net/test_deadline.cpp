@@ -1,0 +1,210 @@
+// Deadline and robustness tests for the socket/client layer:
+//
+//   * THE acceptance invariant of the deadline work: a peer that accepts a
+//     connection and then never responds costs a typed kTimeout within 2x
+//     the configured request budget — never a hung caller,
+//   * read/write stall budgets on raw sockets return kTimeout,
+//   * a write to a peer that closed returns kClosed and cannot kill the
+//     process via SIGPIPE,
+//   * connect() retries per ClientOptions::dial_retry with seeded backoff.
+//
+// Runs under ASan/UBSan in CI (label "net").
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/socket.hpp"
+
+namespace bellamy::net {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// A listener that ACCEPTS every connection and then sits on it forever —
+/// the silent-peer fixture.  Sockets are parked until teardown.
+struct SilentPeer {
+  SilentPeer() {
+    std::string error;
+    listener = tcp_listen(0, port, error);
+    if (!listener) throw std::runtime_error("listen: " + error);
+    acceptor = std::thread([this] {
+      while (true) {
+        Socket accepted = tcp_accept(listener);
+        if (!accepted) break;
+        std::lock_guard<std::mutex> lock(mutex);
+        parked.push_back(std::move(accepted));
+      }
+    });
+  }
+
+  ~SilentPeer() {
+    listener.shutdown_both();
+    acceptor.join();
+    listener.close();
+  }
+
+  Socket listener;
+  std::uint16_t port = 0;
+  std::thread acceptor;
+  std::mutex mutex;
+  std::vector<Socket> parked;
+};
+
+TEST(Deadline, SilentPeerCostsTypedTimeoutWithinTwiceTheBudget) {
+  SilentPeer peer;
+
+  ClientOptions options;
+  options.deadlines.connect = milliseconds(2000);
+  options.deadlines.request = milliseconds(500);
+  NetClient client(options);
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", peer.port, error)) << error;
+
+  const auto t0 = steady_clock::now();
+  const auto result = client.predict({"sgd", "ctx"}, data::JobRun{});
+  const auto elapsed =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - t0);
+
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status(), serve::ServeStatus::kTimeout) << result.message();
+  // The acceptance bound: resolved within 2x the configured deadline.
+  EXPECT_LT(elapsed.count(), 1000) << "timeout detection took " << elapsed.count() << "ms";
+  EXPECT_GE(elapsed.count(), 450);  // and not before the budget elapsed
+
+  client.close();
+}
+
+TEST(Deadline, PipelinedRequestsAllTimeOutIndependently) {
+  SilentPeer peer;
+
+  ClientOptions options;
+  options.deadlines.request = milliseconds(300);
+  NetClient client(options);
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", peer.port, error)) << error;
+
+  std::vector<std::future<serve::ServeResult<double>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(client.predict_async({"sgd", "ctx"}, data::JobRun{}));
+  }
+  const auto t0 = steady_clock::now();
+  for (auto& future : futures) {
+    const auto result = future.get();
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status(), serve::ServeStatus::kTimeout);
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 1500);  // concurrently, not 8 x 300ms serially
+
+  client.close();
+}
+
+TEST(Deadline, ReadStallBudgetReturnsTimeout) {
+  SilentPeer peer;
+  std::string error;
+  Socket sock = tcp_connect("127.0.0.1", peer.port, milliseconds(2000), error);
+  ASSERT_TRUE(sock) << error;
+
+  DeadlineOptions deadlines;
+  deadlines.read = milliseconds(150);
+  sock.set_deadlines(deadlines);
+
+  std::uint8_t byte = 0;
+  const auto t0 = steady_clock::now();
+  EXPECT_EQ(sock.read_exact(&byte, 1), IoStatus::kTimeout);
+  const auto elapsed =
+      std::chrono::duration_cast<milliseconds>(steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 140);
+  EXPECT_LT(elapsed.count(), 1000);
+}
+
+TEST(Deadline, WriteStallBudgetReturnsTimeoutWhenThePeerNeverReads) {
+  SilentPeer peer;
+  std::string error;
+  Socket sock = tcp_connect("127.0.0.1", peer.port, milliseconds(2000), error);
+  ASSERT_TRUE(sock) << error;
+
+  DeadlineOptions deadlines;
+  deadlines.write = milliseconds(150);
+  sock.set_deadlines(deadlines);
+
+  // Far more than loopback buffering absorbs: the send buffer fills, the
+  // peer never drains it, and the stall budget fires.
+  const std::vector<std::uint8_t> payload(64 * 1024 * 1024, 0xAB);
+  EXPECT_EQ(sock.write_all(payload.data(), payload.size()), IoStatus::kTimeout);
+}
+
+TEST(Deadline, WaitReadableHonorsTimeoutAndForever) {
+  SilentPeer peer;
+  std::string error;
+  Socket sock = tcp_connect("127.0.0.1", peer.port, milliseconds(2000), error);
+  ASSERT_TRUE(sock) << error;
+
+  EXPECT_EQ(sock.wait_readable(milliseconds(50)), IoStatus::kTimeout);
+
+  // kWaitForever returns as soon as the stream has an event (here: EOF
+  // after a local shutdown from another thread).
+  std::thread closer([&] {
+    std::this_thread::sleep_for(milliseconds(50));
+    sock.shutdown_both();
+  });
+  EXPECT_EQ(sock.wait_readable(kWaitForever), IoStatus::kOk);
+  closer.join();
+}
+
+TEST(Robustness, WriteToClosedPeerReturnsClosedWithoutSigpipeDeath) {
+  std::string error;
+  std::uint16_t port = 0;
+  Socket listener = tcp_listen(0, port, error);
+  ASSERT_TRUE(listener) << error;
+
+  Socket client = tcp_connect("127.0.0.1", port, milliseconds(2000), error);
+  ASSERT_TRUE(client) << error;
+  {
+    Socket accepted = tcp_accept(listener);
+    ASSERT_TRUE(accepted);
+    // accepted closes here: the peer is gone.
+  }
+
+  // Keep writing until the kernel notices the dead peer (the first write
+  // after the RST raises EPIPE — which must surface as kClosed, not as a
+  // SIGPIPE that kills the test binary).
+  const std::vector<std::uint8_t> chunk(64 * 1024, 0x5A);
+  IoStatus status = IoStatus::kOk;
+  for (int i = 0; i < 64 && status == IoStatus::kOk; ++i) {
+    status = client.write_all(chunk.data(), chunk.size());
+  }
+  EXPECT_EQ(status, IoStatus::kClosed);
+}
+
+TEST(Robustness, ConnectRetriesPerDialPolicy) {
+  // Grab an ephemeral port and release it: connecting to it now fails fast.
+  std::uint16_t dead_port = 0;
+  {
+    std::string error;
+    Socket listener = tcp_listen(0, dead_port, error);
+    ASSERT_TRUE(listener) << error;
+  }
+
+  ClientOptions options;
+  options.dial_retry.max_attempts = 3;
+  options.dial_retry.initial_backoff = milliseconds(1);
+  options.dial_retry.max_backoff = milliseconds(4);
+  NetClient client(options);
+  std::string error;
+  EXPECT_FALSE(client.connect("127.0.0.1", dead_port, error));
+  EXPECT_EQ(client.dial_retries(), 2u);  // 3 attempts = 2 retries
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace bellamy::net

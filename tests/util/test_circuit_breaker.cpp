@@ -1,0 +1,119 @@
+#include "util/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace bellamy::util {
+namespace {
+
+using State = CircuitBreaker::State;
+using Clock = CircuitBreaker::Clock;
+
+/// Breaker on a hand-cranked clock: cooldowns elapse by advancing `now`,
+/// never by sleeping.
+struct FakeClockBreaker {
+  explicit FakeClockBreaker(CircuitBreakerOptions options) : breaker(options) {
+    breaker.set_time_source([this] { return now; });
+  }
+  void advance(std::chrono::milliseconds by) { now += by; }
+
+  Clock::time_point now = Clock::time_point{} + std::chrono::hours(1);
+  CircuitBreaker breaker;
+};
+
+CircuitBreakerOptions two_strikes() {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  options.cooldown = std::chrono::milliseconds(1000);
+  return options;
+}
+
+TEST(CircuitBreaker, ClosedPassesEverythingThrough) {
+  FakeClockBreaker t(two_strikes());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(t.breaker.allow());
+    t.breaker.record_success();
+  }
+  EXPECT_EQ(t.breaker.state(), State::kClosed);
+  EXPECT_EQ(t.breaker.counters().rejected, 0u);
+}
+
+TEST(CircuitBreaker, TripsOpenAfterConsecutiveFailures) {
+  FakeClockBreaker t(two_strikes());
+  ASSERT_TRUE(t.breaker.allow());
+  t.breaker.record_failure();
+  EXPECT_EQ(t.breaker.state(), State::kClosed);  // one strike is not enough
+  ASSERT_TRUE(t.breaker.allow());
+  t.breaker.record_failure();
+  EXPECT_EQ(t.breaker.state(), State::kOpen);
+  EXPECT_EQ(t.breaker.counters().trips, 1u);
+
+  // While open (cooldown not elapsed) every call is rejected instantly.
+  EXPECT_FALSE(t.breaker.allow());
+  EXPECT_FALSE(t.breaker.allow());
+  EXPECT_EQ(t.breaker.counters().rejected, 2u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveCount) {
+  FakeClockBreaker t(two_strikes());
+  ASSERT_TRUE(t.breaker.allow());
+  t.breaker.record_failure();
+  ASSERT_TRUE(t.breaker.allow());
+  t.breaker.record_success();  // streak broken
+  ASSERT_TRUE(t.breaker.allow());
+  t.breaker.record_failure();
+  EXPECT_EQ(t.breaker.state(), State::kClosed);
+}
+
+TEST(CircuitBreaker, CooldownAdmitsExactlyOneProbe) {
+  FakeClockBreaker t(two_strikes());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(t.breaker.allow());
+    t.breaker.record_failure();
+  }
+  ASSERT_EQ(t.breaker.state(), State::kOpen);
+
+  t.advance(std::chrono::milliseconds(999));
+  EXPECT_FALSE(t.breaker.allow());  // one ms early: still open
+
+  t.advance(std::chrono::milliseconds(1));
+  EXPECT_TRUE(t.breaker.allow());  // THE probe
+  EXPECT_EQ(t.breaker.state(), State::kHalfOpen);
+  EXPECT_FALSE(t.breaker.allow());  // everyone else keeps being rejected
+  EXPECT_EQ(t.breaker.counters().probes, 1u);
+
+  t.breaker.record_success();
+  EXPECT_EQ(t.breaker.state(), State::kClosed);
+  EXPECT_TRUE(t.breaker.allow());
+}
+
+TEST(CircuitBreaker, FailedProbeReopensAndRestartsTheCooldown) {
+  FakeClockBreaker t(two_strikes());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(t.breaker.allow());
+    t.breaker.record_failure();
+  }
+  t.advance(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(t.breaker.allow());  // probe admitted
+  t.breaker.record_failure();      // still dead
+  EXPECT_EQ(t.breaker.state(), State::kOpen);
+  EXPECT_EQ(t.breaker.counters().trips, 2u);
+
+  // The cooldown restarted at the failed probe, not at the original trip.
+  t.advance(std::chrono::milliseconds(999));
+  EXPECT_FALSE(t.breaker.allow());
+  t.advance(std::chrono::milliseconds(1));
+  EXPECT_TRUE(t.breaker.allow());
+  t.breaker.record_success();
+  EXPECT_EQ(t.breaker.state(), State::kClosed);
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_STREQ(to_string(State::kClosed), "closed");
+  EXPECT_STREQ(to_string(State::kOpen), "open");
+  EXPECT_STREQ(to_string(State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace bellamy::util

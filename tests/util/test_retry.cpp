@@ -1,0 +1,89 @@
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace bellamy::util {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::vector<milliseconds> drain(const RetryPolicy& policy) {
+  RetrySchedule schedule(policy);
+  std::vector<milliseconds> delays;
+  milliseconds delay{0};
+  while (schedule.next_delay(delay)) delays.push_back(delay);
+  return delays;
+}
+
+TEST(Retry, AttemptBudgetIsTotalTriesIncludingTheFirst) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  EXPECT_EQ(drain(policy).size(), 3u);  // 1 free try + 3 retries
+
+  policy.max_attempts = 1;
+  EXPECT_TRUE(drain(policy).empty());  // single-shot: no retries at all
+}
+
+TEST(Retry, SameSeedReplaysTheExactDelaySequence) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.jitter_seed = 42;
+  EXPECT_EQ(drain(policy), drain(policy));
+
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  EXPECT_NE(drain(policy), drain(other));
+}
+
+TEST(Retry, DelaysStayInsideTheJitterBand) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = milliseconds(100);
+  policy.multiplier = 2.0;
+  policy.max_backoff = milliseconds(10000);
+  policy.jitter = 0.25;
+
+  const auto delays = drain(policy);
+  ASSERT_EQ(delays.size(), 4u);
+  double backoff = 100.0;
+  for (const milliseconds delay : delays) {
+    EXPECT_GE(delay.count(), static_cast<std::int64_t>(backoff * 0.75) - 1);
+    EXPECT_LE(delay.count(), static_cast<std::int64_t>(backoff));
+    backoff *= 2.0;
+  }
+}
+
+TEST(Retry, BackoffIsCappedAtMaxBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = milliseconds(100);
+  policy.multiplier = 10.0;
+  policy.max_backoff = milliseconds(500);
+  policy.jitter = 0.0;  // exact values
+
+  const auto delays = drain(policy);
+  ASSERT_EQ(delays.size(), 9u);
+  EXPECT_EQ(delays.front(), milliseconds(100));
+  for (std::size_t i = 1; i < delays.size(); ++i) {
+    EXPECT_EQ(delays[i], milliseconds(500));
+  }
+}
+
+TEST(Retry, RetriesUsedCounts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetrySchedule schedule(policy);
+  EXPECT_EQ(schedule.retries_used(), 0);
+  milliseconds delay{0};
+  ASSERT_TRUE(schedule.next_delay(delay));
+  EXPECT_EQ(schedule.retries_used(), 1);
+  ASSERT_TRUE(schedule.next_delay(delay));
+  EXPECT_EQ(schedule.retries_used(), 2);
+  EXPECT_FALSE(schedule.next_delay(delay));
+}
+
+}  // namespace
+}  // namespace bellamy::util
