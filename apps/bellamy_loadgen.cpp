@@ -3,6 +3,7 @@
 //   ./build/apps/bellamy_loadgen [--host=HOST] [--port=N] [--clients=N]
 //                                [--requests=N] [--probes=N] [--json=PATH|-]
 //                                [--drain] [--no-publish] [--drain-only]
+//                                [--drift-smoke]
 //
 // Replays the bench_serve scenarios over REAL sockets:
 //
@@ -32,6 +33,14 @@
 // (the two-node CI smoke publishes at node A and loadgens node B with
 // --no-publish).  --drain-only just drains the server and exits — used to
 // shut the remaining node of a mesh down.
+//
+// --drift-smoke replaces the load scenarios with the drift-monitor
+// acceptance: stream ACCURATE observed runtimes first (the monitor must stay
+// quiet), then runtimes skewed to 3x the model's prediction, and poll the
+// wire metrics until the server's drift-triggered reduced refit lands.
+// Exits non-zero when a stable report triggers a refit, when the skew never
+// does, or when the refit does not land.  Run it against a serverd started
+// with --drift-threshold (and typically --refit-budget).
 
 #include <algorithm>
 #include <atomic>
@@ -81,6 +90,7 @@ int main(int argc, char** argv) {
   bool drain = false;
   bool publish = true;
   bool drain_only = false;
+  bool drift_smoke = false;
   int io_timeout_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,11 +114,13 @@ int main(int argc, char** argv) {
       publish = false;
     } else if (std::strcmp(argv[i], "--drain-only") == 0) {
       drain_only = true;
+    } else if (std::strcmp(argv[i], "--drift-smoke") == 0) {
+      drift_smoke = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host=HOST] [--port=N] [--clients=N] [--requests=N]\n"
                    "          [--probes=N] [--json=PATH|-] [--io-timeout-ms=N] [--drain]\n"
-                   "          [--no-publish] [--drain-only]\n",
+                   "          [--no-publish] [--drain-only] [--drift-smoke]\n",
                    argv[0]);
       return 2;
     }
@@ -181,6 +193,86 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bellamy_loadgen: --no-publish, expecting %s:%u to resolve "
                          "the models (locally or via its exchange peers)\n",
                  host.c_str(), port);
+  }
+
+  if (drift_smoke) {
+    // Phase 1 — stable traffic: observed runtime == the model's own
+    // prediction.  A refit here means the monitor fires on healthy clusters.
+    for (std::size_t i = 0; i < 16; ++i) {
+      data::JobRun run = history.runs()[i % history.runs().size()];
+      run.runtime_s = model.predict_one(run);
+      const auto obs = control.report_run(bench_key, run);
+      if (!obs.ok()) {
+        std::fprintf(stderr, "report_run failed: %s\n", obs.error_text().c_str());
+        return 1;
+      }
+      if (obs.value().refit_triggered) {
+        std::fprintf(stderr, "drift smoke: STABLE report %zu triggered a refit "
+                             "(ewma %.4f)\n",
+                     i, obs.value().error_ewma);
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "drift smoke: 16 stable reports, no refit (correct)\n");
+
+    // Phase 2 — injected drift: observed runtimes 3x the prediction push the
+    // relative-error EWMA towards 2/3; the server must trigger exactly once.
+    bool triggered = false;
+    std::size_t skewed = 0;
+    for (; skewed < 64 && !triggered; ++skewed) {
+      data::JobRun run = history.runs()[skewed % history.runs().size()];
+      run.runtime_s = 3.0 * model.predict_one(run);
+      const auto obs = control.report_run(bench_key, run);
+      if (!obs.ok()) {
+        std::fprintf(stderr, "report_run failed: %s\n", obs.error_text().c_str());
+        return 1;
+      }
+      triggered = obs.value().refit_triggered;
+    }
+    if (!triggered) {
+      std::fprintf(stderr, "drift smoke: 64 skewed reports never triggered a refit "
+                           "(is the server running with --drift-threshold?)\n");
+      return 1;
+    }
+    std::fprintf(stderr, "drift smoke: refit triggered after %zu skewed report(s)\n",
+                 skewed);
+
+    // Phase 3 — the background refit must LAND.  drift_refits increments at
+    // queue time; the reduction counter only moves once the refit strand has
+    // actually reduced the window and swapped, so THAT is what we poll (the
+    // smoke therefore requires a serverd running with --refit-budget).
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    serve::ServeMetrics seen;
+    while (true) {
+      const auto metrics = control.metrics(bench_key);
+      if (!metrics.ok()) {
+        std::fprintf(stderr, "metrics failed: %s\n", metrics.error_text().c_str());
+        return 1;
+      }
+      seen = metrics.value();
+      if (seen.drift_refits >= 1 && seen.reductions >= 1) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "drift smoke: triggered refit never landed\n");
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fprintf(stderr,
+                 "drift smoke: refit landed (drift ewma %.4f over %llu reports; "
+                 "%llu reduction(s), last kept %llu, dropped %llu)\n",
+                 seen.drift_error_ewma, (unsigned long long)seen.drift_reports,
+                 (unsigned long long)seen.reductions,
+                 (unsigned long long)seen.reduction_last_kept,
+                 (unsigned long long)seen.reduction_runs_dropped);
+
+    if (drain) {
+      const auto drained = control.drain();
+      std::fprintf(stderr, "drain: %s\n",
+                   drained.ok() ? "ok" : drained.error_text().c_str());
+      if (!drained.ok()) return 1;
+    }
+    control.close();
+    return 0;
   }
 
   std::atomic<bool> all_identical{true};

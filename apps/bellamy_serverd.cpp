@@ -5,7 +5,8 @@
 //                                [--band=MIN:MAX] [--max-queue=N]
 //                                [--peer=HOST:PORT]... [--sync-ms=N]
 //                                [--io-timeout-ms=N] [--peer-retries=N]
-//                                [--auto-persist]
+//                                [--auto-persist] [--refit-budget=N]
+//                                [--refit-policy=NAME] [--drift-threshold=X]
 //
 // Wires ModelStore -> ModelRegistry -> PredictionService -> net::ServeServer
 // and serves until drained (wire DrainRequest or console `drain`).  With
@@ -18,6 +19,14 @@
 // base), and a background anti-entropy loop (period --sync-ms) keeps the
 // nodes converged.  --auto-persist writes every successful background-refit
 // swap back to the --store directory.
+//
+// --refit-budget caps the run history every refit fine-tunes on: histories
+// above the budget are reduced to a coreset first (--refit-policy picks the
+// policy: uniform | recency | coverage | loss-aware; default coverage).  The
+// daemon always runs a DriftMonitor so clients can stream observed runtimes
+// back over the wire (ReportRun); --drift-threshold=X additionally queues an
+// automatic reduced refit when a model's relative-error EWMA crosses X
+// (0, the default, just monitors).
 //
 // --io-timeout-ms bounds every socket stall (server reads/writes AND peer
 // dials/calls): a peer or client that goes silent mid-frame costs a typed
@@ -44,6 +53,7 @@
 
 #include "exchange/exchange.hpp"
 #include "net/net.hpp"
+#include "reduce/reduction.hpp"
 #include "serve/serve.hpp"
 
 using namespace bellamy;
@@ -63,6 +73,16 @@ void print_help() {
                "  exchange                                exchange-layer counters\n"
                "  drain                                   graceful drain, then exit\n"
                "  help                                    this text\n");
+}
+
+void print_drift(const serve::ServeMetrics& m) {
+  std::fprintf(stderr,
+               "  drift ewma %.4f over %llu report(s), %llu auto refit(s)\n"
+               "  reductions %llu (last kept %llu, dropped %llu total)\n",
+               m.drift_error_ewma, (unsigned long long)m.drift_reports,
+               (unsigned long long)m.drift_refits, (unsigned long long)m.reductions,
+               (unsigned long long)m.reduction_last_kept,
+               (unsigned long long)m.reduction_runs_dropped);
 }
 
 void print_metrics(const serve::ServeMetrics& m) {
@@ -87,7 +107,7 @@ void print_metrics(const serve::ServeMetrics& m) {
 
 /// Console loop; returns when stdin hits EOF (keep serving) or after `drain`.
 void console_loop(net::ServeServer& server, serve::ModelRegistry& registry,
-                  serve::PredictionService& service,
+                  serve::PredictionService& service, serve::DriftMonitor* drift,
                   exchange::ExchangeRegistry* exchange) {
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -115,7 +135,16 @@ void console_loop(net::ServeServer& server, serve::ModelRegistry& registry,
           std::fprintf(stderr, "  %s\n", metrics.error_text().c_str());
           continue;
         }
-        print_metrics(metrics.value());
+        // Same annotation the wire MetricsResponse gets: drift counters from
+        // the monitor, reduction counters from the registry entry.
+        serve::ServeMetrics m = metrics.value();
+        if (drift != nullptr) drift->annotate(handle.value(), m);
+        const auto [reductions, dropped] = registry.reduction_counters(handle.value());
+        m.reductions = reductions;
+        m.reduction_runs_dropped = dropped;
+        m.reduction_last_kept = registry.last_reduction(handle.value()).kept_runs;
+        print_metrics(m);
+        print_drift(m);
       } else {
         const net::ServerStats s = server.stats();
         std::fprintf(stderr,
@@ -235,6 +264,9 @@ int main(int argc, char** argv) {
   bool auto_persist = false;
   int io_timeout_ms = 0;
   int peer_retries = 2;
+  reduce::ReductionConfig reduction;
+  reduction.policy = reduce::ReductionPolicy::kCoverage;  // used iff a budget is set
+  serve::DriftOptions drift_options;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) {
@@ -277,12 +309,31 @@ int main(int argc, char** argv) {
       peer_retries = std::max(0, std::atoi(argv[i] + 15));
     } else if (std::strcmp(argv[i], "--auto-persist") == 0) {
       auto_persist = true;
+    } else if (std::strncmp(argv[i], "--refit-budget=", 15) == 0) {
+      reduction.budget = static_cast<std::size_t>(std::max(0, std::atoi(argv[i] + 15)));
+    } else if (std::strncmp(argv[i], "--refit-policy=", 15) == 0) {
+      const auto parsed = reduce::parse_policy(argv[i] + 15);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "--refit-policy expects uniform | recency | coverage | loss-aware, "
+                     "got '%s'\n",
+                     argv[i] + 15);
+        return 2;
+      }
+      reduction.policy = *parsed;
+    } else if (std::strncmp(argv[i], "--drift-threshold=", 18) == 0) {
+      drift_options.threshold = std::atof(argv[i] + 18);
+      if (drift_options.threshold < 0.0) {
+        std::fprintf(stderr, "--drift-threshold must be >= 0\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--store=DIR] [--workers=N] [--max-batch=N]\n"
                    "          [--deadline-us=N] [--band=MIN:MAX] [--max-queue=N]\n"
                    "          [--peer=HOST:PORT]... [--sync-ms=N] [--io-timeout-ms=N]\n"
-                   "          [--peer-retries=N] [--auto-persist]\n",
+                   "          [--peer-retries=N] [--auto-persist] [--refit-budget=N]\n"
+                   "          [--refit-policy=NAME] [--drift-threshold=X]\n",
                    argv[0]);
       return 2;
     }
@@ -291,6 +342,9 @@ int main(int argc, char** argv) {
   std::shared_ptr<core::ModelStore> store;
   if (!store_dir.empty()) store = std::make_shared<core::ModelStore>(store_dir);
   serve::ModelRegistry registry = store ? serve::ModelRegistry(store) : serve::ModelRegistry();
+  // Before any model is opened/published: entries inherit the default
+  // ReductionConfig at creation time.
+  if (reduction.budget > 0) registry.set_default_reduction(reduction);
   if (store) {
     for (const std::string& key : store->list()) {
       const auto slash = key.find('/');
@@ -328,9 +382,15 @@ int main(int argc, char** argv) {
         std::make_shared<exchange::TcpTransport>(host, peer_port, transport_options));
   }
 
+  // Always present so ReportRun works even without --drift-threshold
+  // (threshold 0 = monitor only); must outlive the server and any refit it
+  // queues.
+  serve::DriftMonitor drift_monitor(registry, drift_options);
+
   net::ServerOptions server_options;
   server_options.port = port;
   server_options.peer_service = &exchange_node;
+  server_options.drift_monitor = &drift_monitor;
   server_options.deadlines.read = std::chrono::milliseconds(io_timeout_ms);
   server_options.deadlines.write = std::chrono::milliseconds(io_timeout_ms);
   net::ServeServer server(registry, service, server_options);
@@ -344,10 +404,18 @@ int main(int argc, char** argv) {
                        "dispatcher worker(s), max_batch %zu, %zu peer(s))\n",
                registry.size(), server.port(), options.workers, options.max_batch,
                exchange_node.peer_count());
+  if (reduction.budget > 0) {
+    std::fprintf(stderr, "bellamy_serverd: refits reduce history via %s @ budget %zu\n",
+                 reduce::policy_name(reduction.policy), reduction.budget);
+  }
+  std::fprintf(stderr, "bellamy_serverd: drift monitor %s (threshold %.3f)\n",
+               drift_options.threshold > 0.0 ? "auto-refit" : "monitor-only",
+               drift_options.threshold);
 
   // The console thread may sit in getline() forever when nothing arrives on
   // stdin; it is detached so a wire-initiated drain can exit the process.
-  std::thread console([&] { console_loop(server, registry, service, &exchange_node); });
+  std::thread console(
+      [&] { console_loop(server, registry, service, &drift_monitor, &exchange_node); });
   console.detach();
 
   server.wait_drained();

@@ -1,0 +1,202 @@
+// Refit economics of the training-data reduction policies (ISSUE PR 9).
+//
+//   ./build/bench/bench_reduce [--contexts=N] [--repetitions=N] [--epochs=N]
+//                              [--budgets=a,b,c] [--seed=N] [--json=PATH]
+//
+// Runs eval::run_reduction_sweep over synthetic C3O-like contexts: every
+// (policy, budget) cell refits the same pre-trained base model on a reduced
+// history and is scored on a held-out slice, against a full-history
+// reference refit.  The headline is the cheapest cell whose held-out MAE
+// stays within 5 % of the full refit.
+//
+// Acceptance floor (exit 1 when missed): some cell reaches >= 3x refit-time
+// reduction while keeping MAE within 5 % of the full-history refit.
+//
+// --json writes the grid for CI (scripts/bench-compare.py gates the *_ms and
+// *speedup* keys against bench/baselines/BENCH_reduce.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/c3o_generator.hpp"
+#include "eval/reduction_sweep.hpp"
+
+using namespace bellamy;
+
+namespace {
+
+struct Options {
+  std::size_t contexts = 4;       ///< evaluation contexts in the sweep
+  std::size_t extra_contexts = 2; ///< additional contexts only pre-trained on
+  std::size_t repetitions = 20;   ///< C3O repetitions per scale-out (history depth)
+  std::size_t epochs = 150;       ///< fine-tune epochs, identical for every cell
+  std::vector<std::size_t> budgets = {9, 18, 30};
+  std::uint64_t seed = 2021;
+  std::string json_path;
+};
+
+std::vector<std::size_t> parse_budgets(const char* text) {
+  std::vector<std::size_t> budgets;
+  for (const char* p = text; *p != '\0';) {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v <= 0) return {};
+    budgets.push_back(static_cast<std::size_t>(v));
+    if (*end == ',') {
+      p = end + 1;
+    } else if (*end == '\0') {
+      p = end;
+    } else {
+      return {};
+    }
+  }
+  return budgets;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--contexts=", 11) == 0) {
+      opts.contexts = static_cast<std::size_t>(std::max(1, std::atoi(argv[i] + 11)));
+    } else if (std::strncmp(argv[i], "--repetitions=", 14) == 0) {
+      opts.repetitions = static_cast<std::size_t>(std::max(1, std::atoi(argv[i] + 14)));
+    } else if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      opts.epochs = static_cast<std::size_t>(std::max(1, std::atoi(argv[i] + 9)));
+    } else if (std::strncmp(argv[i], "--budgets=", 10) == 0) {
+      opts.budgets = parse_budgets(argv[i] + 10);
+      if (opts.budgets.empty()) {
+        std::fprintf(stderr, "bad --budgets list: %s\n", argv[i] + 10);
+        std::exit(2);
+      }
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opts.seed = static_cast<std::uint64_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      opts.json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--contexts=N] [--repetitions=N] [--epochs=N] "
+                   "[--budgets=a,b,c] [--seed=N] [--json=PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// "coverage_b18"-style JSON/table key for one grid cell.
+std::string cell_key(const eval::ReductionPoint& p) {
+  std::string key = p.policy;
+  std::replace(key.begin(), key.end(), '-', '_');
+  key += "_b" + std::to_string(p.budget);
+  return key;
+}
+
+void write_json(const std::string& path, const Options& opts,
+                const eval::ReductionSweepResult& sweep,
+                const eval::ReductionPoint* headline) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"contexts\": %zu, \"repetitions\": %zu, "
+               "\"finetune_epochs\": %zu, \"seed\": %llu},\n",
+               opts.contexts, opts.repetitions, opts.epochs,
+               static_cast<unsigned long long>(opts.seed));
+  std::fprintf(f,
+               "  \"full\": {\"history_runs\": %zu, \"refit_ms\": %.2f, "
+               "\"mae_seconds\": %.4f},\n",
+               sweep.full.input_runs, sweep.full.refit_seconds * 1e3,
+               sweep.full.mae_seconds);
+  std::fprintf(f, "  \"grid\": {\n");
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const eval::ReductionPoint& p = sweep.points[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"kept_runs\": %zu, \"refit_ms\": %.2f, "
+                 "\"refit_speedup\": %.2f, \"mae_seconds\": %.4f, "
+                 "\"mae_ratio\": %.4f, \"scaleout_coverage\": %.2f}%s\n",
+                 cell_key(p).c_str(), p.kept_runs, p.refit_seconds * 1e3, p.refit_speedup,
+                 p.mae_seconds, p.mae_ratio, p.scaleout_coverage,
+                 i + 1 < sweep.points.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  if (headline != nullptr) {
+    std::fprintf(f,
+                 "  \"headline\": {\"policy\": \"%s\", \"budget\": %zu, "
+                 "\"refit_speedup\": %.2f, \"mae_ratio\": %.4f}\n",
+                 headline->policy.c_str(), headline->budget, headline->refit_speedup,
+                 headline->mae_ratio);
+  } else {
+    std::fprintf(f, "  \"headline\": null\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+
+  // History: contexts + extra_contexts C3O-like contexts; the extras only
+  // feed pre-training so every evaluated context has a real foreign corpus.
+  data::C3OGeneratorConfig gen;
+  gen.seed = opts.seed;
+  gen.repetitions = opts.repetitions;
+  const data::Dataset c3o = data::C3OGenerator(gen).generate_algorithm(
+      "sgd", opts.contexts + opts.extra_contexts);
+  std::fprintf(stderr, "dataset: %zu runs across %zu contexts (%zu evaluated)\n",
+               c3o.runs().size(), c3o.num_contexts(), opts.contexts);
+
+  eval::ReductionSweepConfig cfg;
+  cfg.contexts = opts.contexts;
+  cfg.budgets = opts.budgets;
+  cfg.seed = opts.seed;
+  cfg.pretrain.epochs = 60;
+  cfg.finetune.max_epochs = opts.epochs;
+  cfg.finetune.mae_target_seconds = 0.0;  // same epoch count in every cell
+  cfg.finetune.patience = opts.epochs;
+
+  std::fprintf(stderr, "sweep: %zu policies x %zu budgets, %zu fine-tune epochs...\n",
+               cfg.policies.size(), cfg.budgets.size(), opts.epochs);
+  const eval::ReductionSweepResult sweep = eval::run_reduction_sweep(c3o, cfg);
+
+  std::printf("full-history reference: %zu runs, refit %.1f ms, holdout MAE %.3f s\n\n",
+              sweep.full.input_runs, sweep.full.refit_seconds * 1e3, sweep.full.mae_seconds);
+  std::printf("%-16s %8s %8s %10s %9s %10s %9s %9s\n", "policy", "budget", "kept",
+              "refit ms", "speedup", "MAE s", "MAE rat", "coverage");
+  for (const eval::ReductionPoint& p : sweep.points) {
+    std::printf("%-16s %8zu %8zu %10.1f %8.2fx %10.3f %9.3f %9.2f\n", p.policy.c_str(),
+                p.budget, p.kept_runs, p.refit_seconds * 1e3, p.refit_speedup, p.mae_seconds,
+                p.mae_ratio, p.scaleout_coverage);
+  }
+
+  // Headline: the fastest cell still within 5 % of the full refit's MAE.
+  const eval::ReductionPoint* headline = nullptr;
+  for (const eval::ReductionPoint& p : sweep.points) {
+    if (p.mae_ratio > 1.05) continue;
+    if (headline == nullptr || p.refit_speedup > headline->refit_speedup) headline = &p;
+  }
+
+  bool accepted = false;
+  if (headline != nullptr) {
+    accepted = headline->refit_speedup >= 3.0;
+    std::printf("\nheadline: %s @ budget %zu -> %.2fx cheaper refit, MAE ratio %.3f\n",
+                headline->policy.c_str(), headline->budget, headline->refit_speedup,
+                headline->mae_ratio);
+  } else {
+    std::printf("\nheadline: NO cell stayed within 5 %% of the full-refit MAE\n");
+  }
+  std::printf("acceptance (>= 3x speedup at <= 5 %% MAE cost): %s\n",
+              accepted ? "PASS" : "FAIL");
+
+  if (!opts.json_path.empty()) write_json(opts.json_path, opts, sweep, headline);
+  return accepted ? 0 : 1;
+}

@@ -93,8 +93,13 @@ FineTuneResult finetune(BellamyModel& model, const std::vector<data::JobRun>& ru
   nn::Adam optimizer(model.parameters(), adam);
   nn::CyclicalLr schedule(config.base_lr, config.max_lr, config.lr_cycle);
 
-  const BellamyBatch batch = model.make_batch(runs);
   const double recon_weight = config.train_autoencoder ? 1.0 : 0.0;
+  const bool minibatch = config.batch_size > 0 && config.batch_size < runs.size();
+
+  // The full batch is always materialized: the default loop trains on it
+  // directly, and the mini-batch loop evaluates against it once per epoch
+  // for best-state tracking (per-step losses cover different subsets).
+  const BellamyBatch batch = model.make_batch(runs);
 
   FineTuneResult result;
   double best_mae = model.evaluate(batch, recon_weight).mae_seconds;
@@ -110,27 +115,68 @@ FineTuneResult finetune(BellamyModel& model, const std::vector<data::JobRun>& ru
     return result;
   }
 
-  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
-    if (epoch == unlock_after && unlock_after > 0) {
-      model.f().set_trainable(true);
+  if (!minibatch) {
+    // The paper's full-batch loop, bit-identical to pre-mini-batch builds.
+    for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+      if (epoch == unlock_after && unlock_after > 0) {
+        model.f().set_trainable(true);
+      }
+      optimizer.set_learning_rate(schedule.lr_at(epoch));
+      optimizer.zero_grad();
+      // train_step reports the loss of the *current* parameters, so the best
+      // state must be snapshotted before the optimizer mutates them.
+      const BellamyLoss loss = model.train_step(batch, recon_weight);
+      if (loss.mae_seconds < best_mae) {
+        best_mae = loss.mae_seconds;
+        best_state = model.snapshot_parameters();
+        best_epoch = epoch;
+      }
+      optimizer.step();
+      ++result.epochs_run;
+      if (best_mae <= config.mae_target_seconds) {
+        result.reached_target = true;
+        break;
+      }
+      if (epoch - best_epoch >= config.patience) break;  // no improvement
     }
-    optimizer.set_learning_rate(schedule.lr_at(epoch));
-    optimizer.zero_grad();
-    // train_step reports the loss of the *current* parameters, so the best
-    // state must be snapshotted before the optimizer mutates them.
-    const BellamyLoss loss = model.train_step(batch, recon_weight);
-    if (loss.mae_seconds < best_mae) {
-      best_mae = loss.mae_seconds;
-      best_state = model.snapshot_parameters();
-      best_epoch = epoch;
+  } else {
+    // Opt-in mini-batch loop: the same encode-once/gather path pretrain
+    // uses, seeded shuffles per epoch, one optimizer step per mini-batch.
+    const BellamyEncodedRuns encoded = model.encode_runs(runs);
+    BellamyGatherCache gather_cache;
+    util::Rng rng(config.seed);
+    std::vector<std::size_t> order(runs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+    for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+      if (epoch == unlock_after && unlock_after > 0) {
+        model.f().set_trainable(true);
+      }
+      optimizer.set_learning_rate(schedule.lr_at(epoch));
+      rng.shuffle(order);
+      for (std::size_t begin = 0; begin < order.size(); begin += config.batch_size) {
+        const std::size_t end = std::min(order.size(), begin + config.batch_size);
+        const std::span<const std::size_t> indices(order.data() + begin, end - begin);
+        optimizer.zero_grad();
+        const BellamyBatch mini = model.gather_batch(encoded, indices, &gather_cache);
+        model.train_step(mini, recon_weight);
+        optimizer.step();
+      }
+      // Best-state tracking on the POST-step parameters over the full batch
+      // (the only loss comparable across epochs here).
+      const double epoch_mae = model.evaluate(batch, recon_weight).mae_seconds;
+      if (epoch_mae < best_mae) {
+        best_mae = epoch_mae;
+        best_state = model.snapshot_parameters();
+        best_epoch = epoch;
+      }
+      ++result.epochs_run;
+      if (best_mae <= config.mae_target_seconds) {
+        result.reached_target = true;
+        break;
+      }
+      if (epoch - best_epoch >= config.patience) break;  // no improvement
     }
-    optimizer.step();
-    ++result.epochs_run;
-    if (best_mae <= config.mae_target_seconds) {
-      result.reached_target = true;
-      break;
-    }
-    if (epoch - best_epoch >= config.patience) break;  // no improvement
   }
 
   model.restore_parameters(best_state);

@@ -45,6 +45,15 @@ struct FineTuneConfig {
   std::size_t patience = 1000;       ///< epochs without improvement before stop
   std::uint64_t seed = 11;
 
+  /// Opt-in mini-batching (ROADMAP: the prerequisite for cheap refits over
+  /// huge contexts).  0 — the default — keeps the paper's full-batch loop
+  /// bit-identically; a value >= the run count falls back to full batch
+  /// too.  With 0 < batch_size < #runs, every epoch draws seeded shuffled
+  /// mini-batches through the same encode-once/gather path pretrain uses,
+  /// and best-state tracking moves to an epoch-level full-batch evaluation
+  /// (per-step losses cover different subsets and are not comparable).
+  std::size_t batch_size = 0;
+
   /// Freeze policy: epochs before f becomes trainable; 0 derives a
   /// sample-count-dependent default, max(10, 100 / #samples) (paper: "after
   /// a number of epochs dependent on the amount of data samples").

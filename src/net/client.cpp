@@ -56,7 +56,20 @@ bool NetClient::connect(const std::string& host, std::uint16_t port, std::string
     dial_retries_ += 1;
     std::this_thread::sleep_for(delay);
   }
-  sock_.set_deadlines(options_.deadlines);
+  // A mid-frame stall must not outlive the request guarantee: the reader
+  // thread is the one that expires pending deadlines, so if it parks inside
+  // read_exact (e.g. a garbled length prefix promising bytes that never
+  // arrive — the u32 prefix is outside the frame checksum) with no socket
+  // budget, every pending request hangs with it.  With a request budget but
+  // no explicit read/write budget, bound socket stalls by the request budget.
+  DeadlineOptions socket_deadlines = options_.deadlines;
+  if (options_.deadlines.request.count() > 0) {
+    if (socket_deadlines.read.count() <= 0)
+      socket_deadlines.read = options_.deadlines.request;
+    if (socket_deadlines.write.count() <= 0)
+      socket_deadlines.write = options_.deadlines.request;
+  }
+  sock_.set_deadlines(socket_deadlines);
   if (options_.fault_injector) sock_.set_fault_injector(options_.fault_injector);
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -368,6 +381,34 @@ serve::ServeResult<serve::ServeMetrics> NetClient::metrics(const serve::ModelKey
       return;
     }
     promise->set_value(from_head(resp, resp.metrics));
+  });
+  return future.get();
+}
+
+serve::ServeResult<serve::DriftObservation> NetClient::report_run(const serve::ModelKey& key,
+                                                                  const data::JobRun& run) {
+  ReportRunRequest req;
+  req.key = key;
+  req.run = run;
+  auto promise =
+      std::make_shared<std::promise<serve::ServeResult<serve::DriftObservation>>>();
+  auto future = promise->get_future();
+  send_request(req, [promise](const FrameView* frame, serve::ServeStatus fail) {
+    if (frame == nullptr) {
+      promise->set_value(transport_lost<serve::DriftObservation>(fail));
+      return;
+    }
+    ReportRunResponse resp;
+    const WireStatus status = decode_message(*frame, resp);
+    if (status != WireStatus::kOk) {
+      promise->set_value(decode_failure<serve::DriftObservation>(status));
+      return;
+    }
+    serve::DriftObservation observation;
+    observation.error_ewma = resp.error_ewma;
+    observation.reports = resp.reports;
+    observation.refit_triggered = resp.refit_triggered != 0;
+    promise->set_value(from_head(resp, observation));
   });
   return future.get();
 }

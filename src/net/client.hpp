@@ -19,7 +19,11 @@
 // with the typed kTimeout (the eventual late response, if any, is dropped
 // by id).  Expiry is checked at `request` granularity, so a timed-out
 // request resolves within 2x the configured budget in the worst case.
-// `dial_retry` retries connect() with seeded exponential backoff.
+// When `request` is set but `read`/`write` are not, the socket stall
+// budgets default to the request budget — otherwise a mid-frame stall
+// (e.g. a corrupted length prefix) would park the reader, and with it
+// every pending deadline, past any bound.  `dial_retry` retries connect()
+// with seeded exponential backoff.
 //
 // refit() is synchronous from the caller's view but non-blocking on the
 // server: the RefitResponse is pushed when the background fine-tune lands,
@@ -39,6 +43,7 @@
 #include "core/trainer.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "serve/drift_monitor.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/prediction_service.hpp"
 #include "serve/serve_result.hpp"
@@ -103,6 +108,12 @@ class NetClient {
       core::ReuseStrategy strategy = core::ReuseStrategy::kPartialUnfreeze);
 
   serve::ServeResult<serve::ServeMetrics> metrics(const serve::ModelKey& key);
+
+  /// Report an OBSERVED runtime for `key` (run.runtime_s = ground truth):
+  /// feeds the server's drift monitor, which may auto-queue a reduced refit.
+  /// kInvalidArgument when the server has no drift monitor configured.
+  serve::ServeResult<serve::DriftObservation> report_run(const serve::ModelKey& key,
+                                                         const data::JobRun& run);
   serve::ServeResult<serve::Unit> set_qos(const serve::ModelKey& key,
                                           const serve::HandleQos& qos);
   serve::ServeResult<serve::Unit> erase(const serve::ModelKey& key);

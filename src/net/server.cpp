@@ -320,7 +320,19 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
       } else {
         const auto metrics = service_.metrics(handle.value());
         resp.head = head_of(req.request_id, metrics.status(), metrics.message());
-        if (metrics.ok()) resp.metrics = metrics.value();
+        if (metrics.ok()) {
+          resp.metrics = metrics.value();
+          // Refit-economics counters ride the same snapshot: drift from the
+          // monitor (when one is wired), reduction from the registry entry.
+          if (options_.drift_monitor != nullptr) {
+            options_.drift_monitor->annotate(handle.value(), resp.metrics);
+          }
+          const auto [reductions, dropped] = registry_.reduction_counters(handle.value());
+          resp.metrics.reductions = reductions;
+          resp.metrics.reduction_runs_dropped = dropped;
+          resp.metrics.reduction_last_kept =
+              registry_.last_reduction(handle.value()).kept_runs;
+        }
       }
       Connection::Outbound item;
       item.bytes = frame_of(resp);
@@ -410,6 +422,34 @@ bool ServeServer::dispatch(const std::shared_ptr<Connection>& conn, const FrameV
         if (pulled.ok()) {
           resp.stamp = pulled.value().stamp;
           resp.checkpoint_text = std::move(pulled.value().checkpoint_text);
+        }
+      }
+      Connection::Outbound item;
+      item.bytes = frame_of(resp);
+      return conn->push(std::move(item), options_.max_pipeline);
+    }
+
+    case MsgType::kReportRunRequest: {
+      ReportRunRequest req;
+      if (decode_message(frame, req) != WireStatus::kOk) return protocol_error();
+      ReportRunResponse resp;
+      if (options_.drift_monitor == nullptr) {
+        resp.head = head_of(req.request_id, serve::ServeStatus::kInvalidArgument,
+                            "report_run: this node has no drift monitor configured");
+      } else {
+        const auto handle = resolve_key(req.key);
+        if (!handle.ok()) {
+          resp.head = head_of(req.request_id, handle.status(), handle.message());
+        } else {
+          // May queue a refit on the entry's strand; the report itself is one
+          // replica-lease prediction, cheap enough for the reader thread.
+          const auto observed = options_.drift_monitor->report(handle.value(), req.run);
+          resp.head = head_of(req.request_id, observed.status(), observed.message());
+          if (observed.ok()) {
+            resp.error_ewma = observed.value().error_ewma;
+            resp.reports = observed.value().reports;
+            resp.refit_triggered = observed.value().refit_triggered ? 1 : 0;
+          }
         }
       }
       Connection::Outbound item;

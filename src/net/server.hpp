@@ -44,6 +44,7 @@
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "serve/drift_monitor.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/prediction_service.hpp"
 
@@ -89,6 +90,10 @@ struct ServerOptions {
   /// the server AND any refit still in flight at teardown (the refit
   /// completion callback notifies it).
   PeerService* peer_service = nullptr;
+  /// Optional drift monitor answering ReportRunRequest (observed-runtime
+  /// feedback -> error EWMA -> auto-queued reduced refits).  Null = the
+  /// report_run path answers kInvalidArgument.  Must outlive the server.
+  serve::DriftMonitor* drift_monitor = nullptr;
   /// Socket stall budgets applied to every accepted connection (read/write;
   /// connect/request are client-side and ignored here).  An idle client is
   /// fine — the reader waits for the FIRST byte of a frame without budget —

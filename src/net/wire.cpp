@@ -36,6 +36,7 @@ bool is_known_type(std::uint16_t type) {
     case MsgType::kAdvertiseRequest:
     case MsgType::kDigestRequest:
     case MsgType::kPullRequest:
+    case MsgType::kReportRunRequest:
     case MsgType::kPredictResponse:
     case MsgType::kPredictManyResponse:
     case MsgType::kPublishResponse:
@@ -47,6 +48,7 @@ bool is_known_type(std::uint16_t type) {
     case MsgType::kAdvertiseResponse:
     case MsgType::kDigestResponse:
     case MsgType::kPullResponse:
+    case MsgType::kReportRunResponse:
       return true;
   }
   return false;
@@ -62,6 +64,7 @@ const char* to_string(WireStatus status) {
     case WireStatus::kOversizedFrame: return "oversized frame";
     case WireStatus::kTrailingBytes: return "trailing bytes after payload";
     case WireStatus::kMalformed: return "malformed field";
+    case WireStatus::kChecksumMismatch: return "frame checksum mismatch";
   }
   return "unknown wire status";
 }
@@ -139,10 +142,12 @@ void encode_finetune_config(WireWriter& w, const core::FineTuneConfig& cfg) {
   w.u64(static_cast<std::uint64_t>(cfg.unlock_f_after));
   w.u8(cfg.unlock_f_immediately ? 1 : 0);
   w.u8(cfg.train_autoencoder ? 1 : 0);
+  w.u64(static_cast<std::uint64_t>(cfg.batch_size));
 }
 
 WireStatus decode_finetune_config(WireReader& r, core::FineTuneConfig& cfg) {
   std::uint64_t max_epochs = 0, lr_cycle = 0, patience = 0, unlock_f_after = 0;
+  std::uint64_t batch_size = 0;
   std::uint8_t unlock_immediately = 0, train_ae = 0;
   r.u64(max_epochs);
   r.f64(cfg.base_lr);
@@ -155,6 +160,7 @@ WireStatus decode_finetune_config(WireReader& r, core::FineTuneConfig& cfg) {
   r.u64(unlock_f_after);
   r.u8(unlock_immediately);
   r.u8(train_ae);
+  r.u64(batch_size);
   if (!r.ok()) return WireStatus::kTruncated;
   if (unlock_immediately > 1 || train_ae > 1) return WireStatus::kMalformed;
   cfg.max_epochs = static_cast<std::size_t>(max_epochs);
@@ -163,6 +169,7 @@ WireStatus decode_finetune_config(WireReader& r, core::FineTuneConfig& cfg) {
   cfg.unlock_f_after = static_cast<std::size_t>(unlock_f_after);
   cfg.unlock_f_immediately = unlock_immediately != 0;
   cfg.train_autoencoder = train_ae != 0;
+  cfg.batch_size = static_cast<std::size_t>(batch_size);
   return WireStatus::kOk;
 }
 
@@ -187,6 +194,12 @@ void encode_metrics(WireWriter& w, const serve::ServeMetrics& m) {
   w.u64(m.latency_p50_us);
   w.u64(m.latency_p95_us);
   w.u64(m.latency_p99_us);
+  w.f64(m.drift_error_ewma);
+  w.u64(m.drift_reports);
+  w.u64(m.drift_refits);
+  w.u64(m.reductions);
+  w.u64(m.reduction_runs_dropped);
+  w.u64(m.reduction_last_kept);
 }
 
 WireStatus decode_metrics(WireReader& r, serve::ServeMetrics& m) {
@@ -210,6 +223,12 @@ WireStatus decode_metrics(WireReader& r, serve::ServeMetrics& m) {
   r.u64(m.latency_p50_us);
   r.u64(m.latency_p95_us);
   r.u64(m.latency_p99_us);
+  r.f64(m.drift_error_ewma);
+  r.u64(m.drift_reports);
+  r.u64(m.drift_refits);
+  r.u64(m.reductions);
+  r.u64(m.reduction_runs_dropped);
+  r.u64(m.reduction_last_kept);
   return reader_status(r);
 }
 
@@ -376,6 +395,19 @@ WireStatus PullRequest::decode(WireReader& r) {
   return decode_key(r, key);
 }
 
+void ReportRunRequest::encode(WireWriter& w) const {
+  w.u64(request_id);
+  encode_key(w, key);
+  encode_job_run(w, run);
+}
+
+WireStatus ReportRunRequest::decode(WireReader& r) {
+  r.u64(request_id);
+  const WireStatus status = decode_key(r, key);
+  if (status != WireStatus::kOk) return status;
+  return decode_job_run(r, run);
+}
+
 // ---------------------------------------------------------------------------
 // Responses
 // ---------------------------------------------------------------------------
@@ -510,6 +542,24 @@ WireStatus PullResponse::decode(WireReader& r) {
   return WireStatus::kOk;
 }
 
+void ReportRunResponse::encode(WireWriter& w) const {
+  head.encode(w);
+  w.f64(error_ewma);
+  w.u64(reports);
+  w.u8(refit_triggered);
+}
+
+WireStatus ReportRunResponse::decode(WireReader& r) {
+  const WireStatus status = head.decode(r);
+  if (status != WireStatus::kOk) return status;
+  r.f64(error_ewma);
+  r.u64(reports);
+  r.u8(refit_triggered);
+  if (!r.ok()) return WireStatus::kTruncated;
+  if (refit_triggered > 1) return WireStatus::kMalformed;
+  return WireStatus::kOk;
+}
+
 // ---------------------------------------------------------------------------
 // Frame parsing
 // ---------------------------------------------------------------------------
@@ -517,10 +567,19 @@ WireStatus PullResponse::decode(WireReader& r) {
 WireStatus parse_body(const std::uint8_t* data, std::size_t size, FrameView& out) {
   WireReader r(data, size);
   if (!r.u16(out.version) || !r.u16(out.type)) return WireStatus::kTruncated;
+  // Version first: an old-version peer must hear the honest kVersionMismatch,
+  // not a checksum complaint about a trailer it never wrote.
   if (out.version != kWireVersion) return WireStatus::kVersionMismatch;
+  if (size < 4 + kFrameChecksumBytes) return WireStatus::kTruncated;
+  // Checksum before the type: a corrupted type byte is CORRUPTION, not an
+  // unknown message — only checksum-clean bytes reach any further decoding.
+  const std::size_t body_size = size - kFrameChecksumBytes;
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, data + body_size, sizeof stored);
+  if (util::fnv1a64_bytes(data, body_size) != stored) return WireStatus::kChecksumMismatch;
   if (!is_known_type(out.type)) return WireStatus::kUnknownType;
   out.payload = data + 4;
-  out.payload_size = size - 4;
+  out.payload_size = body_size - 4;
   return WireStatus::kOk;
 }
 
@@ -529,7 +588,8 @@ WireStatus parse_frame(const std::uint8_t* data, std::size_t size, FrameView& ou
   std::uint32_t len = 0;
   if (!r.u32(len)) return WireStatus::kTruncated;
   if (len > kMaxFrameBytes) return WireStatus::kOversizedFrame;
-  if (len < 4) return WireStatus::kOversizedFrame;  // cannot even hold version+type
+  // Cannot even hold version + type + checksum.
+  if (len < 4 + kFrameChecksumBytes) return WireStatus::kOversizedFrame;
   if (size - 4 < len) return WireStatus::kTruncated;
   if (size - 4 > len) return WireStatus::kTrailingBytes;
   return parse_body(data + 4, len, out);

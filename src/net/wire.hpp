@@ -5,14 +5,19 @@
 //
 // Frame layout, little-endian throughout:
 //
-//   [u32 len | u16 version | u16 type | payload ...]
+//   [u32 len | u16 version | u16 type | payload ... | u64 checksum]
 //
-// `len` counts everything after itself (version + type + payload), so a
-// stream reader needs exactly one fixed-size read to know how much to pull.
-// Frames above kMaxFrameBytes are rejected before any allocation sized by
-// attacker-controlled input; decode failures are TYPED (WireStatus), never
-// exceptions — a malformed frame from the network is an expected input, not
-// a programming error.
+// `len` counts everything after itself (version + type + payload +
+// checksum), so a stream reader needs exactly one fixed-size read to know
+// how much to pull.  The trailing checksum is FNV-1a 64 over version + type
+// + payload: without it a garbled-but-parseable frame could decode as a
+// VALID different message (the chaos-soak scenario); with it a flipped bit
+// anywhere in the body is a typed kChecksumMismatch.  Version is checked
+// BEFORE the checksum so an old-version peer still gets the honest
+// kVersionMismatch.  Frames above kMaxFrameBytes are rejected before any
+// allocation sized by attacker-controlled input; decode failures are TYPED
+// (WireStatus), never exceptions — a malformed frame from the network is an
+// expected input, not a programming error.
 //
 // One small POD-ish struct per message, each with
 //
@@ -42,6 +47,8 @@
 //   AdvertiseRequest    -> AdvertiseResponse     peer gossip: "here is my catalog"
 //   DigestRequest       -> DigestResponse        ask a peer for its catalog
 //   PullRequest         -> PullResponse          fetch one checkpoint by key
+//   ReportRunRequest    -> ReportRunResponse     feed an OBSERVED runtime back
+//                                                (drift monitoring / refit data)
 //
 // The last three are the exchange-layer messages (src/exchange/): node-to-node
 // checkpoint gossip.  They reuse the checkpoint-as-text encoding publish uses,
@@ -60,12 +67,14 @@
 #include "serve/model_registry.hpp"
 #include "serve/prediction_service.hpp"
 #include "serve/serve_result.hpp"
+#include "util/hash.hpp"
 
 namespace bellamy::net {
 
 /// Bumped on any incompatible layout change; decode rejects mismatches with
-/// WireStatus::kVersionMismatch (never guesses).
-inline constexpr std::uint16_t kWireVersion = 1;
+/// WireStatus::kVersionMismatch (never guesses).  v2: trailing FNV-1a frame
+/// checksum + report_run path + reduction/drift metrics fields.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// Hard ceiling on `len` (version + type + payload).  Checkpoints are the
 /// largest payloads (publish); 64 MB is orders of magnitude above any real
@@ -74,6 +83,9 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
 /// Bytes of the fixed prefix before the payload: u32 len + u16 ver + u16 type.
 inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Bytes of the trailing FNV-1a 64 checksum every frame body carries.
+inline constexpr std::size_t kFrameChecksumBytes = 8;
 
 enum class MsgType : std::uint16_t {
   kPredictRequest = 1,
@@ -87,6 +99,7 @@ enum class MsgType : std::uint16_t {
   kAdvertiseRequest = 9,
   kDigestRequest = 10,
   kPullRequest = 11,
+  kReportRunRequest = 12,
 
   kPredictResponse = 129,
   kPredictManyResponse = 130,
@@ -99,6 +112,7 @@ enum class MsgType : std::uint16_t {
   kAdvertiseResponse = 137,
   kDigestResponse = 138,
   kPullResponse = 139,
+  kReportRunResponse = 140,
 };
 
 /// True for any type value the catalog knows (request or response).
@@ -115,6 +129,7 @@ enum class WireStatus : std::uint8_t {
   kOversizedFrame,   ///< len exceeds kMaxFrameBytes (or < header remainder)
   kTrailingBytes,    ///< payload decoded but bytes remain (layout drift)
   kMalformed,        ///< field-level validation failed (bad enum value, ...)
+  kChecksumMismatch, ///< frame bits corrupted in flight (FNV-1a trailer)
 };
 
 const char* to_string(WireStatus status);
@@ -367,6 +382,19 @@ struct PullRequest {
   WireStatus decode(WireReader& r);
 };
 
+/// Report an OBSERVED run (query + measured runtime) back to the server:
+/// the drift monitor compares it against the model's own prediction, feeds
+/// the error EWMA in ServeMetrics, and may auto-queue a reduced refit.
+struct ReportRunRequest {
+  static constexpr MsgType kType = MsgType::kReportRunRequest;
+  std::uint64_t request_id = 0;
+  serve::ModelKey key;
+  data::JobRun run;  ///< run.runtime_s is the ground-truth observation
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
 // ---------------------------------------------------------------------------
 // Messages — responses.  Every response leads with (request_id, status,
 // message); payload fields are meaningful only when status == kOk.
@@ -483,6 +511,18 @@ struct PullResponse {
   WireStatus decode(WireReader& r);
 };
 
+/// What the drift monitor knew right after folding the reported run in.
+struct ReportRunResponse {
+  static constexpr MsgType kType = MsgType::kReportRunResponse;
+  ResponseHead head;
+  double error_ewma = 0.0;          ///< relative-error EWMA after this report
+  std::uint64_t reports = 0;        ///< runs reported for this handle so far
+  std::uint8_t refit_triggered = 0; ///< this report crossed the drift threshold
+
+  void encode(WireWriter& w) const;
+  WireStatus decode(WireReader& r);
+};
+
 // ---------------------------------------------------------------------------
 // Frame assembly / parsing
 // ---------------------------------------------------------------------------
@@ -495,23 +535,31 @@ struct FrameView {
   std::size_t payload_size = 0;
 };
 
-/// Wrap an encoded message into one wire frame (length prefix included).
+/// Wrap an encoded message into one wire frame (length prefix + trailing
+/// FNV-1a checksum over version + type + payload).
 template <typename Msg>
 std::vector<std::uint8_t> encode_frame(const Msg& msg) {
   WireWriter payload;
   msg.encode(payload);
   WireWriter out;
-  out.u32(static_cast<std::uint32_t>(payload.size() + 4));  // + version + type
+  out.u32(static_cast<std::uint32_t>(payload.size() + 4 +  // + version + type
+                                     kFrameChecksumBytes));
   out.u16(kWireVersion);
   out.u16(static_cast<std::uint16_t>(Msg::kType));
   std::vector<std::uint8_t> frame = out.take();
   const std::vector<std::uint8_t>& body = payload.bytes();
   frame.insert(frame.end(), body.begin(), body.end());
+  const std::uint64_t sum = util::fnv1a64_bytes(frame.data() + 4, frame.size() - 4);
+  const std::size_t at = frame.size();
+  frame.resize(at + kFrameChecksumBytes);
+  std::memcpy(frame.data() + at, &sum, sizeof sum);  // same layout as WireWriter::u64
   return frame;
 }
 
 /// Parse a frame BODY (the `len` bytes after the length prefix: version +
-/// type + payload).  Rejects version/type before touching the payload.
+/// type + payload + checksum).  Rejects version, then the checksum, then
+/// the type, before touching the payload; `out.payload` excludes the
+/// verified trailer.
 WireStatus parse_body(const std::uint8_t* data, std::size_t size, FrameView& out);
 
 /// Parse one complete frame (length prefix included), e.g. a captured

@@ -39,14 +39,33 @@ ServeResult<core::FineTuneResult> run_refit(
         ServeStatus::kNotFitted,
         "refit '" + entry->key.str() + "': no base checkpoint — publish or open first");
   }
+  reduce::ReductionConfig reduction;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    reduction = entry->reduction;
+  }
   try {
     // Same recipe as BellamyPredictor::fit, so refit results are
     // bit-identical to the legacy path given the same config.
     auto fresh = core::BellamyModel::from_checkpoint(*base);
+
+    // Training-data reduction: map the full history to a bounded coreset
+    // BEFORE the fine-tune.  Loss-aware scoring runs against the fresh base
+    // copy while it still carries the published weights (apply_reuse_strategy
+    // may re-initialize components below).
+    const std::vector<data::JobRun>* train = &runs;
+    std::vector<data::JobRun> coreset;
+    reduce::ReductionReport report;
+    const bool reduced = reduction.active() && !runs.empty();
+    if (reduced) {
+      coreset = reduce::reduce_runs(runs, reduction, &fresh, &report);
+      train = &coreset;
+    }
+
     const core::FineTuneConfig cfg = core::apply_reuse_strategy(strategy, fresh, config);
     core::FineTuneResult result;
     util::Timer timer;
-    if (!runs.empty()) result = core::finetune(fresh, runs, cfg);
+    if (!train->empty()) result = core::finetune(fresh, *train, cfg);
     result.fit_seconds = timer.seconds();
 
     std::lock_guard<std::mutex> lock(entry->mutex);
@@ -57,6 +76,11 @@ ServeResult<core::FineTuneResult> run_refit(
     }
     entry->model.emplace(std::move(fresh));
     entry->model->set_replica_pool(entry->pool);
+    if (reduced) {
+      entry->last_reduction = report;
+      entry->reductions += 1;
+      entry->runs_dropped += report.dropped_runs;
+    }
     return result;
   } catch (const std::invalid_argument& e) {
     return ServeResult<core::FineTuneResult>::failure(
@@ -105,6 +129,7 @@ ModelRegistry::entry_for_key_locked(const ModelKey& key) {
   const std::uint64_t id = next_id_++;
   auto entry = std::make_shared<detail::RegistryEntry>();
   entry->key = key;
+  entry->reduction = default_reduction_;
   entries_.emplace(id, entry);
   by_key_.emplace(key, id);
   return {ModelHandle(id), std::move(entry)};
@@ -227,6 +252,7 @@ ServeResult<ModelHandle> ModelRegistry::derive(const ModelHandle& base, const Mo
     entry->base = std::move(ckpt);  // the SAME checkpoint object as the base handle
 
     std::lock_guard<std::mutex> lock(mutex_);
+    entry->reduction = default_reduction_;
     if (by_key_.count(key)) {
       return ServeResult<ModelHandle>::failure(
           ServeStatus::kConflict,
@@ -357,6 +383,63 @@ bool ModelRegistry::refit_pending(const ModelHandle& handle) const noexcept {
   } catch (...) {
     return false;  // a throwing lock must not escalate to std::terminate
   }
+}
+
+ServeResult<Unit> ModelRegistry::set_reduction(const ModelHandle& handle,
+                                               const reduce::ReductionConfig& config) {
+  const auto entry = resolve(handle);
+  if (!entry) {
+    return ServeResult<Unit>::failure(ServeStatus::kUnknownModel,
+                                      "set_reduction: unknown handle");
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  entry->reduction = config;
+  return ok();
+}
+
+reduce::ReductionConfig ModelRegistry::reduction(const ModelHandle& handle) const noexcept {
+  try {
+    const auto entry = resolve(handle);
+    if (!entry) return {};
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return entry->reduction;
+  } catch (...) {
+    return {};
+  }
+}
+
+reduce::ReductionReport ModelRegistry::last_reduction(
+    const ModelHandle& handle) const noexcept {
+  try {
+    const auto entry = resolve(handle);
+    if (!entry) return {};
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return entry->last_reduction;
+  } catch (...) {
+    return {};
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> ModelRegistry::reduction_counters(
+    const ModelHandle& handle) const noexcept {
+  try {
+    const auto entry = resolve(handle);
+    if (!entry) return {0, 0};
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return {entry->reductions, entry->runs_dropped};
+  } catch (...) {
+    return {0, 0};
+  }
+}
+
+void ModelRegistry::set_default_reduction(const reduce::ReductionConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  default_reduction_ = config;
+}
+
+reduce::ReductionConfig ModelRegistry::default_reduction() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return default_reduction_;
 }
 
 ServeResult<Unit> ModelRegistry::persist(const ModelHandle& handle) {

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/bellamy_model.hpp"
@@ -45,6 +46,7 @@
 #include "core/trainer.hpp"
 #include "core/variants.hpp"
 #include "parallel/strand.hpp"
+#include "reduce/reduction.hpp"
 #include "serve/serve_result.hpp"
 
 namespace bellamy::serve {
@@ -117,6 +119,15 @@ struct RegistryEntry {
   std::optional<RefitJob> pending_refit;  ///< queued, not started (coalescing point)
   bool refit_running = false;             ///< a background refit is executing
   parallel::Strand refit_strand{parallel::ThreadPool::global()};
+
+  /// Training-data reduction applied on the refit strand before finetune
+  /// (seeded at entry creation from the registry default; see
+  /// set_reduction()).  `last_reduction` / the counters record what refits
+  /// actually dropped — all guarded by `mutex`.
+  reduce::ReductionConfig reduction;
+  reduce::ReductionReport last_reduction;
+  std::uint64_t reductions = 0;    ///< refits that ran with an active policy
+  std::uint64_t runs_dropped = 0;  ///< cumulative runs dropped across refits
 };
 
 }  // namespace detail
@@ -194,6 +205,30 @@ class ModelRegistry {
   /// True while the handle has a background refit queued or running.
   bool refit_pending(const ModelHandle& handle) const noexcept;
 
+  /// Install the training-data reduction applied before every subsequent
+  /// refit of this handle (refit and refit_async alike, on the refit
+  /// strand): the run history is mapped to a coreset of at most
+  /// `config.budget` runs by the seeded policy, loss-aware scoring against
+  /// the fresh base copy, BEFORE finetune sees it.  An inactive config
+  /// (kNone or budget 0) restores full-history refits.
+  ServeResult<Unit> set_reduction(const ModelHandle& handle,
+                                  const reduce::ReductionConfig& config);
+  /// The handle's current reduction config (default-constructed when the
+  /// handle is unknown).
+  reduce::ReductionConfig reduction(const ModelHandle& handle) const noexcept;
+  /// What the handle's LAST reduced refit dropped (kept_runs == 0 until an
+  /// active-policy refit swaps in).
+  reduce::ReductionReport last_reduction(const ModelHandle& handle) const noexcept;
+  /// Cumulative {reduced refits, runs dropped} of the handle.
+  std::pair<std::uint64_t, std::uint64_t> reduction_counters(
+      const ModelHandle& handle) const noexcept;
+
+  /// Reduction config seeded into every FUTURE entry (publish/open/reserve/
+  /// derive); existing entries keep theirs.  What `bellamy_serverd
+  /// --refit-budget/--refit-policy` installs before any model arrives.
+  void set_default_reduction(const reduce::ReductionConfig& config);
+  reduce::ReductionConfig default_reduction() const;
+
   /// Save the entry's current weights to the backing store under its key.
   ServeResult<Unit> persist(const ModelHandle& handle);
 
@@ -247,6 +282,7 @@ class ModelRegistry {
   std::shared_ptr<std::atomic<bool>> auto_persist_ =
       std::make_shared<std::atomic<bool>>(false);
   std::uint64_t next_id_ = 1;
+  reduce::ReductionConfig default_reduction_;  ///< copied into new entries
   std::map<std::uint64_t, std::shared_ptr<detail::RegistryEntry>> entries_;
   std::map<ModelKey, std::uint64_t> by_key_;
 };

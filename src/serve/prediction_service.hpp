@@ -169,12 +169,25 @@ struct ServeMetrics {
   /// Enqueue-to-response latency quantiles from the lane's fixed-bucket
   /// log-scale histogram (serve/latency_histogram.hpp): zero allocation on
   /// the hot path, <= 12.5% relative bucket error.  0 until the first
-  /// response.  These feed the wire MetricsResponse, the admin `stats`
-  /// console, and (eventually) drift-triggered refits.
+  /// response.  These feed the wire MetricsResponse and the admin `stats`
+  /// console.
   std::uint64_t latency_count = 0;  ///< responses measured into the histogram
   std::uint64_t latency_p50_us = 0;
   std::uint64_t latency_p95_us = 0;
   std::uint64_t latency_p99_us = 0;
+
+  // -- drift monitoring + refit economics (PR 9) --
+  /// Relative-prediction-error EWMA over runs reported via report_run
+  /// (serve::DriftMonitor); 0 until the first report.
+  double drift_error_ewma = 0.0;
+  std::uint64_t drift_reports = 0;  ///< observed runs reported for this handle
+  std::uint64_t drift_refits = 0;   ///< refits auto-queued by drift detection
+  /// Training-data reduction counters from the registry entry: refits that
+  /// ran with an active ReductionConfig, cumulative runs they dropped, and
+  /// the coreset size of the latest one.
+  std::uint64_t reductions = 0;
+  std::uint64_t reduction_runs_dropped = 0;
+  std::uint64_t reduction_last_kept = 0;
 
   /// Mean requests per executed micro-batch (0 before the first batch).
   double mean_batch_fill() const {

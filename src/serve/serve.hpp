@@ -24,6 +24,7 @@
 // The service must be stopped/destroyed before the registry, and the
 // registry before the store.
 
+#include "serve/drift_monitor.hpp"       // IWYU pragma: export
 #include "serve/model_registry.hpp"      // IWYU pragma: export
 #include "serve/prediction_service.hpp"  // IWYU pragma: export
 #include "serve/runtime_adapter.hpp"     // IWYU pragma: export

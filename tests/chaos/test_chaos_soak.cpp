@@ -12,11 +12,12 @@
 //     never junk, never a hang — and after healing a clean client reads
 //     bit-identical predictions.
 //
-// Garble is exercised at the transport layer only: the wire format carries
-// no checksum, so a garbled-but-parseable frame could decode into a VALID
-// different request and "correctly" serve the wrong value — that is a wire
-// format property, not a robustness bug, and it would poison the bit-
-// exactness assertions here.
+// Garble runs at BOTH layers: every wire frame now carries a trailing
+// FNV-1a checksum, so a garbled frame can no longer decode into a valid
+// different request — the receiver rejects it as kChecksumMismatch and
+// closes the connection, which the client surfaces as the typed kShutdown.
+// Flipped bytes on a real socket are therefore just another transport
+// fault, and the bit-exactness assertions below stay sound.
 //
 // Determinism: one FaultPlan seed = one fault schedule.  A failing seed
 // replays locally by pasting it into kSchedules.
@@ -180,6 +181,7 @@ TEST(ChaosSoak, SocketFaultsEveryRequestResolvesExactlyOnceAndHealsClean) {
   plan.delay_prob = 0.05;
   plan.drop_prob = 0.05;
   plan.truncate_prob = 0.03;
+  plan.garble_prob = 0.03;  // flipped bytes on the socket: caught by the frame checksum
   plan.disconnect_prob = 0.05;
   plan.max_delay = milliseconds(5);
   auto faults = std::make_shared<net::FaultInjector>(plan);

@@ -17,8 +17,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <thread>
 #include <vector>
@@ -38,9 +40,10 @@ core::FineTuneConfig quick_finetune() {
   return cfg;
 }
 
-/// One pre-trained model + a running server on an ephemeral port.
+/// One pre-trained model + a running server on an ephemeral port.  Pass
+/// DriftOptions to attach a DriftMonitor (the report_run wire path).
 struct Loopback {
-  Loopback() {
+  explicit Loopback(std::optional<serve::DriftOptions> drift = std::nullopt) {
     data::C3OGeneratorConfig gen;
     gen.seed = 61;
     ds = data::C3OGenerator(gen).generate_algorithm("sgd", 4);
@@ -57,7 +60,12 @@ struct Loopback {
     options.workers = 2;
     service.emplace(registry, options);
 
-    server.emplace(registry, *service, ServerOptions{});
+    ServerOptions server_options;
+    if (drift) {
+      monitor.emplace(registry, *drift);
+      server_options.drift_monitor = &*monitor;
+    }
+    server.emplace(registry, *service, server_options);
     std::string error;
     if (!server->start(error)) throw std::runtime_error("server start: " + error);
   }
@@ -85,6 +93,7 @@ struct Loopback {
   std::vector<data::JobRun> target_runs;
   std::optional<core::BellamyModel> model;
   serve::ModelRegistry registry;
+  std::optional<serve::DriftMonitor> monitor;  ///< must outlive the server
   std::optional<serve::PredictionService> service;
   std::optional<ServeServer> server;
 };
@@ -186,6 +195,112 @@ TEST(Loopback, AdminOperationsAndTypedErrorsTravelTheWire) {
   // erase retires the key for every later request.
   EXPECT_TRUE(client.erase(key).ok());
   EXPECT_EQ(client.predict(key, loop.query(3)).status(), serve::ServeStatus::kUnknownModel);
+  client.close();
+}
+
+TEST(Loopback, ReportRunWithoutAMonitorIsTyped) {
+  Loopback loop;  // no DriftOptions: the server has no monitor attached
+  const serve::ModelKey key{"sgd", "nomonitor"};
+  NetClient client;
+  loop.connect(client);
+  ASSERT_TRUE(client.publish(key, *loop.model).ok());
+
+  data::JobRun run = loop.query(4);
+  run.runtime_s = 100.0;
+  EXPECT_EQ(client.report_run(key, run).status(), serve::ServeStatus::kInvalidArgument);
+  client.close();
+}
+
+TEST(Loopback, ReportRunFeedsTheMonitorAndMetricsCarryDriftCounters) {
+  serve::DriftOptions drift;
+  drift.ewma_alpha = 0.2;
+  drift.threshold = 0.0;  // monitor only: no refits in this test
+  Loopback loop(drift);
+  const serve::ModelKey key{"sgd", "drift"};
+  NetClient client;
+  loop.connect(client);
+
+  // Unknown keys stay typed on the report path too.
+  EXPECT_EQ(client.report_run(key, loop.query(2)).status(),
+            serve::ServeStatus::kUnknownModel);
+
+  ASSERT_TRUE(client.publish(key, *loop.model).ok());
+
+  double want_ewma = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    data::JobRun run = loop.query(1 + i % 6);
+    // Observed runtime 2x the model's own prediction: relative error 1/2
+    // (the observed runtimes here are far above the 1-second floor).
+    const auto predicted = client.predict(key, run);
+    ASSERT_TRUE(predicted.ok()) << predicted.error_text();
+    run.runtime_s = 2.0 * predicted.value();
+    const double err = std::abs(predicted.value() - run.runtime_s) /
+                       std::max(std::abs(run.runtime_s), 1.0);
+    want_ewma = i == 0 ? err : drift.ewma_alpha * err + (1.0 - drift.ewma_alpha) * want_ewma;
+
+    const auto obs = client.report_run(key, run);
+    ASSERT_TRUE(obs.ok()) << obs.error_text();
+    EXPECT_EQ(obs.value().reports, static_cast<std::uint64_t>(i) + 1);
+    EXPECT_NEAR(obs.value().error_ewma, want_ewma, 1e-9);
+    EXPECT_FALSE(obs.value().refit_triggered);
+  }
+
+  // The wire metrics carry the drift counters the monitor accumulated.
+  const auto metrics = client.metrics(key);
+  ASSERT_TRUE(metrics.ok()) << metrics.error_text();
+  EXPECT_EQ(metrics.value().drift_reports, 10u);
+  EXPECT_EQ(metrics.value().drift_refits, 0u);
+  EXPECT_NEAR(metrics.value().drift_error_ewma, want_ewma, 1e-9);
+  EXPECT_EQ(metrics.value().reductions, 0u);
+  client.close();
+}
+
+TEST(Loopback, DriftTriggeredReducedRefitLandsOverTheWire) {
+  serve::DriftOptions drift;
+  drift.threshold = 0.4;
+  drift.min_reports = 10;
+  drift.finetune = quick_finetune();
+  Loopback loop(drift);
+  const serve::ModelKey key{"sgd", "driftrefit"};
+  NetClient client;
+  loop.connect(client);
+  ASSERT_TRUE(client.publish(key, *loop.model).ok());
+
+  // Bound the triggered fine-tune through the entry's reduction config.
+  reduce::ReductionConfig reduction;
+  reduction.policy = reduce::ReductionPolicy::kCoverage;
+  reduction.budget = 6;
+  ASSERT_TRUE(
+      loop.registry.set_reduction(loop.registry.find(key).unwrap(), reduction).ok());
+
+  // Skewed runtimes (3x the prediction) until the monitor fires.
+  bool triggered = false;
+  for (int i = 0; i < 40 && !triggered; ++i) {
+    data::JobRun run = loop.query(1 + i % 6);
+    const auto predicted = client.predict(key, run);
+    ASSERT_TRUE(predicted.ok());
+    run.runtime_s = 3.0 * predicted.value();
+    const auto obs = client.report_run(key, run);
+    ASSERT_TRUE(obs.ok()) << obs.error_text();
+    triggered = obs.value().refit_triggered;
+  }
+  ASSERT_TRUE(triggered);
+
+  // The refit runs on a background strand; poll the wire metrics until the
+  // reduced swap lands.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  serve::ServeMetrics seen;
+  do {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "drift refit never landed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto metrics = client.metrics(key);
+    ASSERT_TRUE(metrics.ok()) << metrics.error_text();
+    seen = metrics.value();
+  } while (seen.reductions == 0);
+
+  EXPECT_EQ(seen.drift_refits, 1u);
+  EXPECT_EQ(seen.reduction_last_kept, reduction.budget);
+  EXPECT_GT(seen.reduction_runs_dropped, 0u);
   client.close();
 }
 

@@ -78,6 +78,16 @@ Msg round_trip(const Msg& msg) {
   return out;
 }
 
+/// Recompute the trailing FNV-1a checksum after a DELIBERATE mutation.
+/// Without this, every hostile-input test below would short-circuit at
+/// kChecksumMismatch instead of exercising the layer it targets.
+void reseal(std::vector<std::uint8_t>& frame) {
+  ASSERT_GE(frame.size(), 4 + 4 + kFrameChecksumBytes);
+  const std::uint64_t sum =
+      util::fnv1a64_bytes(frame.data() + 4, frame.size() - 4 - kFrameChecksumBytes);
+  std::memcpy(frame.data() + frame.size() - kFrameChecksumBytes, &sum, sizeof sum);
+}
+
 // ---------------------------------------------------------------------------
 // Round trips, randomized
 // ---------------------------------------------------------------------------
@@ -143,6 +153,7 @@ TEST(Wire, RefitAsyncRequestRoundTrip) {
     msg.config.unlock_f_after = rng() % 100;
     msg.config.unlock_f_immediately = (rng() & 1) != 0;
     msg.config.train_autoencoder = (rng() & 1) != 0;
+    msg.config.batch_size = rng() % 64;
     msg.strategy = static_cast<std::uint8_t>(rng() % 4);
 
     const RefitAsyncRequest out = round_trip(msg);
@@ -160,6 +171,7 @@ TEST(Wire, RefitAsyncRequestRoundTrip) {
     EXPECT_EQ(out.config.unlock_f_after, msg.config.unlock_f_after);
     EXPECT_EQ(out.config.unlock_f_immediately, msg.config.unlock_f_immediately);
     EXPECT_EQ(out.config.train_autoencoder, msg.config.train_autoencoder);
+    EXPECT_EQ(out.config.batch_size, msg.config.batch_size);
     EXPECT_EQ(out.strategy, msg.strategy);
   }
 }
@@ -240,10 +252,22 @@ TEST(Wire, ResponsesRoundTrip) {
   metrics.metrics.latency_p95_us = rng();
   metrics.metrics.latency_p99_us = rng();
   metrics.metrics.latency_count = rng();
+  metrics.metrics.drift_error_ewma = random_double(rng);
+  metrics.metrics.drift_reports = rng();
+  metrics.metrics.drift_refits = rng();
+  metrics.metrics.reductions = rng();
+  metrics.metrics.reduction_runs_dropped = rng();
+  metrics.metrics.reduction_last_kept = rng();
   const MetricsResponse metrics_out = round_trip(metrics);
   EXPECT_EQ(metrics_out.metrics.requests, metrics.metrics.requests);
   EXPECT_EQ(metrics_out.metrics.latency_p99_us, metrics.metrics.latency_p99_us);
   EXPECT_EQ(metrics_out.metrics.interarrival_ewma_us, metrics.metrics.interarrival_ewma_us);
+  EXPECT_EQ(metrics_out.metrics.drift_error_ewma, metrics.metrics.drift_error_ewma);
+  EXPECT_EQ(metrics_out.metrics.drift_reports, metrics.metrics.drift_reports);
+  EXPECT_EQ(metrics_out.metrics.drift_refits, metrics.metrics.drift_refits);
+  EXPECT_EQ(metrics_out.metrics.reductions, metrics.metrics.reductions);
+  EXPECT_EQ(metrics_out.metrics.reduction_runs_dropped, metrics.metrics.reduction_runs_dropped);
+  EXPECT_EQ(metrics_out.metrics.reduction_last_kept, metrics.metrics.reduction_last_kept);
 
   PublishResponse publish;
   publish.head.request_id = rng();
@@ -283,14 +307,16 @@ TEST(Wire, TruncationAtEveryPrefixLengthIsATypedError) {
 }
 
 TEST(Wire, InnerTruncationOfThePayloadIsATypedError) {
-  // Rewrite the length prefix so the FRAME is self-consistent but the
-  // payload is cut short: the failure must come from the message decoder,
-  // not the frame parser.
+  // Rewrite the length prefix so the FRAME is self-consistent (resealed
+  // checksum included) but the payload is cut short: the failure must come
+  // from the message decoder, not the frame parser.  Cuts below the minimum
+  // body (version + type + trailer) are the frame parser's kTruncated.
   const std::vector<std::uint8_t> frame = sample_frame();
   for (std::size_t cut = 4; cut + 4 < frame.size(); cut += 7) {
     std::vector<std::uint8_t> spliced(frame.begin(), frame.begin() + cut + 4);
     const std::uint32_t len = static_cast<std::uint32_t>(cut);
     std::memcpy(spliced.data(), &len, sizeof len);
+    if (cut >= 4 + kFrameChecksumBytes) reseal(spliced);
     PredictManyRequest out;
     const WireStatus status = decode_frame(spliced.data(), spliced.size(), out);
     EXPECT_TRUE(status == WireStatus::kTruncated || status == WireStatus::kTrailingBytes ||
@@ -313,6 +339,10 @@ TEST(Wire, UnknownTypeIsRejected) {
   const std::uint16_t bad_type = 77;  // hole in the catalog
   std::memcpy(frame.data() + 6, &bad_type, sizeof bad_type);
   PredictManyRequest out;
+  // The type bytes are under the checksum: a corrupted type reads as frame
+  // corruption until the mutation is resealed as a deliberate one.
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kChecksumMismatch);
+  reseal(frame);
   EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kUnknownType);
   EXPECT_FALSE(is_known_type(bad_type));
   EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kPredictRequest)));
@@ -331,12 +361,14 @@ TEST(Wire, TrailingBytesAreRejectedAtBothLayers) {
   PredictManyRequest out;
   EXPECT_EQ(decode_frame(outer.data(), outer.size(), out), WireStatus::kTrailingBytes);
 
-  // Inner: the frame's len covers payload + junk, so the frame parses but
-  // the message decoder must notice leftover bytes.
+  // Inner: the frame's len covers payload + junk, so the frame parses
+  // (checksum resealed over the widened body) but the message decoder must
+  // notice leftover bytes.
   std::vector<std::uint8_t> inner = sample_frame();
   inner.push_back(0xCD);
   const std::uint32_t len = static_cast<std::uint32_t>(inner.size() - 4);
   std::memcpy(inner.data(), &len, sizeof len);
+  reseal(inner);
   EXPECT_EQ(decode_frame(inner.data(), inner.size(), out), WireStatus::kTrailingBytes);
 }
 
@@ -360,6 +392,7 @@ TEST(Wire, OutOfRangeEnumBytesAreMalformed) {
   std::vector<std::uint8_t> frame = encode_frame(resp);
   // Payload layout: u64 request_id, then the status byte.
   frame[kFrameHeaderBytes + 8] = 99;
+  reseal(frame);
   PredictResponse out;
   EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kMalformed);
 
@@ -378,6 +411,84 @@ TEST(Wire, OutOfRangeEnumBytesAreMalformed) {
   RefitAsyncRequest refit_out;
   EXPECT_EQ(decode_frame(refit_frame.data(), refit_frame.size(), refit_out),
             WireStatus::kMalformed);
+}
+
+TEST(Wire, SingleBitFlipAnywhereInBodyOrTrailerIsAChecksumMismatch) {
+  // Flip every bit of every byte past the length prefix.  The version bytes
+  // are checked first (a flipped version reads as skew), but EVERY other
+  // corruption — type, payload, or the trailer itself — must surface as the
+  // typed kChecksumMismatch, never as a wrong decode or a different error.
+  const std::vector<std::uint8_t> frame = sample_frame();
+  for (std::size_t i = 4; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> corrupt = frame;
+      corrupt[i] = static_cast<std::uint8_t>(corrupt[i] ^ (1u << bit));
+      PredictManyRequest out;
+      const WireStatus status = decode_frame(corrupt.data(), corrupt.size(), out);
+      if (i < 6) {
+        EXPECT_EQ(status, WireStatus::kVersionMismatch) << "byte " << i << " bit " << bit;
+      } else {
+        EXPECT_EQ(status, WireStatus::kChecksumMismatch) << "byte " << i << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(Wire, ChecksumTrailerIsFnv1aOverVersionTypeAndPayload) {
+  // Layout contract: the trailer is the FNV-1a 64 of everything between the
+  // length prefix and the trailer itself, and len counts body + trailer.
+  const std::vector<std::uint8_t> frame = sample_frame();
+  ASSERT_GE(frame.size(), kFrameHeaderBytes + kFrameChecksumBytes);
+  std::uint32_t len = 0;
+  std::memcpy(&len, frame.data(), sizeof len);
+  EXPECT_EQ(static_cast<std::size_t>(len), frame.size() - 4);
+  const std::uint64_t expected =
+      util::fnv1a64_bytes(frame.data() + 4, frame.size() - 4 - kFrameChecksumBytes);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, frame.data() + frame.size() - kFrameChecksumBytes, sizeof stored);
+  EXPECT_EQ(stored, expected);
+
+  // Resealing an unmodified frame is a no-op.
+  std::vector<std::uint8_t> resealed = frame;
+  reseal(resealed);
+  EXPECT_EQ(resealed, frame);
+}
+
+TEST(Wire, ReportRunRoundTrip) {
+  std::mt19937_64 rng(111);
+  for (int i = 0; i < 20; ++i) {
+    ReportRunRequest msg;
+    msg.request_id = rng();
+    msg.key = random_key(rng);
+    msg.run = random_run(rng);
+    const ReportRunRequest out = round_trip(msg);
+    EXPECT_EQ(out.request_id, msg.request_id);
+    EXPECT_EQ(out.key, msg.key);
+    expect_run_eq(out.run, msg.run);
+  }
+
+  ReportRunResponse resp;
+  resp.head.request_id = rng();
+  resp.error_ewma = random_double(rng);
+  resp.reports = rng();
+  resp.refit_triggered = 1;
+  const ReportRunResponse resp_out = round_trip(resp);
+  EXPECT_EQ(resp_out.head.request_id, resp.head.request_id);
+  EXPECT_EQ(resp_out.error_ewma, resp.error_ewma);
+  EXPECT_EQ(resp_out.reports, resp.reports);
+  EXPECT_EQ(resp_out.refit_triggered, resp.refit_triggered);
+
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kReportRunRequest)));
+  EXPECT_TRUE(is_known_type(static_cast<std::uint16_t>(MsgType::kReportRunResponse)));
+}
+
+TEST(Wire, ReportRunResponseNonBoolTriggerIsMalformed) {
+  ReportRunResponse resp;
+  resp.head.request_id = 5;
+  resp.refit_triggered = 2;  // not a bool byte
+  const std::vector<std::uint8_t> frame = encode_frame(resp);
+  ReportRunResponse out;
+  EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kMalformed);
 }
 
 // ---------------------------------------------------------------------------
@@ -525,11 +636,13 @@ TEST(Wire, StringLengthBeyondPayloadIsTruncatedNotOverread) {
   w.u32(0x7FFFFFFFu);         // absurd string length for key.job
   w.u8(0xFF);                 // one byte of "string"
   WireWriter framed;
-  framed.u32(static_cast<std::uint32_t>(w.size() + 4));
+  framed.u32(static_cast<std::uint32_t>(w.size() + 4 + kFrameChecksumBytes));
   framed.u16(kWireVersion);
   framed.u16(static_cast<std::uint16_t>(MsgType::kMetricsRequest));
   std::vector<std::uint8_t> frame = framed.take();
   frame.insert(frame.end(), w.bytes().begin(), w.bytes().end());
+  frame.resize(frame.size() + kFrameChecksumBytes);  // trailer slot
+  reseal(frame);
 
   MetricsRequest out;
   EXPECT_EQ(decode_frame(frame.data(), frame.size(), out), WireStatus::kTruncated);

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/bellamy_model.hpp"
+#include "core/trainer.hpp"
 #include "nn/activations.hpp"
 #include "nn/dropout.hpp"
 #include "nn/gradcheck.hpp"
@@ -250,6 +253,93 @@ TEST_P(TrainStepEquivalence, BatchedMatchesAccumulatedPerSample) {
 
 INSTANTIATE_TEST_SUITE_P(BatchSizes, TrainStepEquivalence,
                          ::testing::Values<std::size_t>(1, 2, 7, 64),
+                         [](const auto& info) {
+                           return "b" + std::to_string(info.param);
+                         });
+
+// ---- mini-batch finetune vs the full-batch reference -----------------------
+//
+// FineTuneConfig::batch_size opts into SGD-style mini-batching inside
+// finetune().  Two certifications against the full-batch path:
+//
+//   (a) batch_size = 0 (the default) and batch_size >= run count must be
+//       BIT-IDENTICAL to the pre-existing full-batch loop — the knob is
+//       opt-in, so the default cannot move a single bit;
+//   (b) genuine mini-batches optimize the SAME objective: best MAE is
+//       tracked against the full batch every epoch, so the mini-batch fit
+//       must land within a modest factor of the full-batch fit (and never
+//       return a non-finite or zero-epoch result).
+
+std::vector<data::JobRun> finetune_runs(std::size_t n) {
+  std::vector<data::JobRun> runs;
+  for (std::size_t i = 0; i < n; ++i) {
+    runs.push_back(equivalence_run(static_cast<int>(i % 5), 2 + static_cast<int>(i % 7),
+                                   120.0 + 15.0 * static_cast<double>(i % 9)));
+  }
+  return runs;
+}
+
+core::FineTuneConfig short_finetune(std::size_t batch_size) {
+  core::FineTuneConfig cfg;
+  cfg.max_epochs = 40;
+  cfg.mae_target_seconds = 0.0;  // never early-stop on target: fixed work
+  cfg.patience = 1000;
+  cfg.seed = 19;
+  cfg.batch_size = batch_size;
+  return cfg;
+}
+
+TEST(FineTuneBatchEquivalence, FullBatchFallbackIsBitIdenticalToDefault) {
+  const std::vector<data::JobRun> runs = finetune_runs(12);
+  // batch_size 0, == n, and > n must all take the full-batch path.
+  std::vector<core::BellamyModel> models;
+  std::vector<core::FineTuneResult> results;
+  for (const std::size_t bs : {std::size_t{0}, runs.size(), runs.size() + 5}) {
+    core::BellamyModel model(core::BellamyConfig{}, 42);
+    model.fit_normalization(runs);
+    results.push_back(core::finetune(model, runs, short_finetune(bs)));
+    models.push_back(std::move(model));
+  }
+  const auto reference = models.front().parameters();
+  for (std::size_t m = 1; m < models.size(); ++m) {
+    EXPECT_EQ(results[m].epochs_run, results[0].epochs_run);
+    EXPECT_EQ(results[m].best_mae_seconds, results[0].best_mae_seconds);  // bit-exact
+    const auto params = models[m].parameters();
+    ASSERT_EQ(params.size(), reference.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      EXPECT_EQ(Matrix::max_abs_diff(params[i]->value, reference[i]->value), 0.0)
+          << "model " << m << " " << params[i]->name;
+    }
+  }
+}
+
+class FineTuneBatchSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FineTuneBatchSweep, MiniBatchTracksTheFullBatchObjective) {
+  const std::size_t batch_size = GetParam();
+  const std::vector<data::JobRun> runs = finetune_runs(24);
+
+  core::BellamyModel full(core::BellamyConfig{}, 42);
+  full.fit_normalization(runs);
+  const auto full_result = core::finetune(full, runs, short_finetune(0));
+
+  core::BellamyModel mini(core::BellamyConfig{}, 42);
+  mini.fit_normalization(runs);
+  const auto mini_result = core::finetune(mini, runs, short_finetune(batch_size));
+
+  EXPECT_GT(mini_result.epochs_run, 0u);
+  ASSERT_TRUE(std::isfinite(mini_result.best_mae_seconds));
+  EXPECT_GE(mini_result.best_mae_seconds, 0.0);
+  // best_mae is evaluated on the FULL batch in both paths, so the two fits
+  // share one objective; more steps per epoch may land better or slightly
+  // worse, but the same optimum must be in reach.
+  EXPECT_LE(mini_result.best_mae_seconds, 3.0 * full_result.best_mae_seconds + 1.0)
+      << "full " << full_result.best_mae_seconds << "s vs mini "
+      << mini_result.best_mae_seconds << "s";
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, FineTuneBatchSweep,
+                         ::testing::Values<std::size_t>(1, 4, 8, 16),
                          [](const auto& info) {
                            return "b" + std::to_string(info.param);
                          });

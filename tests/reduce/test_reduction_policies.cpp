@@ -1,0 +1,253 @@
+// Reduction-policy properties: every policy is a deterministic, seeded,
+// order-preserving map from (history, config) to a coreset that respects the
+// budget EXACTLY, and the coverage policy never hollows out a populated
+// scale-out bin.  Determinism is asserted byte-for-byte, including calls
+// racing on different threads (the selection must not depend on any global
+// pool state).
+
+#include "reduce/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bellamy_model.hpp"
+#include "core/trainer.hpp"
+#include "data/c3o_generator.hpp"
+
+namespace bellamy::reduce {
+namespace {
+
+constexpr ReductionPolicy kAllPolicies[] = {
+    ReductionPolicy::kNone, ReductionPolicy::kUniform, ReductionPolicy::kRecency,
+    ReductionPolicy::kCoverage, ReductionPolicy::kLossAware};
+
+constexpr ReductionPolicy kActivePolicies[] = {
+    ReductionPolicy::kUniform, ReductionPolicy::kRecency, ReductionPolicy::kCoverage,
+    ReductionPolicy::kLossAware};
+
+/// Byte-level fingerprint of a coreset: any field drift or reordering shows.
+std::string fingerprint(const std::vector<data::JobRun>& runs) {
+  std::ostringstream out;
+  for (const data::JobRun& r : runs) {
+    out << r.algorithm << '\x1f' << r.environment << '\x1f' << r.node_type << '\x1f'
+        << r.job_parameters << '\x1f' << r.dataset_size_mb << '\x1f'
+        << r.data_characteristics << '\x1f' << r.memory_mb << '\x1f' << r.cpu_cores << '\x1f'
+        << r.scale_out << '\x1f';
+    // Bit-exact runtime: text formatting would round.
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof r.runtime_s);
+    std::memcpy(&bits, &r.runtime_s, sizeof bits);
+    out << bits << '\x1e';
+  }
+  return out.str();
+}
+
+std::vector<data::JobRun> history(std::size_t n, std::uint64_t seed = 5) {
+  data::C3OGeneratorConfig cfg;
+  cfg.seed = seed;
+  const data::Dataset ds = data::C3OGenerator(cfg).generate_algorithm("sgd", 6);
+  std::vector<data::JobRun> runs = ds.runs();
+  if (runs.size() > n) runs.resize(n);
+  return runs;
+}
+
+ReductionConfig config_of(ReductionPolicy policy, std::size_t budget,
+                          std::uint64_t seed = 17) {
+  ReductionConfig cfg;
+  cfg.policy = policy;
+  cfg.budget = budget;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ReductionPolicies, PolicyNamesRoundTripThroughParse) {
+  for (const ReductionPolicy policy : kAllPolicies) {
+    const auto parsed = parse_policy(policy_name(policy));
+    ASSERT_TRUE(parsed.has_value()) << policy_name(policy);
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_EQ(parse_policy("loss_aware"), ReductionPolicy::kLossAware);  // alias
+  EXPECT_FALSE(parse_policy("").has_value());
+  EXPECT_FALSE(parse_policy("newest").has_value());
+}
+
+TEST(ReductionPolicies, InactiveConfigsAreIdentity) {
+  const std::vector<data::JobRun> runs = history(40);
+  for (const ReductionPolicy policy : kAllPolicies) {
+    // budget 0 = unbounded, kNone = off: both keep everything.
+    for (const std::size_t budget : {std::size_t{0}, runs.size(), runs.size() + 100}) {
+      if (policy != ReductionPolicy::kNone && budget != 0 && budget < runs.size()) continue;
+      ReductionReport report;
+      const auto kept = reduce_runs(runs, config_of(policy, budget), nullptr, &report);
+      EXPECT_EQ(fingerprint(kept), fingerprint(runs))
+          << policy_name(policy) << " budget " << budget;
+      EXPECT_EQ(report.kept_runs, runs.size());
+      EXPECT_EQ(report.dropped_runs, 0u);
+    }
+  }
+}
+
+TEST(ReductionPolicies, BudgetIsRespectedExactly) {
+  const std::vector<data::JobRun> runs = history(60);
+  for (const ReductionPolicy policy : kActivePolicies) {
+    for (const std::size_t budget : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                                     std::size_t{31}, runs.size() - 1}) {
+      ReductionReport report;
+      const auto kept = reduce_runs(runs, config_of(policy, budget), nullptr, &report);
+      EXPECT_EQ(kept.size(), budget) << policy_name(policy) << " budget " << budget;
+      EXPECT_EQ(report.kept_runs, budget);
+      EXPECT_EQ(report.input_runs, runs.size());
+      EXPECT_EQ(report.dropped_runs, runs.size() - budget);
+      EXPECT_EQ(report.policy, policy);
+    }
+  }
+}
+
+TEST(ReductionPolicies, KeptRunsPreserveHistoryOrder) {
+  // The coreset must be a SUBSEQUENCE of the history: every policy returns
+  // indices sorted ascending, so kept runs appear in their original order.
+  const std::vector<data::JobRun> runs = history(50);
+  for (const ReductionPolicy policy : kActivePolicies) {
+    const auto kept = reduce_runs(runs, config_of(policy, 20));
+    std::size_t cursor = 0;
+    for (const data::JobRun& k : kept) {
+      const std::string want = fingerprint({k});
+      while (cursor < runs.size() && fingerprint({runs[cursor]}) != want) ++cursor;
+      ASSERT_LT(cursor, runs.size())
+          << policy_name(policy) << ": kept run out of order or not from the history";
+      ++cursor;
+    }
+  }
+}
+
+TEST(ReductionPolicies, SameSeedAndHistoryIsByteIdenticalAcrossRunsAndThreads) {
+  const std::vector<data::JobRun> runs = history(80);
+  for (const ReductionPolicy policy : kActivePolicies) {
+    const ReductionConfig cfg = config_of(policy, 24, 99);
+    const std::string want = fingerprint(reduce_runs(runs, cfg));
+
+    // Repeated calls on this thread.
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(fingerprint(reduce_runs(runs, cfg)), want);
+
+    // Racing calls on 8 threads: selection must not read any shared state.
+    std::vector<std::string> got(8);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < got.size(); ++t) {
+      threads.emplace_back([&, t] { got[t] = fingerprint(reduce_runs(runs, cfg)); });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::string& g : got) EXPECT_EQ(g, want) << policy_name(policy);
+  }
+}
+
+TEST(ReductionPolicies, DifferentSeedsMoveTheStochasticPolicies) {
+  const std::vector<data::JobRun> runs = history(80);
+  for (const ReductionPolicy policy : {ReductionPolicy::kUniform, ReductionPolicy::kRecency}) {
+    const auto a = reduce_runs(runs, config_of(policy, 20, 1));
+    const auto b = reduce_runs(runs, config_of(policy, 20, 2));
+    EXPECT_NE(fingerprint(a), fingerprint(b)) << policy_name(policy);
+  }
+}
+
+TEST(ReductionPolicies, CoverageNeverEmptiesAPopulatedScaleOutBin) {
+  const std::vector<data::JobRun> runs = history(100);
+  std::set<int> bins;
+  for (const data::JobRun& r : runs) bins.insert(r.scale_out);
+  ASSERT_GE(bins.size(), 3u) << "fixture too homogeneous to test coverage";
+
+  for (std::size_t budget = bins.size(); budget < runs.size(); budget += 5) {
+    ReductionReport report;
+    const auto kept =
+        reduce_runs(runs, config_of(ReductionPolicy::kCoverage, budget), nullptr, &report);
+    std::set<int> kept_bins;
+    for (const data::JobRun& r : kept) kept_bins.insert(r.scale_out);
+    EXPECT_EQ(kept_bins, bins) << "budget " << budget << " hollowed out a scale-out bin";
+    EXPECT_EQ(report.kept_scaleout_bins, bins.size());
+    EXPECT_EQ(report.input_scaleout_bins, bins.size());
+    EXPECT_DOUBLE_EQ(report.scaleout_coverage(), 1.0);
+    EXPECT_EQ(report.min_scaleout_kept, *bins.begin());
+    EXPECT_EQ(report.max_scaleout_kept, *bins.rbegin());
+  }
+}
+
+TEST(ReductionPolicies, RecencyFavorsNewerRuns) {
+  // With a short half-life, the tail of the history must dominate the
+  // coreset: mean kept index > mean history index.
+  const std::vector<data::JobRun> runs = history(80);
+  ReductionConfig cfg = config_of(ReductionPolicy::kRecency, 16, 3);
+  cfg.recency_half_life = 4.0;
+  const auto kept = reduce_runs(runs, cfg);
+  ASSERT_EQ(kept.size(), 16u);
+
+  double kept_mean = 0.0;
+  std::size_t cursor = 0;
+  for (const data::JobRun& k : kept) {
+    while (fingerprint({runs[cursor]}) != fingerprint({k})) ++cursor;
+    kept_mean += static_cast<double>(cursor);
+    ++cursor;
+  }
+  kept_mean /= static_cast<double>(kept.size());
+  const double history_mean = static_cast<double>(runs.size() - 1) / 2.0;
+  EXPECT_GT(kept_mean, history_mean);
+}
+
+TEST(ReductionPolicies, LossAwareKeepsTheHardestRunsForTheModel) {
+  data::C3OGeneratorConfig gen;
+  gen.seed = 5;
+  const data::Dataset ds = data::C3OGenerator(gen).generate_algorithm("sgd", 6);
+  std::vector<data::JobRun> runs = ds.runs();
+  runs.resize(48);
+
+  core::BellamyModel model(core::BellamyConfig{}, 21);
+  core::PreTrainConfig pre;
+  pre.epochs = 40;
+  core::pretrain(model, ds.runs(), pre);
+
+  const std::size_t budget = 12;
+  const auto kept =
+      reduce_runs(runs, config_of(ReductionPolicy::kLossAware, budget), &model);
+  ASSERT_EQ(kept.size(), budget);
+
+  // Expected: the budget runs with the largest |prediction - observed|.
+  const std::vector<double> pred = model.predict_batch(runs);
+  std::vector<std::size_t> order(runs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ea = std::abs(pred[a] - runs[a].runtime_s);
+    const double eb = std::abs(pred[b] - runs[b].runtime_s);
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  std::vector<std::size_t> want(order.begin(),
+                                order.begin() + static_cast<std::ptrdiff_t>(budget));
+  std::sort(want.begin(), want.end());
+  std::vector<data::JobRun> expected;
+  for (const std::size_t i : want) expected.push_back(runs[i]);
+  EXPECT_EQ(fingerprint(kept), fingerprint(expected));
+
+  // No model: documented fallback to the uniform policy (same seed).
+  const auto blind = reduce_runs(runs, config_of(ReductionPolicy::kLossAware, budget));
+  const auto uniform = reduce_runs(runs, config_of(ReductionPolicy::kUniform, budget));
+  EXPECT_EQ(fingerprint(blind), fingerprint(uniform));
+}
+
+TEST(ReductionPolicies, EmptyHistoryIsHandled) {
+  for (const ReductionPolicy policy : kAllPolicies) {
+    ReductionReport report;
+    const auto kept = reduce_runs({}, config_of(policy, 8), nullptr, &report);
+    EXPECT_TRUE(kept.empty());
+    EXPECT_EQ(report.input_runs, 0u);
+    EXPECT_DOUBLE_EQ(report.scaleout_coverage(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bellamy::reduce

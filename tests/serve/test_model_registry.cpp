@@ -493,5 +493,85 @@ TEST(ModelRegistry, AutoPersistFailureSurfacesAsStoreErrorButTheSwapLands) {
   EXPECT_TRUE(registry.fitted(handle));
 }
 
+TEST(ModelRegistry, RefitHonorsTheEntrysReductionConfig) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "ctx"}, fx.pretrained(1)).unwrap();
+
+  reduce::ReductionConfig reduction;
+  reduction.policy = reduce::ReductionPolicy::kRecency;
+  reduction.budget = 6;
+  ASSERT_TRUE(registry.set_reduction(handle, reduction).ok());
+  EXPECT_EQ(registry.reduction(handle).budget, 6u);
+
+  ASSERT_GT(fx.target_runs.size(), reduction.budget);
+  const auto result = registry.refit(handle, fx.target_runs, quick_finetune());
+  ASSERT_TRUE(result.ok()) << result.error_text();
+
+  const reduce::ReductionReport report = registry.last_reduction(handle);
+  EXPECT_EQ(report.policy, reduce::ReductionPolicy::kRecency);
+  EXPECT_EQ(report.input_runs, fx.target_runs.size());
+  EXPECT_EQ(report.kept_runs, reduction.budget);
+  EXPECT_EQ(report.dropped_runs, fx.target_runs.size() - reduction.budget);
+  const auto [reductions, dropped] = registry.reduction_counters(handle);
+  EXPECT_EQ(reductions, 1u);
+  EXPECT_EQ(dropped, report.dropped_runs);
+
+  // The reduced refit is bit-identical to fine-tuning the coreset directly.
+  const auto coreset = reduce::reduce_runs(fx.target_runs, reduction);
+  ModelRegistry plain;
+  const ModelHandle reference = plain.publish({"sgd", "ctx"}, fx.pretrained(1)).unwrap();
+  ASSERT_TRUE(plain.refit(reference, coreset, quick_finetune()).ok());
+  EXPECT_EQ(registry.checkpoint_text(handle).unwrap(),
+            plain.checkpoint_text(reference).unwrap());
+}
+
+TEST(ModelRegistry, ReductionCountersUntouchedWhenInactiveOrEmpty) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle handle = registry.publish({"sgd", "ctx"}, fx.pretrained(1)).unwrap();
+
+  // No reduction configured: a refit reports nothing.
+  ASSERT_TRUE(registry.refit(handle, fx.target_runs, quick_finetune()).ok());
+  EXPECT_EQ(registry.reduction_counters(handle).first, 0u);
+
+  // Reduction configured but the refit carries no runs (direct reuse):
+  // nothing to reduce, nothing counted.
+  reduce::ReductionConfig reduction;
+  reduction.policy = reduce::ReductionPolicy::kUniform;
+  reduction.budget = 4;
+  ASSERT_TRUE(registry.set_reduction(handle, reduction).ok());
+  ASSERT_TRUE(registry.refit(handle, {}, quick_finetune()).ok());
+  EXPECT_EQ(registry.reduction_counters(handle).first, 0u);
+  EXPECT_EQ(registry.last_reduction(handle).kept_runs, 0u);
+}
+
+TEST(ModelRegistry, DefaultReductionIsInheritedByNewEntriesOnly) {
+  Fixture fx;
+  ModelRegistry registry;
+  const ModelHandle before =
+      registry.publish({"sgd", "before"}, fx.pretrained(1)).unwrap();
+
+  reduce::ReductionConfig def;
+  def.policy = reduce::ReductionPolicy::kCoverage;
+  def.budget = 10;
+  registry.set_default_reduction(def);
+  EXPECT_EQ(registry.default_reduction().budget, 10u);
+
+  const ModelHandle after = registry.publish({"sgd", "after"}, fx.pretrained(2)).unwrap();
+  EXPECT_EQ(registry.reduction(after).policy, reduce::ReductionPolicy::kCoverage);
+  EXPECT_EQ(registry.reduction(after).budget, 10u);
+  // Entries created before the default was set keep their config.
+  EXPECT_EQ(registry.reduction(before).policy, reduce::ReductionPolicy::kNone);
+
+  // Derived handles inherit the default too.
+  const ModelHandle derived = registry.derive(after, {"sgd", "derived"}).unwrap();
+  EXPECT_EQ(registry.reduction(derived).budget, 10u);
+
+  // set_reduction on an unknown handle is typed.
+  EXPECT_EQ(registry.set_reduction(ModelHandle{}, def).status(),
+            ServeStatus::kUnknownModel);
+}
+
 }  // namespace
 }  // namespace bellamy::serve
