@@ -449,8 +449,12 @@ void gemm_blocked(std::size_t k, const double* a, std::size_t lda, const double*
 // panels), row groups for tall-skinny shapes.  Group boundaries always land
 // on tile boundaries and every C tile is written by exactly one task with
 // the k-accumulation order unchanged, so the threaded product is
-// bit-identical to the serial one.  Small products (under the flop
-// threshold) stay serial — the fork/join overhead would dominate.
+// bit-identical to the serial one.  This relies ONLY on the pool's
+// exactly-once contract, never on execution order — the work-stealing
+// scheduler may run panel tasks in any interleaving (LIFO on the
+// submitter's deque, stolen FIFO elsewhere) and the product cannot tell.
+// Small products (under the flop threshold) stay serial — the fork/join
+// overhead would dominate.
 
 std::atomic<std::size_t> g_gemm_min_flops{std::size_t{1} << 23};  // 8M flops
 std::atomic<parallel::ThreadPool*> g_gemm_pool{nullptr};

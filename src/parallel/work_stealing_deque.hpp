@@ -1,0 +1,175 @@
+#pragma once
+// Chase–Lev work-stealing deque: the lock-free primitive under ThreadPool.
+//
+// One OWNER thread pushes and pops at the bottom (LIFO — freshly spawned
+// work stays cache-hot on the worker that created it); any number of THIEF
+// threads steal from the top (FIFO — the oldest task leaves first, which is
+// what keeps nested parallel_for fair: a worker fans out, keeps the tail of
+// its own chunks, and idle workers drain the head).
+//
+// This is the growable circular-array deque of Chase & Lev ("Dynamic
+// Circular Work-Stealing Deque", SPAA 2005) with the memory orders of
+// Lê et al. ("Correct and Efficient Work-Stealing for Weak Memory Models",
+// PPoPP 2013), with one deliberate deviation: the PPoPP formulation's
+// standalone seq_cst *fences* are folded into seq_cst orders on the
+// `top_`/`bottom_` accesses themselves.  ThreadSanitizer does not model
+// std::atomic_thread_fence, so the fence formulation produces false
+// positives under the TSan CI lane; putting the ordering on the atomic
+// accesses is strictly stronger, costs nothing measurable at this
+// task granularity, and keeps every cross-thread access an atomic op TSan
+// can reason about.
+//
+// Invariants (checked by tests/parallel/test_work_stealing_deque.cpp):
+//   * top_ <= bottom_ + 1 at all times; both increase monotonically.
+//   * Every pushed element is returned by exactly one successful pop() or
+//     steal() — the single CAS on top_ is the only point of contention, so
+//     a task can never be claimed twice or lost.
+//   * pop() and push() are owner-only and wait-free; steal() is lock-free
+//     (a thief can lose a race and return empty, but some thread made
+//     progress).
+//   * grow() never blocks thieves: the old array stays readable (retired,
+//     freed with the deque) and cells in [top_, bottom_) hold the same
+//     values in both arrays, so a thief that read a stale array pointer
+//     still reads the right element for any index its CAS can win.
+//
+// T must be trivially copyable and have a falsy "empty" value (pointers:
+// nullptr) — the pool stores heap-allocated task pointers.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace bellamy::parallel {
+
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WorkStealingDeque elements must be trivially copyable "
+                "(store pointers to anything bigger)");
+
+ public:
+  /// `capacity` must be a power of two (the ring index is masked, not
+  /// wrapped); the deque grows by doubling when the owner outruns thieves.
+  explicit WorkStealingDeque(std::size_t capacity = 64) {
+    auto initial = std::make_unique<Array>(capacity);
+    array_.store(initial.get(), std::memory_order_relaxed);
+    retired_.push_back(std::move(initial));
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: append at the bottom.  Grows (amortized O(1)) when full.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(a->capacity)) {
+      a = grow(a, t, b);
+    }
+    a->cell(b).store(value, std::memory_order_relaxed);
+    // Publish the cell before the new bottom: a thief that observes b+1
+    // (acquire) must observe the element.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: remove the most recently pushed element (LIFO).  Returns
+  /// the empty value T{} when the deque is empty or a thief won the race
+  /// for the final element.
+  T pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    // Reserve the bottom slot BEFORE reading top_ (store-load ordering —
+    // this pairs with the thief's top_-then-bottom_ read order; seq_cst on
+    // both sides stands in for the PPoPP fence, see header comment).
+    bottom_.store(b, std::memory_order_seq_cst);
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return T{};
+    }
+    T value = a->cell(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Final element: race the thieves for it via the same CAS they use.
+      std::int64_t expected = t;
+      if (!top_.compare_exchange_strong(expected, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        value = T{};  // a thief got it first
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  /// Any thread: remove the oldest element (FIFO).  Returns T{} when empty
+  /// or when another claimant won the CAS (lock-free, not wait-free — the
+  /// caller is expected to move on to another victim, not retry in place).
+  T steal() {
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return T{};
+    Array* a = array_.load(std::memory_order_acquire);
+    T value = a->cell(t).load(std::memory_order_relaxed);
+    std::int64_t expected = t;
+    if (!top_.compare_exchange_strong(expected, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return T{};
+    }
+    return value;
+  }
+
+  /// Racy size estimate (never negative).  For heuristics only — by the
+  /// time the caller acts on it, it is already stale.
+  std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+  /// Current ring capacity (grows by doubling; for tests).
+  std::size_t capacity() const {
+    return array_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          cells(std::make_unique<std::atomic<T>[]>(cap)) {}
+    std::atomic<T>& cell(std::int64_t i) { return cells[static_cast<std::size_t>(i) & mask]; }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+  };
+
+  /// Owner only: double the ring, copying the live window [t, b).  The old
+  /// array is retired, NOT freed — a thief holding a stale pointer may
+  /// still read from it (safely: the live window is identical in both).
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Array>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->cell(i).store(old->cell(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    Array* raw = bigger.get();
+    array_.store(raw, std::memory_order_release);
+    retired_.push_back(std::move(bigger));
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  // Every array ever allocated, freed with the deque (owner-only access).
+  // Indices only grow, so a retired array can never be mistaken for live
+  // storage of a new element — thieves just read stale-but-equal values.
+  std::vector<std::unique_ptr<Array>> retired_;
+};
+
+}  // namespace bellamy::parallel

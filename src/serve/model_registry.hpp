@@ -110,6 +110,9 @@ struct RefitJob {
 /// replica cache.  `refit_strand` serializes this entry's background refits
 /// on the process-wide ThreadPool; tasks capture the entry's shared_ptr, so
 /// an erase()d entry finishes its in-flight refit harmlessly off-registry.
+/// The strand's ordering is its own (drainer chaining), not the pool's: the
+/// work-stealing scheduler is free to run the drainer task from any worker
+/// or helper thread, and refits still execute one at a time in post order.
 struct RegistryEntry {
   ModelKey key;
   mutable std::mutex mutex;

@@ -4,7 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace bellamy::parallel {
 namespace {
@@ -96,6 +100,119 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // destructor joins workers after queue drains
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, TryRunPendingTaskFromExternalThread) {
+  // Any thread may help: an external (non-worker) caller claims through the
+  // injection stripes and the workers' deques as a pure thief.
+  ThreadPool pool(1);
+  std::atomic<bool> blocker_started{false};
+  std::atomic<bool> release{false};
+  pool.submit([&] {  // occupy the only worker
+    blocker_started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Wait until the WORKER holds the blocker — otherwise this thread's
+  // helping loop below would claim it first (stripe FIFO) and spin on a
+  // release flag only set after the loop.
+  while (!blocker_started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  while (pool.try_run_pending_task()) {
+  }
+  EXPECT_EQ(ran.load(), 4);  // helper drained everything the worker couldn't
+  release.store(true);
+  pool.wait_idle();
+}
+
+// REGRESSION (wait_idle vs helping claims).  The mutex-queue pool tracked
+// idleness as "queue empty && active == 0", where a helping thread bumped
+// `active` in a separate critical section from its pop: wait_idle could
+// observe the window where a task was already CLAIMED by a helper (queue
+// empty) but not yet COUNTED (active still 0) and return while the task was
+// running.  The work-stealing pool counts a task as pending_ from before it
+// becomes claimable until after its body returns, no matter which thread
+// runs it.  Reintroducing the two-phase accounting makes this test fail:
+// wait_idle would return with `done` still false while the helper sleeps
+// inside the task.
+TEST(ThreadPool, WaitIdleSeesTaskClaimedByExternalHelper) {
+  ThreadPool pool(1);
+  std::atomic<bool> blocker_started{false};
+  std::atomic<bool> worker_release{false};
+  pool.submit([&] {  // park the only worker in a task
+    blocker_started.store(true);
+    while (!worker_release.load()) std::this_thread::yield();
+  });
+  // The helper below must claim the SLEEPER, not the blocker: wait until
+  // the worker owns the blocker before submitting anything else.
+  while (!blocker_started.load()) std::this_thread::yield();
+
+  std::atomic<bool> claimed{false};
+  std::atomic<bool> done{false};
+  pool.submit([&claimed, &done] {
+    claimed.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    done.store(true);
+  });
+
+  // External helper claims the second task (the worker is occupied).
+  std::thread helper([&pool] { pool.try_run_pending_task(); });
+  while (!claimed.load()) std::this_thread::yield();
+
+  // The helper is now INSIDE the task, both queues are empty.  wait_idle
+  // must still block until the claimed task's body finishes.
+  worker_release.store(true);
+  pool.wait_idle();
+  EXPECT_TRUE(done.load())
+      << "wait_idle returned while a helper-claimed task was still running";
+  helper.join();
+}
+
+TEST(ThreadPool, ExternalSubmittersFromManyThreadsRunExactlyOnce) {
+  // Hammers the striped injection path: 8 submitter threads, one pool.
+  ThreadPool pool(4);
+  constexpr int kPerThread = 500;
+  constexpr int kThreads = 8;
+  std::vector<std::atomic<std::uint8_t>> ran(kThreads * kPerThread);
+  for (auto& r : ran) r.store(0);
+  std::vector<std::thread> submitters;
+  std::atomic<int> double_runs{0};
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int id = t * kPerThread + i;
+        pool.submit([&, id] {
+          if (ran[static_cast<std::size_t>(id)].fetch_add(1) != 0) {
+            double_runs.fetch_add(1);
+          }
+        });
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  pool.wait_idle();
+  EXPECT_EQ(double_runs.load(), 0);
+  int executed = 0;
+  for (auto& r : ran) executed += r.load();
+  EXPECT_EQ(executed, kThreads * kPerThread);
+}
+
+TEST(ThreadPool, WorkerRecursiveSubmitCompletesOnSingleWorker) {
+  // A task submitting from inside the pool pushes lock-free onto its own
+  // deque; with one worker nobody can steal, so the owner itself must pop
+  // the children (LIFO) before it can go idle.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    ran.fetch_add(1);
+    if (depth > 0) {
+      pool.submit(spawn, depth - 1);
+      pool.submit(spawn, depth - 1);
+    }
+  };
+  pool.submit(spawn, 6).get();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), (1 << 7) - 1);  // full binary tree of depth 6
 }
 
 }  // namespace

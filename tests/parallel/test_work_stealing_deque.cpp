@@ -1,0 +1,212 @@
+// Unit and race tests for the Chase–Lev deque under ThreadPool.
+//
+// The deque's contract is exactly-once claiming: every pushed element is
+// returned by precisely one successful pop() or steal(), under any
+// interleaving of one owner and any number of thieves, across grows.  The
+// soak here is the primitive-level half of the certification; the pool-level
+// half lives in test_pool_stress.cpp.
+
+#include "parallel/work_stealing_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace bellamy::parallel {
+namespace {
+
+using Deque = WorkStealingDeque<std::size_t>;  // 0 is the empty sentinel
+
+TEST(WorkStealingDeque, OwnerPushPopIsLifo) {
+  Deque dq;
+  for (std::size_t v = 1; v <= 100; ++v) dq.push(v);
+  EXPECT_EQ(dq.size_approx(), 100u);
+  for (std::size_t v = 100; v >= 1; --v) EXPECT_EQ(dq.pop(), v);
+  EXPECT_EQ(dq.pop(), 0u);
+  EXPECT_TRUE(dq.empty_approx());
+}
+
+TEST(WorkStealingDeque, StealIsFifoFromTop) {
+  Deque dq;
+  for (std::size_t v = 1; v <= 100; ++v) dq.push(v);
+  // Thieves always take the OLDEST element: steal order is push order.
+  for (std::size_t v = 1; v <= 100; ++v) EXPECT_EQ(dq.steal(), v);
+  EXPECT_EQ(dq.steal(), 0u);
+}
+
+TEST(WorkStealingDeque, MixedPopAndStealPartitionTheElements) {
+  Deque dq;
+  for (std::size_t v = 1; v <= 10; ++v) dq.push(v);
+  EXPECT_EQ(dq.steal(), 1u);  // oldest
+  EXPECT_EQ(dq.pop(), 10u);   // newest
+  EXPECT_EQ(dq.steal(), 2u);
+  EXPECT_EQ(dq.pop(), 9u);
+  EXPECT_EQ(dq.size_approx(), 6u);
+}
+
+TEST(WorkStealingDeque, EmptyDequeReturnsSentinelFromBothEnds) {
+  Deque dq;
+  EXPECT_EQ(dq.pop(), 0u);
+  EXPECT_EQ(dq.steal(), 0u);
+  dq.push(7);
+  EXPECT_EQ(dq.pop(), 7u);
+  EXPECT_EQ(dq.pop(), 0u);
+  EXPECT_EQ(dq.steal(), 0u);
+}
+
+TEST(WorkStealingDeque, GrowPreservesContents) {
+  Deque dq(/*capacity=*/2);
+  for (std::size_t v = 1; v <= 1000; ++v) dq.push(v);  // forces ~9 doublings
+  EXPECT_GE(dq.capacity(), 1024u);
+  for (std::size_t v = 1; v <= 500; ++v) EXPECT_EQ(dq.steal(), v);
+  for (std::size_t v = 1000; v >= 501; --v) EXPECT_EQ(dq.pop(), v);
+  EXPECT_TRUE(dq.empty_approx());
+}
+
+// One element, one owner popping, one thief stealing, repeated: exactly one
+// side wins each round.  This is the t == b CAS race at the heart of the
+// algorithm.
+TEST(WorkStealingDeque, OneElementRaceIsWonExactlyOnce) {
+  constexpr int kRounds = 2000;
+  Deque dq;
+  std::atomic<int> round_ready{-1};
+  std::atomic<int> round_done{-1};
+  std::atomic<std::size_t> thief_claims{0};
+  std::atomic<bool> stop{false};
+
+  std::thread thief([&] {
+    int last_seen = -1;
+    while (!stop.load()) {
+      const int r = round_ready.load();
+      if (r == last_seen) {
+        std::this_thread::yield();
+        continue;
+      }
+      last_seen = r;
+      if (dq.steal() != 0) thief_claims.fetch_add(1);
+      round_done.store(r);
+    }
+  });
+
+  std::size_t owner_claims = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    dq.push(static_cast<std::size_t>(r) + 1);
+    round_ready.store(r);
+    if (dq.pop() != 0) ++owner_claims;
+    while (round_done.load() != r) std::this_thread::yield();
+    ASSERT_TRUE(dq.empty_approx());  // element claimed by someone
+  }
+  stop.store(true);
+  round_ready.store(kRounds);  // release a thief stuck waiting for a round
+  thief.join();
+  EXPECT_EQ(owner_claims + thief_claims.load(), static_cast<std::size_t>(kRounds));
+}
+
+// Owner pushes through repeated grows while a thief drains concurrently:
+// stale array pointers held across a grow must still yield the right
+// elements (the retired-array guarantee).
+TEST(WorkStealingDeque, GrowUnderConcurrentStealLosesNothing) {
+  constexpr std::size_t kOps = 20000;
+  Deque dq(/*capacity=*/2);
+  std::vector<std::atomic<std::uint8_t>> claimed(kOps + 1);
+  for (auto& c : claimed) c.store(0);
+  std::atomic<std::size_t> total{0};
+  std::atomic<bool> done_producing{false};
+
+  auto claim = [&](std::size_t v) {
+    ASSERT_LE(v, kOps);
+    EXPECT_EQ(claimed[v].fetch_add(1), 0) << "element " << v << " claimed twice";
+    total.fetch_add(1);
+  };
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  std::thread thief([&] {
+    while (total.load() < kOps) {
+      const std::size_t v = dq.steal();
+      if (v != 0) {
+        claim(v);
+      } else if (done_producing.load()) {
+        if (total.load() >= kOps) break;
+        if (std::chrono::steady_clock::now() > deadline) break;  // lost element
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::size_t v = 1; v <= kOps; ++v) {
+    dq.push(v);
+    if (v % 3 == 0) {
+      const std::size_t got = dq.pop();
+      if (got != 0) claim(got);
+    }
+  }
+  done_producing.store(true);
+  for (std::size_t got = dq.pop(); got != 0; got = dq.pop()) claim(got);
+  thief.join();
+  EXPECT_EQ(total.load(), kOps);
+}
+
+// The acceptance soak: 8 thieves against one pushing-and-popping owner over
+// 1M elements, every element claimed exactly once.  A deadline guards the
+// join so a lost element fails the test instead of hanging it.
+TEST(WorkStealingDeque, EightThiefMillionOpSoakClaimsEveryTaskExactlyOnce) {
+  constexpr std::size_t kOps = 1'000'000;
+  constexpr int kThieves = 8;
+  Deque dq;
+  std::vector<std::atomic<std::uint8_t>> claimed(kOps + 1);
+  for (auto& c : claimed) c.store(0);
+  std::atomic<std::size_t> total{0};
+  std::atomic<bool> done_producing{false};
+  std::atomic<int> double_claims{0};
+
+  auto claim = [&](std::size_t v) {
+    if (claimed[v].fetch_add(1) != 0) double_claims.fetch_add(1);
+    total.fetch_add(1);
+  };
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(4);
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (total.load() < kOps) {
+        const std::size_t v = dq.steal();
+        if (v != 0) {
+          claim(v);
+        } else if (done_producing.load()) {
+          if (total.load() >= kOps) break;
+          if (std::chrono::steady_clock::now() > deadline) break;  // lost element
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  for (std::size_t v = 1; v <= kOps; ++v) {
+    dq.push(v);
+    if (v % 5 == 0) {  // owner claims some of its own work, LIFO, mid-stream
+      const std::size_t got = dq.pop();
+      if (got != 0) claim(got);
+    }
+  }
+  done_producing.store(true);
+  for (std::size_t got = dq.pop(); got != 0; got = dq.pop()) claim(got);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(double_claims.load(), 0);
+  EXPECT_EQ(total.load(), kOps);
+  for (std::size_t v = 1; v <= kOps; ++v) {
+    if (claimed[v].load() != 1) {
+      ADD_FAILURE() << "element " << v << " claimed " << int(claimed[v].load())
+                    << " times";
+      break;  // one report is enough; don't spam a million lines
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bellamy::parallel
